@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Ablations of the optional extensions beyond the paper's evaluated
+ * design: the two-level BTB hierarchy, the loop predictor, the
+ * perceptron direction predictor, and the RDIP prefetcher (the
+ * pre-IPC-1 ancestor of D-JOLT).
+ */
+
+#include "bench/bench_common.h"
+
+int
+main()
+{
+    using namespace fdip;
+    using namespace fdip::bench;
+
+    banner("Ablations: two-level BTB, loop predictor, perceptron, RDIP",
+           "Speedup over the no-FDP baseline; FDP frontend otherwise.");
+
+    const auto workloads = suite(400000);
+    const SuiteResult base = runSuite("base", noFdpConfig(), workloads,
+                                      noPrefetcher());
+    const SuiteResult fdp = runSuite("fdp", paperBaselineConfig(),
+                                     workloads, noPrefetcher());
+
+    TextTable t({"configuration", "speedup", "MPKI", "note"});
+    t.addRow({"FDP baseline", speedupStr(fdp.speedupOver(base)),
+              TextTable::num(fdp.meanMpki()), "single-level 8K BTB"});
+
+    {
+        // Two-level BTB: tiny fast L1 in front of the 8K main BTB,
+        // paying a bubble on L2-served taken re-steers.
+        CoreConfig cfg = paperBaselineConfig();
+        cfg.bpu.btbHierarchy.enabled = true;
+        cfg.bpu.btbHierarchy.l1Entries = 1024;
+        cfg.bpu.btbHierarchy.l2ExtraLatency = 2;
+        const SuiteResult r =
+            runSuite("2lvl", cfg, workloads, noPrefetcher());
+        t.addRow({"FDP + 2-level BTB (1K L1)",
+                  speedupStr(r.speedupOver(base)),
+                  TextTable::num(r.meanMpki()),
+                  "L2 takens pay a 2-cycle bubble"});
+    }
+    {
+        CoreConfig cfg = paperBaselineConfig();
+        cfg.bpu.useLoopPredictor = true;
+        const SuiteResult r =
+            runSuite("loop", cfg, workloads, noPrefetcher());
+        t.addRow({"FDP + loop predictor",
+                  speedupStr(r.speedupOver(base)),
+                  TextTable::num(r.meanMpki()),
+                  "overrides TAGE on loop exits"});
+    }
+    {
+        CoreConfig cfg = paperBaselineConfig();
+        cfg.bpu.direction = DirectionPredictorKind::kPerceptron;
+        const SuiteResult r =
+            runSuite("perceptron", cfg, workloads, noPrefetcher());
+        t.addRow({"FDP + perceptron (instead of TAGE)",
+                  speedupStr(r.speedupOver(base)),
+                  TextTable::num(r.meanMpki()),
+                  "academic baseline [22]"});
+    }
+    {
+        const SuiteResult r = runSuite("rdip", noFdpConfig(), workloads,
+                                       prefetcher("rdip"));
+        t.addRow({"RDIP (no FDP)", speedupStr(r.speedupOver(base)),
+                  TextTable::num(r.meanMpki()),
+                  "MICRO'13 RAS-directed prefetch"});
+    }
+    {
+        const SuiteResult r = runSuite(
+            "rdip+fdp", paperBaselineConfig(), workloads,
+            prefetcher("rdip"));
+        t.addRow({"FDP + RDIP", speedupStr(r.speedupOver(base)),
+                  TextTable::num(r.meanMpki()), "-"});
+    }
+    {
+        // Original-FDP prefetch buffer: prefetches land in a 32-line
+        // side buffer instead of the L1I (pollution isolation).
+        CoreConfig direct = noFdpConfig();
+        CoreConfig buffered = noFdpConfig();
+        buffered.usePrefetchBuffer = true;
+        const SuiteResult rd = runSuite("eip-direct", direct, workloads,
+                                        prefetcher("eip-27"));
+        const SuiteResult rb = runSuite("eip-buffered", buffered,
+                                        workloads, prefetcher("eip-27"));
+        t.addRow({"EIP-27 -> L1I (no FDP)",
+                  speedupStr(rd.speedupOver(base)),
+                  TextTable::num(rd.meanMpki()),
+                  "prefetch fills pollute L1I"});
+        t.addRow({"EIP-27 -> prefetch buffer (no FDP)",
+                  speedupStr(rb.speedupOver(base)),
+                  TextTable::num(rb.meanMpki()),
+                  "original FDP [8] side buffer"});
+    }
+
+    t.print();
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Shared scaffolding for the per-figure bench binaries: suite
+ * construction, labeled runs, and table output with the paper's
+ * reported values alongside the measured ones.
+ *
+ * Every bench honours:
+ *   FDIP_SIM_INSTRS  dynamic instructions per trace (default per bench)
+ *   FDIP_SUITE=small reduced 3-workload suite
+ */
+
+#ifndef FDIP_BENCH_BENCH_COMMON_H_
+#define FDIP_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "prefetch/factory.h"
+#include "sim/experiment.h"
+#include "util/table.h"
+
+namespace fdip::bench
+{
+
+/** Builds the bench suite with a per-bench default sizing. */
+inline std::vector<SuiteEntry>
+suite(std::size_t default_insts)
+{
+    std::fprintf(stderr, "building workload suite...\n");
+    return benchSuite(default_insts);
+}
+
+/** Factory adapter for named prefetchers. */
+inline PrefetcherFactory
+prefetcher(const std::string &name)
+{
+    return [name](const Trace &) { return makePrefetcher(name); };
+}
+
+/** Formats a speedup fraction as "+41.0%". */
+inline std::string
+speedupStr(double ratio)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%+.1f%%", (ratio - 1.0) * 100.0);
+    return buf;
+}
+
+/** Prints the standard bench banner. */
+inline void
+banner(const char *experiment, const char *description)
+{
+    std::printf("=============================================================\n");
+    std::printf("%s\n", experiment);
+    std::printf("%s\n", description);
+    std::printf("=============================================================\n");
+}
+
+} // namespace fdip::bench
+
+#endif // FDIP_BENCH_BENCH_COMMON_H_

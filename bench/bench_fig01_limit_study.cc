@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Fig. 1 — Prefetching limit study in the IPC-1-like framework.
+ *
+ * All mechanisms use perfect branch prediction (direction + BTB +
+ * indirect targets), as in the paper's limit study. The baseline is a
+ * shallow-FTQ frontend (no FDP run-ahead); "FDP" enables the
+ * 192-instruction FTQ. Paper result: the top-3 IPC-1 prefetchers give
+ * >28% (close to perfect's 30.6%), while FDP alone with a larger FTQ
+ * gives 30.2%, and prefetchers on top of FDP add little.
+ */
+
+#include "bench/bench_common.h"
+
+namespace fdip
+{
+namespace
+{
+
+CoreConfig
+perfectBpConfig(bool fdp)
+{
+    CoreConfig cfg = fdp ? paperBaselineConfig() : noFdpConfig();
+    cfg.bpu.direction = DirectionPredictorKind::kPerfect;
+    cfg.bpu.perfectBtb = true;
+    cfg.bpu.perfectIndirect = true;
+    return cfg;
+}
+
+} // namespace
+} // namespace fdip
+
+int
+main()
+{
+    using namespace fdip;
+    using namespace fdip::bench;
+
+    banner("Fig. 1: prefetching limit study (perfect branch prediction)",
+           "Speedup over the no-FDP, no-prefetch baseline.");
+
+    const auto workloads = suite(600000);
+    const SuiteResult base = runSuite("baseline", perfectBpConfig(false),
+                                      workloads, noPrefetcher());
+
+    struct Row
+    {
+        const char *label;
+        const char *pf;
+        const char *paperNoFdp;
+        const char *paperFdp;
+    };
+    const Row rows[] = {
+        {"NL1", "nl1", "~11%", "-"},
+        {"FNL+MMA", "fnl+mma", ">28%", "~30%"},
+        {"D-JOLT", "d-jolt", ">28%", "~30%"},
+        {"EIP-128KB", "eip-128", ">28%", "~30%"},
+        {"Perfect", "perfect", "30.6%", "~31%"},
+    };
+
+    TextTable t({"prefetcher", "no FDP", "with FDP", "paper no-FDP",
+                 "paper FDP"});
+
+    // FDP alone (the paper's "simplistic FDP with 192-inst FTQ").
+    const SuiteResult fdp_alone = runSuite(
+        "fdp", perfectBpConfig(true), workloads, noPrefetcher());
+    t.addRow({"FDP alone", "-", speedupStr(fdp_alone.speedupOver(base)),
+              "-", "30.2%"});
+
+    for (const Row &row : rows) {
+        CoreConfig no_fdp = perfectBpConfig(false);
+        CoreConfig with_fdp = perfectBpConfig(true);
+        PrefetcherFactory factory = noPrefetcher();
+        if (std::string(row.pf) == "perfect") {
+            no_fdp.perfectPrefetch = true;
+            with_fdp.perfectPrefetch = true;
+        } else {
+            factory = prefetcher(row.pf);
+        }
+        const SuiteResult r_no =
+            runSuite(row.label, no_fdp, workloads, factory);
+        const SuiteResult r_yes =
+            runSuite(row.label, with_fdp, workloads, factory);
+        t.addRow({row.label, speedupStr(r_no.speedupOver(base)),
+                  speedupStr(r_yes.speedupOver(base)), row.paperNoFdp,
+                  row.paperFdp});
+    }
+
+    t.print();
+    std::printf("\nTakeaway check: prefetchers on top of FDP should add "
+                "little over FDP alone.\n");
+    return 0;
+}

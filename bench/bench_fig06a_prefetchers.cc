@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Fig. 6a — Instruction-prefetching performance with and without FDP.
+ *
+ * Paper results (speedup over no-FDP/no-prefetch baseline):
+ *   NL1 10.6%, EIP-27KB 32.4% (without FDP); FDP alone 41.0%;
+ *   FDP + perfect BTB +3.4%; FDP + EIP-128KB +4.3%;
+ *   FDP + Perfect +5.4%; FDP + perfect BTB + perfect prefetch 46.9%.
+ */
+
+#include "bench/bench_common.h"
+
+int
+main()
+{
+    using namespace fdip;
+    using namespace fdip::bench;
+
+    banner("Fig. 6a: prefetching with and without FDP",
+           "Speedup over the no-FDP, no-prefetch baseline (geomean).");
+
+    const auto workloads = suite(600000);
+    const SuiteResult base = runSuite("baseline", noFdpConfig(),
+                                      workloads, noPrefetcher());
+
+    TextTable t({"configuration", "speedup", "MPKI", "paper"});
+
+    struct Pf
+    {
+        const char *label;
+        const char *name;
+        const char *paperNoFdp;
+        const char *paperFdp;
+    };
+    const Pf pfs[] = {
+        {"NL1", "nl1", "+10.6%", "-"},
+        {"FNL+MMA", "fnl+mma", "~+28%", "~FDP+1%"},
+        {"D-JOLT", "d-jolt", "~+28%", "~FDP+1%"},
+        {"EIP-27KB", "eip-27", "+32.4%", "~FDP+3%"},
+        {"EIP-128KB", "eip-128", "~+33%", "FDP+4.3%"},
+    };
+
+    for (const Pf &pf : pfs) {
+        const SuiteResult r = runSuite(pf.label, noFdpConfig(), workloads,
+                                       prefetcher(pf.name));
+        t.addRow({std::string(pf.label) + " (no FDP)",
+                  speedupStr(r.speedupOver(base)),
+                  TextTable::num(r.meanMpki()), pf.paperNoFdp});
+    }
+    {
+        CoreConfig cfg = noFdpConfig();
+        cfg.perfectPrefetch = true;
+        const SuiteResult r =
+            runSuite("perfect", cfg, workloads, noPrefetcher());
+        t.addRow({"Perfect prefetch (no FDP)",
+                  speedupStr(r.speedupOver(base)),
+                  TextTable::num(r.meanMpki()), "+30.6%"});
+    }
+
+    const SuiteResult fdp = runSuite("FDP", paperBaselineConfig(),
+                                     workloads, noPrefetcher());
+    t.addRow({"FDP alone", speedupStr(fdp.speedupOver(base)),
+              TextTable::num(fdp.meanMpki()), "+41.0%"});
+
+    for (const Pf &pf : pfs) {
+        const SuiteResult r = runSuite(pf.label, paperBaselineConfig(),
+                                       workloads, prefetcher(pf.name));
+        t.addRow({std::string("FDP + ") + pf.label,
+                  speedupStr(r.speedupOver(base)),
+                  TextTable::num(r.meanMpki()), pf.paperFdp});
+    }
+    {
+        CoreConfig cfg = paperBaselineConfig();
+        cfg.perfectPrefetch = true;
+        const SuiteResult r =
+            runSuite("FDP+perfect", cfg, workloads, noPrefetcher());
+        t.addRow({"FDP + perfect prefetch",
+                  speedupStr(r.speedupOver(base)),
+                  TextTable::num(r.meanMpki()), "FDP+5.4%"});
+    }
+    {
+        CoreConfig cfg = paperBaselineConfig();
+        cfg.bpu.perfectBtb = true;
+        const SuiteResult r =
+            runSuite("FDP+perfBTB", cfg, workloads, noPrefetcher());
+        t.addRow({"FDP + perfect BTB", speedupStr(r.speedupOver(base)),
+                  TextTable::num(r.meanMpki()), "FDP+3.4%"});
+    }
+    {
+        CoreConfig cfg = paperBaselineConfig();
+        cfg.bpu.perfectBtb = true;
+        cfg.perfectPrefetch = true;
+        const SuiteResult r =
+            runSuite("FDP+perfBTB+perfPf", cfg, workloads, noPrefetcher());
+        t.addRow({"FDP + perfect BTB + perfect prefetch",
+                  speedupStr(r.speedupOver(base)),
+                  TextTable::num(r.meanMpki()), "+46.9%"});
+    }
+
+    t.print();
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Fig. 8 / Tables II & V — Branch history management policies.
+ *
+ * Policies (Table V): Ideal (oracle direction history), THR
+ * (taken-only target history, taken-only BTB allocation), GHR0/1 (no
+ * fixup; taken-only / all-branch allocation), GHR2/3 (pre-decode fixup
+ * flushes; taken-only / all-branch allocation).
+ *
+ * Paper: THR ~= Ideal; GHR2 is 23.7% below Ideal (flush cost); GHR0
+ * has 19.5% more mispredictions and 1.5% lower performance than Ideal;
+ * PFC helps every configuration.
+ */
+
+#include "bench/bench_common.h"
+
+int
+main()
+{
+    using namespace fdip;
+    using namespace fdip::bench;
+
+    banner("Fig. 8: history-management policies (Table V)",
+           "Speedup over the no-FDP baseline; MPKI; fixup flushes/KI.");
+
+    const auto workloads = suite(500000);
+    const SuiteResult base = runSuite("base", noFdpConfig(), workloads,
+                                      noPrefetcher());
+
+    struct Policy
+    {
+        HistoryScheme scheme;
+        const char *paperNote;
+    };
+    const Policy policies[] = {
+        {HistoryScheme::kIdeal, "reference"},
+        {HistoryScheme::kThr, "~= Ideal (paper headline)"},
+        {HistoryScheme::kGhr0, "-1.5% vs Ideal, +19.5% MPKI"},
+        {HistoryScheme::kGhr1, "between GHR0 and Ideal"},
+        {HistoryScheme::kGhr2, "-23.7% vs Ideal (flushes)"},
+        {HistoryScheme::kGhr3, "better than GHR2, BTB pressure"},
+    };
+
+    for (bool pfc : {true, false}) {
+        std::printf("\n--- PFC %s ---\n", pfc ? "ON" : "OFF");
+        TextTable t({"policy", "speedup", "MPKI", "fixups/KI", "paper"});
+        for (const Policy &p : policies) {
+            CoreConfig cfg = paperBaselineConfig();
+            cfg.historyScheme = p.scheme;
+            cfg.pfcEnabled = pfc;
+            const SuiteResult r = runSuite(historySchemeName(p.scheme),
+                                           cfg, workloads, noPrefetcher());
+            double fixups = 0;
+            double insts = 0;
+            for (const auto &run : r.runs) {
+                fixups += static_cast<double>(run.stats.ghrFixups);
+                insts += static_cast<double>(run.stats.committedInsts);
+            }
+            t.addRow({historySchemeName(p.scheme),
+                      speedupStr(r.speedupOver(base)),
+                      TextTable::num(r.meanMpki()),
+                      TextTable::num(1000.0 * fixups / insts),
+                      p.paperNote});
+        }
+        t.print();
+    }
+    return 0;
+}

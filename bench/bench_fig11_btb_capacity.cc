@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Fig. 11 — BTB capacity sensitivity with and without FDP.
+ *
+ * Paper: with FDP (PFC on), small BTBs are well tolerated; without
+ * FDP, gains from BTB capacity are moderate with the largest jump at
+ * 16K entries (branch footprint fits); FDP wins at every capacity
+ * because it hides BTB and I-cache access latencies.
+ */
+
+#include "bench/bench_common.h"
+
+int
+main()
+{
+    using namespace fdip;
+    using namespace fdip::bench;
+
+    banner("Fig. 11: BTB capacity sensitivity",
+           "Speedup over the no-FDP baseline with its default 8K BTB.");
+
+    const auto workloads = suite(500000);
+    const SuiteResult base = runSuite("base", noFdpConfig(), workloads,
+                                      noPrefetcher());
+
+    TextTable t({"BTB entries", "no FDP", "MPKI", "FDP", "MPKI(FDP)"});
+    for (unsigned entries : {1024u, 2048u, 4096u, 8192u, 16384u, 32768u}) {
+        // The no-FDP configuration models the academic baselines: no
+        // run-ahead and no post-fetch correction, so BTB capacity is
+        // fully exposed.
+        CoreConfig no_fdp = noFdpConfig();
+        no_fdp.bpu.btb.numEntries = entries;
+        no_fdp.pfcEnabled = false;
+        CoreConfig fdp = paperBaselineConfig();
+        fdp.bpu.btb.numEntries = entries;
+
+        const SuiteResult r_no =
+            runSuite("noFDP", no_fdp, workloads, noPrefetcher());
+        const SuiteResult r_fdp =
+            runSuite("FDP", fdp, workloads, noPrefetcher());
+        t.addRow({std::to_string(entries),
+                  speedupStr(r_no.speedupOver(base)),
+                  TextTable::num(r_no.meanMpki()),
+                  speedupStr(r_fdp.speedupOver(base)),
+                  TextTable::num(r_fdp.meanMpki())});
+    }
+    t.print();
+    return 0;
+}

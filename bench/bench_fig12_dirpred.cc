@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Fig. 12 — Direction-predictor sensitivity.
+ *
+ * Paper: gshare-8KB 31.4% vs similarly-sized TAGE 37.1%; PFC *hurts*
+ * gshare by 6.0% (inaccurate taken predictions mis-resteer BTB-miss
+ * never-taken branches); perfect direction makes PFC more effective
+ * (+4.6%); perfect direction + targets reaches 49.4%.
+ */
+
+#include "bench/bench_common.h"
+
+int
+main()
+{
+    using namespace fdip;
+    using namespace fdip::bench;
+
+    banner("Fig. 12: direction-predictor sensitivity",
+           "FDP frontend; speedup over the no-FDP baseline.");
+
+    const auto workloads = suite(500000);
+    const SuiteResult base = runSuite("base", noFdpConfig(), workloads,
+                                      noPrefetcher());
+
+    struct Pred
+    {
+        const char *label;
+        DirectionPredictorKind kind;
+        unsigned tageKb;
+        bool perfectAll;
+        const char *paper;
+    };
+    const Pred preds[] = {
+        {"Gshare 8KB", DirectionPredictorKind::kGshare, 18, false,
+         "+31.4% (PFC -6.0%)"},
+        {"TAGE 9KB", DirectionPredictorKind::kTage, 9, false, "~+35%"},
+        {"TAGE 18KB (base)", DirectionPredictorKind::kTage, 18, false,
+         "+37.1%... +41% w/ PFC"},
+        {"TAGE 36KB", DirectionPredictorKind::kTage, 36, false, "~+42%"},
+        {"Perfect direction", DirectionPredictorKind::kPerfect, 18,
+         false, "PFC +4.6%"},
+        {"Perfect all", DirectionPredictorKind::kPerfect, 18, true,
+         "+49.4%"},
+    };
+
+    TextTable t({"predictor", "PFC off", "PFC on", "PFC delta", "MPKI",
+                 "paper"});
+    for (const Pred &p : preds) {
+        CoreConfig cfg = paperBaselineConfig();
+        cfg.bpu.direction = p.kind;
+        cfg.bpu.tageKilobytes = p.tageKb;
+        if (p.perfectAll) {
+            cfg.bpu.perfectBtb = true;
+            cfg.bpu.perfectIndirect = true;
+        }
+        CoreConfig off = cfg;
+        off.pfcEnabled = false;
+        CoreConfig on = cfg;
+        on.pfcEnabled = true;
+
+        const SuiteResult r_off =
+            runSuite("off", off, workloads, noPrefetcher());
+        const SuiteResult r_on =
+            runSuite("on", on, workloads, noPrefetcher());
+        t.addRow({p.label, speedupStr(r_off.speedupOver(base)),
+                  speedupStr(r_on.speedupOver(base)),
+                  speedupStr(r_on.speedupOver(r_off)),
+                  TextTable::num(r_on.meanMpki()), p.paper});
+    }
+    t.print();
+    return 0;
+}

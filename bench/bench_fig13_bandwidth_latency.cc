@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Fig. 13 — Prediction bandwidth and BTB latency sensitivity.
+ *
+ * Paper: halving bandwidth (B6) costs 0.6%; B18 adds nothing over B12;
+ * allowing multiple taken predictions per cycle (B18m) adds 0.2%;
+ * 4-cycle BTB latency costs 1.8% vs the 2-cycle baseline.
+ */
+
+#include "bench/bench_common.h"
+
+int
+main()
+{
+    using namespace fdip;
+    using namespace fdip::bench;
+
+    banner("Fig. 13: prediction bandwidth / BTB latency",
+           "FDP frontend; speedup relative to the B12, 2-cycle baseline.");
+
+    const auto workloads = suite(500000);
+    const SuiteResult baseline = runSuite(
+        "B12", paperBaselineConfig(), workloads, noPrefetcher());
+
+    {
+        TextTable t({"bandwidth", "vs B12", "paper"});
+        struct Bw
+        {
+            const char *label;
+            unsigned width;
+            unsigned taken;
+            const char *paper;
+        };
+        const Bw bws[] = {
+            {"B6 (half)", 6, 1, "-0.6%"},
+            {"B12 (baseline)", 12, 1, "0%"},
+            {"B18 (1.5x)", 18, 1, "~0%"},
+            {"B18m (2 takens)", 18, 2, "+0.2%"},
+        };
+        for (const Bw &bw : bws) {
+            CoreConfig cfg = paperBaselineConfig();
+            cfg.predictBandwidth = bw.width;
+            cfg.maxTakenPerCycle = bw.taken;
+            const SuiteResult r =
+                runSuite(bw.label, cfg, workloads, noPrefetcher());
+            t.addRow({bw.label, speedupStr(r.speedupOver(baseline)),
+                      bw.paper});
+        }
+        t.print();
+    }
+
+    {
+        std::printf("\n");
+        TextTable t({"BTB latency", "vs 2-cycle", "paper"});
+        for (unsigned lat : {1u, 2u, 3u, 4u}) {
+            CoreConfig cfg = paperBaselineConfig();
+            cfg.btbLatency = lat;
+            const SuiteResult r = runSuite(
+                "lat", cfg, workloads, noPrefetcher());
+            const char *paper = lat == 4 ? "-1.8%"
+                                : lat == 2 ? "0%"
+                                           : "-";
+            t.addRow({std::to_string(lat),
+                      speedupStr(r.speedupOver(baseline)), paper});
+        }
+        t.print();
+    }
+    return 0;
+}

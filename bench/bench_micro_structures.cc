@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the core structures: TAGE
+ * prediction/update, BTB lookup, history push/snapshot, cache access,
+ * FTQ operations, and end-to-end simulated instruction throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bpu/bpu.h"
+#include "cache/cache.h"
+#include "core/core.h"
+#include "core/ftq.h"
+#include "prefetch/factory.h"
+#include "trace/suite.h"
+#include "util/rng.h"
+
+namespace fdip
+{
+namespace
+{
+
+void
+BM_TagePredictUpdate(benchmark::State &state)
+{
+    BranchHistory hist(HistoryPolicy::kTargetHistory);
+    Tage tage(TageConfig::sized(18), hist);
+    Rng rng(1);
+    Addr pc = 0x400000;
+    for (auto _ : state) {
+        TagePrediction meta;
+        const bool pred = tage.predict(pc, meta);
+        benchmark::DoNotOptimize(pred);
+        const bool taken = (rng.next() & 3) != 0;
+        tage.update(pc, taken, meta);
+        hist.pushBranch(pc, pc ^ 0x40, taken);
+        pc = 0x400000 + (rng.next() & 0xffff) * 4;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TagePredictUpdate);
+
+void
+BM_BtbLookup(benchmark::State &state)
+{
+    BtbConfig cfg;
+    cfg.numEntries = static_cast<unsigned>(state.range(0));
+    Btb btb(cfg);
+    Rng rng(2);
+    for (unsigned i = 0; i < cfg.numEntries; ++i)
+        btb.insert(0x400000 + i * 8, InstClass::kJumpDirect, 0x9000,
+                   true);
+    for (auto _ : state) {
+        const Addr pc = 0x400000 + (rng.next() % (cfg.numEntries)) * 8;
+        benchmark::DoNotOptimize(btb.lookup(pc));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BtbLookup)->Arg(1024)->Arg(8192)->Arg(32768);
+
+void
+BM_HistoryPushSnapshot(benchmark::State &state)
+{
+    BranchHistory hist(HistoryPolicy::kTargetHistory);
+    // Register the fold population of TAGE + ITTAGE.
+    for (int i = 0; i < 54; ++i)
+        hist.registerFold(8 + i * 9, 10);
+    Rng rng(3);
+    for (auto _ : state) {
+        hist.pushBranch(rng.next(), rng.next(), true);
+        benchmark::DoNotOptimize(hist.snapshot());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistoryPushSnapshot);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    CacheConfig cfg;
+    cfg.sizeBytes = 32 * 1024;
+    cfg.ways = 8;
+    Cache cache(cfg);
+    Rng rng(4);
+    for (auto _ : state) {
+        const Addr line = (rng.next() & 0xfff) * kCacheLineBytes;
+        if (!cache.access(line).has_value())
+            cache.insert(line);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_FtqPushPop(benchmark::State &state)
+{
+    Ftq ftq(24);
+    std::uint64_t seq = 0;
+    for (auto _ : state) {
+        while (!ftq.full()) {
+            FtqEntry e;
+            e.seq = seq++;
+            ftq.push(std::move(e));
+        }
+        while (!ftq.empty())
+            ftq.popHead();
+    }
+    state.SetItemsProcessed(state.iterations() * 24);
+}
+BENCHMARK(BM_FtqPushPop);
+
+void
+BM_EndToEndSimulation(benchmark::State &state)
+{
+    WorkloadSpec s = specCpuSpec("micro", 55);
+    s.numFunctions = 48;
+    auto wl = std::make_shared<Workload>(buildWorkload(s));
+    const Trace trace = generateTrace(wl, 50000);
+    CoreConfig cfg = paperBaselineConfig();
+    for (auto _ : state) {
+        Core core(cfg, trace, makePrefetcher("none"));
+        benchmark::DoNotOptimize(core.run(0).cycles);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_EndToEndSimulation)->Unit(benchmark::kMillisecond);
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    WorkloadSpec s = clientSpec("micro", 66);
+    s.numFunctions = 60;
+    auto wl = std::make_shared<Workload>(buildWorkload(s));
+    for (auto _ : state) {
+        const Trace t = generateTrace(wl, 100000);
+        benchmark::DoNotOptimize(t.insts.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_TraceGeneration)->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace fdip
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Tables I, III & IV — static configuration tables: the
+ * academia-vs-industry BTB capacity gap, the FTQ hardware cost, and
+ * the common core parameters, as instantiated by this implementation.
+ */
+
+#include "bench/bench_common.h"
+
+#include "bpu/bpu.h"
+#include "core/ftq.h"
+
+int
+main()
+{
+    using namespace fdip;
+    using namespace fdip::bench;
+
+    banner("Tables I / III / IV: configuration inventory",
+           "Static tables; values as instantiated by fdipsim.");
+
+    {
+        std::printf("\nTable I: BTB capacity gap (entries)\n");
+        TextTable t({"academia", "BTB", "industry", "BTB"});
+        t.addRow({"Shotgun [12]", "2.1K", "AMD Zen2 [29]", "7K"});
+        t.addRow({"Confluence [10]", "1.5K", "Samsung Exynos M3 [27]",
+                  "16K"});
+        t.addRow({"Divide&Conquer [13]", "2K", "Arm Neoverse N1 [26]",
+                  "6K"});
+        t.print();
+    }
+
+    {
+        std::printf("\nTable III: FTQ entry fields and hardware cost\n");
+        TextTable t({"field", "bits"});
+        t.addRow({"Start address", "48"});
+        t.addRow({"Block predicted taken", "1"});
+        t.addRow({"Block termination offset", "3"});
+        t.addRow({"I-cache way", "3"});
+        t.addRow({"State", "2"});
+        t.addRow({"Direction hint", "8"});
+        t.print();
+        Ftq ftq(24);
+        std::printf("total (24-entry): %llu bytes  [paper: 195 bytes]\n",
+                    static_cast<unsigned long long>(
+                        ftq.archStorageBytes()));
+    }
+
+    {
+        std::printf("\nTable IV: common core parameters\n");
+        const CoreConfig cfg = paperBaselineConfig();
+        Bpu bpu(cfg.bpu);
+        TextTable t({"parameter", "value"});
+        t.addRow({"FTQ", std::to_string(cfg.ftqEntries) + " entries (" +
+                             std::to_string(cfg.ftqEntries * 8) +
+                             " insts)"});
+        t.addRow({"prediction bandwidth",
+                  std::to_string(cfg.predictBandwidth) + " inst/cycle"});
+        t.addRow({"fetch bandwidth",
+                  std::to_string(cfg.fetchBandwidth) + " inst/cycle"});
+        t.addRow({"BTB", std::to_string(cfg.bpu.btb.numEntries) +
+                             " entries, " +
+                             std::to_string(cfg.bpu.btb.ways) + "-way, " +
+                             std::to_string(cfg.btbLatency) + "-cycle"});
+        t.addRow({"direction predictor",
+                  "TAGE " + std::to_string(cfg.bpu.tageKilobytes) +
+                      "KB, 260-event history"});
+        t.addRow({"predictor storage (TAGE+ITTAGE)",
+                  std::to_string(bpu.predictorStorageBits() / 8 / 1024) +
+                      " KB"});
+        t.addRow({"L1I", "32KB 8-way, " +
+                             std::to_string(cfg.l1iHitLatency) +
+                             "-cycle pipe, " +
+                             std::to_string(cfg.l1iMshrs) + " MSHRs"});
+        t.addRow({"L2/LLC/DRAM",
+                  "512KB/" + std::to_string(cfg.mem.l2Latency) +
+                      "c, 2MB/" + std::to_string(cfg.mem.llcLatency) +
+                      "c, DRAM " + std::to_string(cfg.mem.dramLatency) +
+                      "c"});
+        t.addRow({"ROB / decode queue",
+                  std::to_string(cfg.robEntries) + " / " +
+                      std::to_string(cfg.decodeQueueEntries)});
+        t.addRow({"commit width", std::to_string(cfg.commitWidth)});
+        t.print();
+    }
+    return 0;
+}

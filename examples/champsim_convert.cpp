@@ -1,0 +1,79 @@
+/**
+ * @file
+ * ChampSim interchange example: export a synthetic workload to the
+ * ChampSim record format, import it back through the renormalizing
+ * reader, and simulate both — demonstrating that externally produced
+ * ChampSim traces (e.g. the IPC-1 set) can be replayed on this
+ * frontend.
+ *
+ * Usage: champsim_convert [num_insts] [path]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "core/core.h"
+#include "prefetch/factory.h"
+#include "trace/champsim.h"
+#include "trace/workload.h"
+
+namespace
+{
+
+fdip::SimStats
+simulate(const fdip::Trace &trace)
+{
+    using namespace fdip;
+    CoreConfig cfg = paperBaselineConfig();
+    Core core(cfg, trace, makePrefetcher("none"));
+    return core.run(trace.size() / 5);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace fdip;
+
+    const std::size_t n =
+        argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 400000;
+    const std::string path =
+        argc > 2 ? argv[2] : "/tmp/fdipsim_export.champsim.trace";
+
+    auto workload = std::make_shared<Workload>(
+        buildWorkload(clientSpec("convert", 5)));
+    const Trace native = generateTrace(workload, n);
+
+    if (!writeChampSimTrace(path, native)) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return 1;
+    }
+    std::printf("exported %zu records (%zu MB) to %s\n", native.size(),
+                native.size() * sizeof(ChampSimRecord) >> 20,
+                path.c_str());
+
+    Trace imported;
+    if (!readChampSimTrace(path, 0, imported)) {
+        std::fprintf(stderr, "cannot import %s\n", path.c_str());
+        return 1;
+    }
+    std::printf("imported %zu records; image %zu KB\n\n",
+                imported.size(),
+                imported.image().footprintBytes() / 1024);
+
+    const SimStats a = simulate(native);
+    const SimStats b = simulate(imported);
+    std::printf("%-22s %10s %10s\n", "", "native", "imported");
+    std::printf("%-22s %10.3f %10.3f\n", "IPC", a.ipc(), b.ipc());
+    std::printf("%-22s %10.2f %10.2f\n", "branch MPKI", a.branchMpki(),
+                b.branchMpki());
+    std::printf("%-22s %10.2f %10.2f\n", "L1I miss / KI", a.l1iMpki(),
+                b.l1iMpki());
+    std::printf("\nThe two runs agree up to address renormalization "
+                "(same stream, remapped image).\n");
+    std::remove(path.c_str());
+    return 0;
+}

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Frontend design-space explorer: a small CLI for the questions the
+ * paper's evaluation asks. Pick a workload class, FTQ depth, BTB size,
+ * history scheme, PFC setting and prefetcher, and get the full metric
+ * readout.
+ *
+ * Usage:
+ *   frontend_explorer [class] [ftq] [btb] [scheme] [pfc] [prefetcher]
+ *     class      srv | clt | spec          (default srv)
+ *     ftq        FTQ entries               (default 24)
+ *     btb        BTB entries               (default 8192)
+ *     scheme     thr|ghr0|ghr1|ghr2|ghr3|ideal (default thr)
+ *     pfc        on | off                  (default on)
+ *     prefetcher none|nl1|fnl+mma|d-jolt|eip-27|eip-128|sn4l+dis[+btb]
+ *
+ * Example:
+ *   frontend_explorer srv 24 2048 thr on eip-27
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "core/core.h"
+#include "prefetch/factory.h"
+#include "trace/trace_gen.h"
+#include "trace/workload.h"
+#include "util/log.h"
+
+namespace
+{
+
+fdip::HistoryScheme
+parseScheme(const std::string &s)
+{
+    using fdip::HistoryScheme;
+    if (s == "thr")
+        return HistoryScheme::kThr;
+    if (s == "ghr0")
+        return HistoryScheme::kGhr0;
+    if (s == "ghr1")
+        return HistoryScheme::kGhr1;
+    if (s == "ghr2")
+        return HistoryScheme::kGhr2;
+    if (s == "ghr3")
+        return HistoryScheme::kGhr3;
+    if (s == "ideal")
+        return HistoryScheme::kIdeal;
+    fdip_fatal("unknown history scheme '%s'", s.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace fdip;
+
+    const std::string cls = argc > 1 ? argv[1] : "srv";
+    const unsigned ftq = argc > 2 ? std::atoi(argv[2]) : 24;
+    const unsigned btb = argc > 3 ? std::atoi(argv[3]) : 8192;
+    const std::string scheme = argc > 4 ? argv[4] : "thr";
+    const bool pfc = argc > 5 ? std::strcmp(argv[5], "off") != 0 : true;
+    const std::string pf = argc > 6 ? argv[6] : "none";
+
+    WorkloadSpec spec = cls == "clt"    ? clientSpec("explore", 7)
+                        : cls == "spec" ? specCpuSpec("explore", 7)
+                                        : serverSpec("explore", 7);
+    auto workload = std::make_shared<Workload>(buildWorkload(spec));
+    const Trace trace = generateTrace(workload, 800000);
+
+    CoreConfig cfg = paperBaselineConfig();
+    cfg.ftqEntries = ftq;
+    cfg.bpu.btb.numEntries = btb;
+    cfg.historyScheme = parseScheme(scheme);
+    cfg.pfcEnabled = pfc;
+    cfg.applyHistoryScheme();
+
+    std::printf("config: class=%s ftq=%u btb=%u scheme=%s pfc=%s pf=%s\n",
+                cls.c_str(), ftq, btb,
+                historySchemeName(cfg.historyScheme), pfc ? "on" : "off",
+                pf.c_str());
+
+    Core core(cfg, trace, makePrefetcher(pf));
+    const SimStats s = core.run(trace.size() / 5);
+
+    std::printf("\n-- performance --\n");
+    std::printf("IPC                      %.3f\n", s.ipc());
+    std::printf("cycles                   %llu\n",
+                static_cast<unsigned long long>(s.cycles));
+    std::printf("starvation cycles / KI   %.1f\n", s.starvationPerKi());
+
+    std::printf("\n-- branches --\n");
+    std::printf("cond branches            %llu\n",
+                static_cast<unsigned long long>(s.condBranches));
+    std::printf("branch MPKI              %.2f\n", s.branchMpki());
+    std::printf("  direction              %llu\n",
+                static_cast<unsigned long long>(s.mispredictsCondDir));
+    std::printf("  BTB-miss taken         %llu\n",
+                static_cast<unsigned long long>(
+                    s.mispredictsBtbMissTaken));
+    std::printf("  wrong target           %llu\n",
+                static_cast<unsigned long long>(s.mispredictsTarget));
+    std::printf("  PFC misfires           %llu\n",
+                static_cast<unsigned long long>(
+                    s.mispredictsPfcMisfire));
+    std::printf("BTB hit rate             %.1f%%\n",
+                100.0 * static_cast<double>(s.btbHits) /
+                    static_cast<double>(std::max<std::uint64_t>(
+                        s.btbLookups, 1)));
+    std::printf("PFC fires                %llu (correct %llu, wrong "
+                "%llu)\n",
+                static_cast<unsigned long long>(s.pfcFires),
+                static_cast<unsigned long long>(s.pfcCorrect),
+                static_cast<unsigned long long>(s.pfcWrong));
+    std::printf("GHR fixup flushes        %llu\n",
+                static_cast<unsigned long long>(s.ghrFixups));
+
+    std::printf("\n-- instruction supply --\n");
+    std::printf("L1I demand miss / KI     %.2f\n", s.l1iMpki());
+    std::printf("L1I tag accesses / KI    %.1f\n", s.tagAccessesPerKi());
+    std::printf("prefetches issued        %llu (redundant %llu, useful "
+                "%llu)\n",
+                static_cast<unsigned long long>(s.prefetchesIssued),
+                static_cast<unsigned long long>(s.prefetchesRedundant),
+                static_cast<unsigned long long>(s.prefetchesUseful));
+    std::printf("miss exposure            fully %llu / partial %llu / "
+                "covered %llu\n",
+                static_cast<unsigned long long>(s.missFullyExposed),
+                static_cast<unsigned long long>(s.missPartiallyExposed),
+                static_cast<unsigned long long>(s.missCovered));
+    std::printf("wrong-path insts         %llu\n",
+                static_cast<unsigned long long>(s.wrongPathDelivered));
+    return 0;
+}

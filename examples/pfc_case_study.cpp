@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Post-fetch correction case study (paper Section III-B / Fig. 3):
+ * runs the same workload across BTB sizes with PFC on and off, showing
+ * how PFC converts execute-time misprediction flushes from BTB-miss
+ * taken branches into cheap pre-decode re-steers — and how the benefit
+ * evaporates (and can misfire) once the BTB holds the branch footprint.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "core/core.h"
+#include "prefetch/factory.h"
+#include "trace/trace_gen.h"
+#include "trace/workload.h"
+
+int
+main()
+{
+    using namespace fdip;
+
+    auto workload = std::make_shared<Workload>(
+        buildWorkload(serverSpec("pfc-study", 21)));
+    const Trace trace = generateTrace(workload, 800000);
+
+    std::printf("%8s | %12s %12s | %9s %9s %9s | %10s\n", "BTB", "IPC off",
+                "IPC on", "fires", "correct", "misfires", "PFC gain");
+    std::printf("---------+---------------------------+------------------"
+                "-------------+-----------\n");
+
+    for (unsigned entries : {1024u, 2048u, 8192u, 32768u}) {
+        CoreConfig off = paperBaselineConfig();
+        off.bpu.btb.numEntries = entries;
+        off.pfcEnabled = false;
+        CoreConfig on = off;
+        on.pfcEnabled = true;
+
+        Core core_off(off, trace, makePrefetcher("none"));
+        const SimStats s_off = core_off.run(trace.size() / 5);
+        Core core_on(on, trace, makePrefetcher("none"));
+        const SimStats s_on = core_on.run(trace.size() / 5);
+
+        std::printf("%8u | %12.3f %12.3f | %9llu %9llu %9llu | %+9.1f%%\n",
+                    entries, s_off.ipc(), s_on.ipc(),
+                    static_cast<unsigned long long>(s_on.pfcFires),
+                    static_cast<unsigned long long>(s_on.pfcCorrect),
+                    static_cast<unsigned long long>(s_on.pfcWrong),
+                    100.0 * (s_on.ipc() / s_off.ipc() - 1.0));
+    }
+
+    std::printf("\nReading the table: small BTBs miss many taken "
+                "branches, so PFC fires often\nand pays off; at large "
+                "sizes only cold/never-taken branches remain, where\n"
+                "misfires (direction predictor says taken, branch is "
+                "never taken) can hurt.\n");
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Quickstart: build a synthetic server-like workload, run the paper's
+ * FDP frontend against the no-FDP baseline, and print the headline
+ * comparison. Start here.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "core/core.h"
+#include "prefetch/factory.h"
+#include "trace/trace_gen.h"
+#include "trace/workload.h"
+
+int
+main()
+{
+    using namespace fdip;
+
+    // 1. Synthesize a workload with a large instruction footprint.
+    const WorkloadSpec spec = serverSpec("quickstart", /*seed=*/1);
+    auto workload = std::make_shared<Workload>(buildWorkload(spec));
+    std::printf("workload: %zu KB of code, %zu static branches\n",
+                workload->image.footprintBytes() / 1024,
+                workload->image.numBranches());
+
+    // 2. Execute it into a committed-path trace.
+    const Trace trace = generateTrace(workload, 1000000);
+    std::printf("trace: %zu dynamic instructions\n\n", trace.size());
+
+    // 3. Simulate the no-FDP baseline (2-entry FTQ, no prefetching).
+    CoreConfig baseline_cfg = noFdpConfig();
+    Core baseline(baseline_cfg, trace, makePrefetcher("none"));
+    const SimStats base = baseline.run(trace.size() / 5);
+
+    // 4. Simulate the paper's FDP frontend (24-entry FTQ, PFC,
+    //    taken-only target history).
+    CoreConfig fdp_cfg = paperBaselineConfig();
+    Core fdp_core(fdp_cfg, trace, makePrefetcher("none"));
+    const SimStats fdp = fdp_core.run(trace.size() / 5);
+
+    // 5. Report.
+    std::printf("%-28s %10s %10s\n", "", "baseline", "FDP");
+    std::printf("%-28s %10.3f %10.3f\n", "IPC", base.ipc(), fdp.ipc());
+    std::printf("%-28s %10.2f %10.2f\n", "branch MPKI", base.branchMpki(),
+                fdp.branchMpki());
+    std::printf("%-28s %10.1f %10.1f\n", "starvation cycles / KI",
+                base.starvationPerKi(), fdp.starvationPerKi());
+    std::printf("%-28s %10.2f %10.2f\n", "L1I miss / KI", base.l1iMpki(),
+                fdp.l1iMpki());
+    std::printf("\nFDP speedup: %+.1f%%  (paper headline: +41.0%% "
+                "geomean over its suite)\n",
+                100.0 * (fdp.ipc() / base.ipc() - 1.0));
+    return 0;
+}

@@ -1,0 +1,136 @@
+#include "bpu/bpu.h"
+
+#include "util/log.h"
+
+namespace fdip
+{
+
+namespace
+{
+
+unsigned
+bitsPerEventFor(const BpuConfig &cfg)
+{
+    return cfg.historyPolicy == HistoryPolicy::kTargetHistory ? 2 : 1;
+}
+
+} // namespace
+
+Bpu::Bpu(const BpuConfig &cfg)
+    : cfg_(cfg),
+      history_(cfg.historyPolicy, bitsPerEventFor(cfg)),
+      ras_(cfg.rasDepth)
+{
+    if (cfg_.direction == DirectionPredictorKind::kTage) {
+        tage_ = std::make_unique<Tage>(
+            TageConfig::sized(cfg_.tageKilobytes), history_);
+    } else if (cfg_.direction == DirectionPredictorKind::kGshare) {
+        gshare_ = std::make_unique<Gshare>();
+    } else if (cfg_.direction == DirectionPredictorKind::kPerceptron) {
+        perceptron_ = std::make_unique<Perceptron>();
+    }
+    if (cfg_.useLoopPredictor)
+        loop_ = std::make_unique<LoopPredictor>(cfg_.loopPredictor);
+    ittage_ = std::make_unique<Ittage>(cfg_.ittage, history_);
+    btb_ = std::make_unique<Btb>(cfg_.btb);
+    if (cfg_.btbHierarchy.enabled)
+        btbHier_ = std::make_unique<BtbHierarchy>(cfg_.btbHierarchy, *btb_);
+}
+
+std::optional<BtbLevelHit>
+Bpu::lookupBranch(Addr pc)
+{
+    if (btbHier_)
+        return btbHier_->lookup(pc);
+    const auto h = btb_->lookup(pc);
+    if (!h.has_value())
+        return std::nullopt;
+    return BtbLevelHit{*h, false};
+}
+
+void
+Bpu::insertBranch(Addr pc, InstClass kind, Addr target, bool taken)
+{
+    if (btbHier_) {
+        btbHier_->insert(pc, kind, target, taken);
+        return;
+    }
+    btb_->insert(pc, kind, target, taken);
+}
+
+DirectionPrediction
+Bpu::predictDirection(Addr pc, bool oracle_taken) const
+{
+    DirectionPrediction p;
+    switch (cfg_.direction) {
+      case DirectionPredictorKind::kTage:
+        p.taken = tage_->predict(pc, p.tageMeta);
+        break;
+      case DirectionPredictorKind::kGshare:
+        p.taken = gshare_->predict(pc);
+        break;
+      case DirectionPredictorKind::kPerceptron:
+        p.taken = perceptron_->predict(pc);
+        break;
+      case DirectionPredictorKind::kPerfect:
+        p.taken = oracle_taken;
+        break;
+    }
+    if (loop_) {
+        const LoopPrediction lp = loop_->predict(pc);
+        if (lp.valid && lp.taken != p.taken) {
+            p.taken = lp.taken;
+            p.loopOverride = true;
+        }
+    }
+    return p;
+}
+
+void
+Bpu::updateDirection(Addr pc, bool taken, const DirectionPrediction &pred)
+{
+    switch (cfg_.direction) {
+      case DirectionPredictorKind::kTage:
+        tage_->update(pc, taken, pred.tageMeta);
+        break;
+      case DirectionPredictorKind::kGshare:
+        gshare_->update(pc, taken);
+        break;
+      case DirectionPredictorKind::kPerceptron:
+        perceptron_->update(pc, taken);
+        break;
+      case DirectionPredictorKind::kPerfect:
+        break;
+    }
+    if (loop_)
+        loop_->update(pc, taken);
+}
+
+Addr
+Bpu::predictIndirect(Addr pc, IttagePrediction &meta) const
+{
+    return ittage_->predict(pc, meta);
+}
+
+void
+Bpu::updateIndirect(Addr pc, Addr target, const IttagePrediction &meta)
+{
+    ittage_->update(pc, target, meta);
+}
+
+std::uint64_t
+Bpu::predictorStorageBits() const
+{
+    std::uint64_t bits = ittage_->storageBits();
+    if (tage_)
+        bits += tage_->storageBits();
+    if (gshare_)
+        bits += gshare_->storageBits();
+    if (perceptron_)
+        bits += perceptron_->storageBits();
+    if (loop_)
+        bits += loop_->storageBits();
+    return bits;
+}
+
+} // namespace fdip

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The Branch Prediction Unit: bundles the global history, the direction
+ * predictor (TAGE / gshare / perfect), the BTB, the ITTAGE indirect
+ * predictor and the RAS behind one configuration, as in the paper's
+ * Fig. 2. The prediction-pipeline *logic* (block scanning, FTQ
+ * insertion) lives in core/; this module owns the structures.
+ */
+
+#ifndef FDIP_BPU_BPU_H_
+#define FDIP_BPU_BPU_H_
+
+#include <memory>
+
+#include "bpu/btb.h"
+#include "bpu/btb_hierarchy.h"
+#include "bpu/gshare.h"
+#include "bpu/history.h"
+#include "bpu/ittage.h"
+#include "bpu/loop_predictor.h"
+#include "bpu/perceptron.h"
+#include "bpu/ras.h"
+#include "bpu/tage.h"
+#include "util/types.h"
+
+namespace fdip
+{
+
+/** Which conditional direction predictor to instantiate. */
+enum class DirectionPredictorKind : std::uint8_t
+{
+    kTage,       ///< TAGE (baseline).
+    kGshare,     ///< Gshare with idealized private history (Fig. 12).
+    kPerceptron, ///< Perceptron [22] with idealized private history.
+    kPerfect,    ///< Oracle direction prediction (Fig. 12).
+};
+
+/** Full BPU configuration. */
+struct BpuConfig
+{
+    HistoryPolicy historyPolicy = HistoryPolicy::kTargetHistory;
+    DirectionPredictorKind direction = DirectionPredictorKind::kTage;
+    unsigned tageKilobytes = 18;
+    unsigned directionHistoryBits = 280; ///< Ideal-GHR length (paper VI-C).
+    BtbConfig btb;
+    BtbHierarchyConfig btbHierarchy; ///< Optional two-level BTB.
+    IttageConfig ittage;
+    unsigned rasDepth = 32;
+    bool useLoopPredictor = false; ///< Optional loop-exit override.
+    LoopPredictorConfig loopPredictor;
+    bool perfectBtb = false;      ///< Oracle branch detection + targets.
+    bool perfectIndirect = false; ///< Oracle indirect targets.
+};
+
+/**
+ * Direction prediction result with predictor-specific metadata.
+ */
+struct DirectionPrediction
+{
+    bool taken = false;
+    TagePrediction tageMeta; ///< Valid when TAGE is the predictor.
+    bool loopOverride = false; ///< The loop predictor overrode it.
+};
+
+/**
+ * The assembled branch prediction unit.
+ */
+class Bpu
+{
+  public:
+    explicit Bpu(const BpuConfig &cfg);
+
+    const BpuConfig &config() const { return cfg_; }
+
+    BranchHistory &history() { return history_; }
+    Btb &btb() { return *btb_; }
+    Ras &ras() { return ras_; }
+
+    /**
+     * Branch lookup through the (optionally two-level) BTB hierarchy.
+     * fromL2 is true when the hit paid the L2 re-steer bubble.
+     */
+    std::optional<BtbLevelHit> lookupBranch(Addr pc);
+
+    /** Resolved-branch BTB training through the hierarchy. */
+    void insertBranch(Addr pc, InstClass kind, Addr target, bool taken);
+
+    /**
+     * Predicts the direction of the conditional branch at @p pc.
+     * For the perfect predictor, @p oracle_taken is returned directly.
+     */
+    DirectionPrediction predictDirection(Addr pc, bool oracle_taken) const;
+
+    /** Trains the direction predictor with the resolved outcome. */
+    void updateDirection(Addr pc, bool taken,
+                         const DirectionPrediction &pred);
+
+    /** Predicts an indirect branch target (kNoAddr if unknown). */
+    Addr predictIndirect(Addr pc, IttagePrediction &meta) const;
+
+    /** Trains the indirect predictor. */
+    void updateIndirect(Addr pc, Addr target,
+                        const IttagePrediction &meta);
+
+    /** Modeled predictor storage in bits (excluding the BTB). */
+    std::uint64_t predictorStorageBits() const;
+
+  private:
+    BpuConfig cfg_;
+    BranchHistory history_;
+    std::unique_ptr<Tage> tage_;
+    std::unique_ptr<Gshare> gshare_;
+    std::unique_ptr<Perceptron> perceptron_;
+    std::unique_ptr<LoopPredictor> loop_;
+    std::unique_ptr<Btb> btb_;
+    std::unique_ptr<BtbHierarchy> btbHier_;
+    std::unique_ptr<Ittage> ittage_;
+    Ras ras_;
+};
+
+} // namespace fdip
+
+#endif // FDIP_BPU_BPU_H_

@@ -1,0 +1,112 @@
+#include "bpu/btb.h"
+
+#include "util/bits.h"
+#include "util/log.h"
+
+namespace fdip
+{
+
+Btb::Btb(const BtbConfig &cfg)
+    : cfg_(cfg)
+{
+    if (cfg_.numEntries % cfg_.ways != 0)
+        fdip_fatal("BTB entries %u not divisible by ways %u",
+                   cfg_.numEntries, cfg_.ways);
+    numSets_ = cfg_.numEntries / cfg_.ways;
+    if (!isPowerOf2(numSets_))
+        fdip_fatal("BTB set count %u must be a power of two", numSets_);
+    entries_.assign(cfg_.numEntries, Entry{});
+}
+
+std::uint32_t
+Btb::setOf(Addr pc) const
+{
+    // 16B-indexed: drop the low 4 bits so all branches in a 16B chunk
+    // share a set; mix upper bits to spread large footprints.
+    const std::uint64_t chunk = pc >> 4;
+    return static_cast<std::uint32_t>(
+        (chunk ^ (chunk >> floorLog2(numSets_))) & (numSets_ - 1));
+}
+
+Btb::Entry *
+Btb::find(Addr pc)
+{
+    Entry *row = &entries_[std::size_t{setOf(pc)} * cfg_.ways];
+    for (unsigned w = 0; w < cfg_.ways; ++w) {
+        if (row[w].valid && row[w].pc == pc)
+            return &row[w];
+    }
+    return nullptr;
+}
+
+const Btb::Entry *
+Btb::find(Addr pc) const
+{
+    return const_cast<Btb *>(this)->find(pc);
+}
+
+std::optional<BtbHit>
+Btb::lookup(Addr pc)
+{
+    ++lookups_;
+    Entry *e = find(pc);
+    if (e == nullptr)
+        return std::nullopt;
+    ++hits_;
+    e->lru = ++lruClock_;
+    return BtbHit{e->kind, e->target};
+}
+
+std::optional<BtbHit>
+Btb::peek(Addr pc) const
+{
+    const Entry *e = find(pc);
+    if (e == nullptr)
+        return std::nullopt;
+    return BtbHit{e->kind, e->target};
+}
+
+void
+Btb::insert(Addr pc, InstClass kind, Addr target, bool taken)
+{
+    Entry *e = find(pc);
+    if (e != nullptr) {
+        // Refresh: indirect branches update their last target.
+        e->kind = kind;
+        e->target = target;
+        e->lru = ++lruClock_;
+        return;
+    }
+
+    if (cfg_.allocateTakenOnly && !taken)
+        return;
+
+    Entry *row = &entries_[std::size_t{setOf(pc)} * cfg_.ways];
+    Entry *victim = &row[0];
+    for (unsigned w = 0; w < cfg_.ways; ++w) {
+        if (!row[w].valid) {
+            victim = &row[w];
+            break;
+        }
+        if (row[w].lru < victim->lru)
+            victim = &row[w];
+    }
+    if (victim->valid)
+        ++evictions_;
+    ++allocations_;
+    victim->valid = true;
+    victim->pc = pc;
+    victim->kind = kind;
+    victim->target = target;
+    victim->lru = ++lruClock_;
+}
+
+void
+Btb::invalidate(Addr pc)
+{
+    Entry *e = find(pc);
+    if (e != nullptr)
+        e->valid = false;
+}
+
+} // namespace fdip

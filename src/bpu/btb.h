@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The Branch Target Buffer.
+ *
+ * Matches the paper's Section IV-B: 16B-indexed (all branches in the
+ * same 16-byte chunk map to the same set), set-associative with LRU,
+ * and a configurable allocation policy (taken-only under THR, or
+ * all-branch for the basic-block-style GHR1/GHR3 configurations).
+ */
+
+#ifndef FDIP_BPU_BTB_H_
+#define FDIP_BPU_BTB_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "trace/inst.h"
+#include "util/types.h"
+
+namespace fdip
+{
+
+/** BTB sizing and policy. */
+struct BtbConfig
+{
+    unsigned numEntries = 8192; ///< Total entries (paper default 8K).
+    unsigned ways = 4;
+    /** Allocate entries only for taken branches (THR-style). When
+     *  false, not-taken conditional branches are allocated too. */
+    bool allocateTakenOnly = true;
+    /** Modeled bytes per entry (paper: ~7B per branch, Section VI-D). */
+    unsigned bytesPerEntry = 7;
+};
+
+/** A BTB hit. */
+struct BtbHit
+{
+    InstClass kind = InstClass::kCondDirect;
+    Addr target = kNoAddr; ///< Stale for indirects; ITTAGE overrides.
+};
+
+/**
+ * Set-associative, 16B-indexed BTB.
+ */
+class Btb
+{
+  public:
+    explicit Btb(const BtbConfig &cfg);
+
+    /** Looks up the branch at @p pc, updating LRU on hit. */
+    std::optional<BtbHit> lookup(Addr pc);
+
+    /** Looks up without disturbing the replacement state. */
+    std::optional<BtbHit> peek(Addr pc) const;
+
+    /**
+     * Inserts or updates the branch at @p pc. @p taken is the resolved
+     * direction (allocation may be skipped under taken-only policy);
+     * existing entries always have their target refreshed.
+     */
+    void insert(Addr pc, InstClass kind, Addr target, bool taken);
+
+    /** Removes the entry for @p pc if present (testing/invalidation). */
+    void invalidate(Addr pc);
+
+    const BtbConfig &config() const { return cfg_; }
+
+    /** The set the branch at @p pc maps to (16B-indexed; for tests). */
+    std::uint32_t setIndexOf(Addr pc) const { return setOf(pc); }
+
+    unsigned numSets() const { return numSets_; }
+
+    /** Modeled storage in bytes. */
+    std::uint64_t storageBytes() const
+    {
+        return std::uint64_t{cfg_.numEntries} * cfg_.bytesPerEntry;
+    }
+
+    /// @{ Statistics.
+    std::uint64_t lookups() const { return lookups_; }
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t allocations() const { return allocations_; }
+    std::uint64_t evictions() const { return evictions_; }
+    /// @}
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        Addr pc = kNoAddr;
+        InstClass kind = InstClass::kCondDirect;
+        Addr target = kNoAddr;
+        std::uint64_t lru = 0;
+    };
+
+    std::uint32_t setOf(Addr pc) const;
+    Entry *find(Addr pc);
+    const Entry *find(Addr pc) const;
+
+    BtbConfig cfg_;
+    unsigned numSets_;
+    std::vector<Entry> entries_; ///< sets x ways, row-major.
+    std::uint64_t lruClock_ = 0;
+
+    std::uint64_t lookups_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t allocations_ = 0;
+    std::uint64_t evictions_ = 0;
+};
+
+} // namespace fdip
+
+#endif // FDIP_BPU_BTB_H_

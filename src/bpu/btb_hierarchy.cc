@@ -1,0 +1,53 @@
+#include "bpu/btb_hierarchy.h"
+
+namespace fdip
+{
+
+namespace
+{
+
+BtbConfig
+l1Config(const BtbHierarchyConfig &cfg)
+{
+    BtbConfig c;
+    c.numEntries = cfg.l1Entries;
+    c.ways = cfg.l1Ways;
+    // The L1 filter mirrors the main BTB's allocation policy decisions
+    // implicitly: entries only arrive via promotion or insert().
+    c.allocateTakenOnly = false;
+    return c;
+}
+
+} // namespace
+
+BtbHierarchy::BtbHierarchy(const BtbHierarchyConfig &cfg, Btb &main_btb)
+    : cfg_(cfg), l1_(l1Config(cfg)), main_(main_btb)
+{
+}
+
+std::optional<BtbLevelHit>
+BtbHierarchy::lookup(Addr pc)
+{
+    if (const auto h1 = l1_.lookup(pc); h1.has_value()) {
+        ++l1Hits_;
+        // Keep the main BTB's LRU warm too (it is inclusive-ish).
+        main_.lookup(pc);
+        return BtbLevelHit{*h1, false};
+    }
+    if (const auto h2 = main_.lookup(pc); h2.has_value()) {
+        ++l2Promotions_;
+        l1_.insert(pc, h2->kind, h2->target, true);
+        return BtbLevelHit{*h2, true};
+    }
+    return std::nullopt;
+}
+
+void
+BtbHierarchy::insert(Addr pc, InstClass kind, Addr target, bool taken)
+{
+    main_.insert(pc, kind, target, taken);
+    if (taken || !main_.config().allocateTakenOnly)
+        l1_.insert(pc, kind, target, taken);
+}
+
+} // namespace fdip

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * A two-level BTB hierarchy (paper Section II-A: "similar to the
+ * multi-level cache hierarchy, the multi-level BTB hierarchy can be
+ * implemented [25]-[28]").
+ *
+ * A small L1 BTB answers in the base prediction latency; on an L1 miss
+ * that hits the large L2 BTB, the prediction pipeline takes an extra
+ * bubble (the re-steer is late by l2ExtraLatency cycles) and the entry
+ * is promoted into the L1. This is an optional extension over the
+ * paper's single-level evaluation — see bench_ablation_btb_levels.
+ */
+
+#ifndef FDIP_BPU_BTB_HIERARCHY_H_
+#define FDIP_BPU_BTB_HIERARCHY_H_
+
+#include <optional>
+
+#include "bpu/btb.h"
+
+namespace fdip
+{
+
+/** Two-level BTB configuration. */
+struct BtbHierarchyConfig
+{
+    bool enabled = false;        ///< Off: single-level main BTB only.
+    unsigned l1Entries = 1024;   ///< Small zero-bubble L1 BTB.
+    unsigned l1Ways = 4;
+    unsigned l2ExtraLatency = 2; ///< Bubble on L1-miss/L2-hit takens.
+};
+
+/** Result of a hierarchical lookup. */
+struct BtbLevelHit
+{
+    BtbHit hit;
+    bool fromL2 = false; ///< True: pay the L2 re-steer bubble.
+};
+
+/**
+ * The L1 BTB sitting in front of a main (L2) BTB. The main BTB is
+ * owned elsewhere (the Bpu); this class owns only the L1 filter.
+ */
+class BtbHierarchy
+{
+  public:
+    BtbHierarchy(const BtbHierarchyConfig &cfg, Btb &main_btb);
+
+    /** Hierarchical lookup with L1 promotion on L2 hits. */
+    std::optional<BtbLevelHit> lookup(Addr pc);
+
+    /** Insert into both levels (resolved-branch training path). */
+    void insert(Addr pc, InstClass kind, Addr target, bool taken);
+
+    const BtbHierarchyConfig &config() const { return cfg_; }
+
+    /// @{ Statistics.
+    std::uint64_t l1Hits() const { return l1Hits_; }
+    std::uint64_t l2Promotions() const { return l2Promotions_; }
+    /// @}
+
+  private:
+    BtbHierarchyConfig cfg_;
+    Btb l1_;
+    Btb &main_;
+    std::uint64_t l1Hits_ = 0;
+    std::uint64_t l2Promotions_ = 0;
+};
+
+} // namespace fdip
+
+#endif // FDIP_BPU_BTB_HIERARCHY_H_

@@ -1,0 +1,43 @@
+#include "bpu/gshare.h"
+
+#include "util/bits.h"
+
+namespace fdip
+{
+
+Gshare::Gshare(unsigned log_entries, unsigned history_bits)
+    : logEntries_(log_entries),
+      historyBits_(history_bits),
+      table_(std::size_t{1} << log_entries, SatCounter(2, 1))
+{
+}
+
+std::uint32_t
+Gshare::indexOf(Addr pc) const
+{
+    const std::uint64_t h =
+        (pc >> 2) ^ (pc >> (2 + logEntries_)) ^
+        (history_ & mask(historyBits_));
+    return static_cast<std::uint32_t>(h & mask(logEntries_));
+}
+
+bool
+Gshare::predict(Addr pc) const
+{
+    return table_[indexOf(pc)].taken();
+}
+
+void
+Gshare::update(Addr pc, bool taken)
+{
+    table_[indexOf(pc)].update(taken);
+    history_ = (history_ << 1) | (taken ? 1 : 0);
+}
+
+std::uint64_t
+Gshare::storageBits() const
+{
+    return (std::uint64_t{1} << logEntries_) * 2;
+}
+
+} // namespace fdip

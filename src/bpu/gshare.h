@@ -1,0 +1,53 @@
+/**
+ * @file
+ * A gshare direction predictor with its own idealized direction history,
+ * matching the paper's Fig. 12 configuration ("Gshare (8KB) with a
+ * 15-bit idealized branch direction history").
+ */
+
+#ifndef FDIP_BPU_GSHARE_H_
+#define FDIP_BPU_GSHARE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/sat_counter.h"
+#include "util/types.h"
+
+namespace fdip
+{
+
+/**
+ * Gshare: a 2-bit-counter table indexed by PC xor global direction
+ * history. The history register is maintained with resolved outcomes
+ * (idealized, as in the paper), so it is immune to the frontend's
+ * history-management policy.
+ */
+class Gshare
+{
+  public:
+    /** @param log_entries log2 table entries (15 -> 32K x 2b = 8KB).
+     *  @param history_bits direction history length. */
+    explicit Gshare(unsigned log_entries = 15, unsigned history_bits = 15);
+
+    /** Predicts the direction of the branch at @p pc. */
+    bool predict(Addr pc) const;
+
+    /** Trains with the resolved direction and advances the history. */
+    void update(Addr pc, bool taken);
+
+    /** Modeled storage in bits. */
+    std::uint64_t storageBits() const;
+
+  private:
+    std::uint32_t indexOf(Addr pc) const;
+
+    unsigned logEntries_;
+    unsigned historyBits_;
+    std::uint64_t history_ = 0;
+    std::vector<SatCounter> table_;
+};
+
+} // namespace fdip
+
+#endif // FDIP_BPU_GSHARE_H_

@@ -1,0 +1,107 @@
+#include "bpu/history.h"
+
+#include "util/bits.h"
+#include "util/log.h"
+
+namespace fdip
+{
+
+const char *
+historyPolicyName(HistoryPolicy p)
+{
+    switch (p) {
+      case HistoryPolicy::kTargetHistory: return "THR";
+      case HistoryPolicy::kDirectionHistory: return "GHR";
+      case HistoryPolicy::kIdealDirectionHistory: return "Ideal";
+    }
+    return "?";
+}
+
+BranchHistory::BranchHistory(HistoryPolicy policy, unsigned bits_per_event)
+    : policy_(policy), bitsPerEvent_(bits_per_event)
+{
+    if (bitsPerEvent_ == 0) {
+        bitsPerEvent_ =
+            policy_ == HistoryPolicy::kTargetHistory ? 2 : 1;
+    }
+    if (bitsPerEvent_ > 8)
+        fdip_fatal("bits per history event must be <= 8");
+}
+
+unsigned
+BranchHistory::registerFold(unsigned length_bits, unsigned folded_bits)
+{
+    if (folds_.size() >= HistorySnapshot::kMaxFolds)
+        fdip_fatal("too many folded history views (max %zu)",
+                   HistorySnapshot::kMaxFolds);
+    if (length_bits + 512 > kRingWords * 64)
+        fdip_fatal("history length %u exceeds ring capacity", length_bits);
+    FoldedHistory f;
+    f.origLen = length_bits;
+    f.compLen = folded_bits;
+    folds_.push_back(f);
+    return static_cast<unsigned>(folds_.size() - 1);
+}
+
+void
+BranchHistory::pushBit(unsigned bit)
+{
+    const std::uint64_t word = (headPos_ / 64) % kRingWords;
+    const unsigned off = headPos_ % 64;
+    ring_[word] = (ring_[word] & ~(std::uint64_t{1} << off)) |
+                  (static_cast<std::uint64_t>(bit) << off);
+    // Update folded views before advancing: the bit leaving each window
+    // is the one origLen positions behind the new head.
+    for (auto &f : folds_) {
+        const unsigned out_bit =
+            headPos_ >= f.origLen ? bitAt(headPos_ - f.origLen) : 0;
+        f.update(bit, out_bit);
+    }
+    recentBits_ = (recentBits_ << 1) | bit;
+    ++headPos_;
+}
+
+void
+BranchHistory::pushBranch(Addr pc, Addr target, bool taken)
+{
+    ++numEvents_;
+    if (policy_ == HistoryPolicy::kTargetHistory) {
+        if (!taken)
+            return; // Taken-only target history ignores not-taken.
+        // Eq. (2): hash PC and target; push bitsPerEvent_ bits of it.
+        const std::uint64_t h = mix64((pc >> 2) ^ (target >> 1));
+        for (unsigned i = 0; i < bitsPerEvent_; ++i)
+            pushBit((h >> i) & 1);
+    } else {
+        pushBit(taken ? 1 : 0);
+    }
+}
+
+HistorySnapshot
+BranchHistory::snapshot() const
+{
+    HistorySnapshot s;
+    s.headPos = headPos_;
+    s.recentBits = recentBits_;
+    s.numFolds = static_cast<std::uint8_t>(folds_.size());
+    for (std::size_t i = 0; i < folds_.size(); ++i)
+        s.folds[i] = folds_[i].comp;
+    return s;
+}
+
+void
+BranchHistory::restore(const HistorySnapshot &snap)
+{
+    if (snap.numFolds != folds_.size())
+        fdip_panic("history snapshot fold count mismatch");
+    if (headPos_ - snap.headPos > (kRingWords * 64) / 2) {
+        fdip_panic("history snapshot too old to restore (%llu bits behind)",
+                   static_cast<unsigned long long>(headPos_ - snap.headPos));
+    }
+    headPos_ = snap.headPos;
+    recentBits_ = snap.recentBits;
+    for (std::size_t i = 0; i < folds_.size(); ++i)
+        folds_[i].comp = snap.folds[i];
+}
+
+} // namespace fdip

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * An ITTAGE indirect branch target predictor (Seznec, CBP-3 style),
+ * sharing the frontend BranchHistory like TAGE.
+ */
+
+#ifndef FDIP_BPU_ITTAGE_H_
+#define FDIP_BPU_ITTAGE_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "bpu/history.h"
+#include "util/rng.h"
+#include "util/sat_counter.h"
+#include "util/types.h"
+
+namespace fdip
+{
+
+/** ITTAGE sizing parameters. */
+struct IttageConfig
+{
+    unsigned numTables = 6;
+    unsigned minHistory = 4;    ///< Events.
+    unsigned maxHistory = 260;  ///< Events (paper: 260-bit like TAGE).
+    unsigned logEntries = 9;    ///< log2 entries per tagged table.
+    unsigned tagBits = 9;
+    unsigned logBaseEntries = 11; ///< Last-target base table.
+};
+
+/** Prediction metadata threaded to the update. */
+struct IttagePrediction
+{
+    static constexpr unsigned kMaxTables = 8;
+
+    Addr target = kNoAddr;     ///< Final predicted target.
+    int provider = -1;         ///< -1 = base table.
+    bool providerConfident = false;
+    std::uint32_t baseIndex = 0;
+    std::array<std::uint32_t, kMaxTables> indices{};
+    std::array<std::uint32_t, kMaxTables> tags{};
+};
+
+/**
+ * The ITTAGE predictor.
+ */
+class Ittage
+{
+  public:
+    Ittage(const IttageConfig &cfg, BranchHistory &hist);
+
+    /**
+     * Predicts the target of the indirect branch at @p pc. Returns
+     * kNoAddr if no component has any target yet.
+     */
+    Addr predict(Addr pc, IttagePrediction &meta) const;
+
+    /** Trains with the resolved @p target. */
+    void update(Addr pc, Addr target, const IttagePrediction &meta);
+
+    /** Modeled storage in bits. */
+    std::uint64_t storageBits() const;
+
+  private:
+    struct Entry
+    {
+        std::uint16_t tag = 0;
+        bool valid = false;
+        Addr target = kNoAddr;
+        SatCounter conf;
+        SatCounter useful;
+
+        Entry() : conf(2, 0), useful(1, 0) {}
+    };
+
+    std::uint32_t tableIndex(Addr pc, unsigned t) const;
+    std::uint16_t tableTag(Addr pc, unsigned t) const;
+
+    IttageConfig cfg_;
+    BranchHistory &hist_;
+    std::vector<unsigned> histLens_;
+    std::vector<unsigned> idxFold_;
+    std::vector<unsigned> tagFoldA_;
+    std::vector<unsigned> tagFoldB_;
+    std::vector<std::vector<Entry>> tables_;
+    std::vector<Addr> base_; ///< Last-target table.
+    Rng rng_;
+};
+
+} // namespace fdip
+
+#endif // FDIP_BPU_ITTAGE_H_

@@ -1,0 +1,114 @@
+#include "bpu/loop_predictor.h"
+
+#include "util/bits.h"
+
+namespace fdip
+{
+
+LoopPredictor::LoopPredictor(const LoopPredictorConfig &cfg)
+    : cfg_(cfg),
+      entries_(std::size_t{cfg.ways} << cfg.logEntries)
+{
+}
+
+std::uint32_t
+LoopPredictor::indexOf(Addr pc) const
+{
+    const std::uint64_t h = (pc >> 2) ^ (pc >> (2 + cfg_.logEntries));
+    return static_cast<std::uint32_t>(h & mask(cfg_.logEntries));
+}
+
+std::uint16_t
+LoopPredictor::tagOf(Addr pc) const
+{
+    return static_cast<std::uint16_t>((pc >> (2 + cfg_.logEntries)) &
+                                      mask(12));
+}
+
+const LoopPredictor::Entry *
+LoopPredictor::find(Addr pc) const
+{
+    const Entry *row = &entries_[std::size_t{indexOf(pc)} * cfg_.ways];
+    for (unsigned w = 0; w < cfg_.ways; ++w) {
+        if (row[w].valid && row[w].tag == tagOf(pc))
+            return &row[w];
+    }
+    return nullptr;
+}
+
+LoopPredictor::Entry *
+LoopPredictor::find(Addr pc)
+{
+    return const_cast<Entry *>(
+        static_cast<const LoopPredictor *>(this)->find(pc));
+}
+
+LoopPrediction
+LoopPredictor::predict(Addr pc) const
+{
+    LoopPrediction p;
+    const Entry *e = find(pc);
+    if (e == nullptr || e->confidence < cfg_.confidenceMax ||
+        e->tripCount == 0) {
+        return p;
+    }
+    p.valid = true;
+    // Taken until the iteration count reaches the confirmed trip.
+    p.taken = e->currentCount + 1 < e->tripCount;
+    return p;
+}
+
+void
+LoopPredictor::update(Addr pc, bool taken)
+{
+    Entry *e = find(pc);
+    if (e == nullptr) {
+        // Allocate only when a loop exit (not-taken after takens) is
+        // plausible; allocating on every branch would thrash.
+        if (taken)
+            return;
+        Entry *row = &entries_[std::size_t{indexOf(pc)} * cfg_.ways];
+        Entry *victim = &row[0];
+        for (unsigned w = 0; w < cfg_.ways; ++w) {
+            if (!row[w].valid) {
+                victim = &row[w];
+                break;
+            }
+            if (row[w].lru < victim->lru)
+                victim = &row[w];
+        }
+        *victim = Entry{};
+        victim->valid = true;
+        victim->tag = tagOf(pc);
+        victim->lru = ++lruClock_;
+        return;
+    }
+
+    e->lru = ++lruClock_;
+    if (taken) {
+        if (e->currentCount < cfg_.maxTrip)
+            ++e->currentCount;
+        return;
+    }
+
+    // Loop exit: the streak (+1 for this execution) is the trip count.
+    const std::uint16_t trip =
+        static_cast<std::uint16_t>(e->currentCount + 1);
+    if (trip == e->tripCount) {
+        if (e->confidence < cfg_.confidenceMax)
+            ++e->confidence;
+    } else {
+        e->tripCount = trip;
+        e->confidence = e->confidence > 0 ? 1 : 0;
+    }
+    e->currentCount = 0;
+}
+
+std::uint64_t
+LoopPredictor::storageBits() const
+{
+    // valid + 12b tag + 2x12b counters + 2b confidence.
+    return entries_.size() * (1 + 12 + 24 + 2);
+}
+
+} // namespace fdip

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * A loop termination predictor (paper Section II-A mentions loop
+ * predictors as a standard modern-BPU component). Tracks per-branch
+ * trip counts; once a stable count is confirmed, it overrides the
+ * direction predictor on the final iteration — the one TAGE most often
+ * gets wrong for long loops.
+ */
+
+#ifndef FDIP_BPU_LOOP_PREDICTOR_H_
+#define FDIP_BPU_LOOP_PREDICTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.h"
+
+namespace fdip
+{
+
+/** Loop predictor sizing. */
+struct LoopPredictorConfig
+{
+    unsigned logEntries = 8;    ///< 256 entries.
+    unsigned ways = 4;
+    unsigned confidenceMax = 3; ///< Confirmations before overriding.
+    unsigned maxTrip = 4095;    ///< 12-bit trip counters.
+};
+
+/** A loop prediction: valid only when the predictor is confident. */
+struct LoopPrediction
+{
+    bool valid = false; ///< Confident hit: use `taken`.
+    bool taken = true;
+    std::uint32_t way = 0; ///< Metadata for update().
+    std::uint32_t index = 0;
+};
+
+/**
+ * The loop predictor.
+ */
+class LoopPredictor
+{
+  public:
+    explicit LoopPredictor(const LoopPredictorConfig &cfg);
+
+    /** Predicts the branch at @p pc (speculative iteration counting
+     *  is intentionally not modeled; predictions read trained state). */
+    LoopPrediction predict(Addr pc) const;
+
+    /** Trains with the resolved direction. */
+    void update(Addr pc, bool taken);
+
+    /** Modeled storage in bits. */
+    std::uint64_t storageBits() const;
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        std::uint16_t tag = 0;
+        std::uint16_t tripCount = 0;    ///< Confirmed taken-run length.
+        std::uint16_t currentCount = 0; ///< Taken streak in progress.
+        std::uint8_t confidence = 0;
+        std::uint64_t lru = 0;
+    };
+
+    std::uint32_t indexOf(Addr pc) const;
+    std::uint16_t tagOf(Addr pc) const;
+    const Entry *find(Addr pc) const;
+    Entry *find(Addr pc);
+
+    LoopPredictorConfig cfg_;
+    std::vector<Entry> entries_;
+    std::uint64_t lruClock_ = 0;
+};
+
+} // namespace fdip
+
+#endif // FDIP_BPU_LOOP_PREDICTOR_H_

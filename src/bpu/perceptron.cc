@@ -1,0 +1,76 @@
+#include "bpu/perceptron.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "util/bits.h"
+
+namespace fdip
+{
+
+Perceptron::Perceptron(const PerceptronConfig &cfg)
+    : cfg_(cfg),
+      // Optimal threshold from the perceptron paper: 1.93h + 14.
+      threshold_(static_cast<int>(1.93 * cfg.historyBits + 14)),
+      weightMax_((1 << (cfg.weightBits - 1)) - 1),
+      weights_((std::size_t{1} << cfg.logEntries) *
+                   (cfg.historyBits + 1),
+               0)
+{
+}
+
+std::uint32_t
+Perceptron::rowOf(Addr pc) const
+{
+    const std::uint64_t h = (pc >> 2) ^ (pc >> (2 + cfg_.logEntries));
+    return static_cast<std::uint32_t>(h & mask(cfg_.logEntries));
+}
+
+int
+Perceptron::dot(Addr pc) const
+{
+    const std::int16_t *w =
+        &weights_[std::size_t{rowOf(pc)} * (cfg_.historyBits + 1)];
+    int sum = w[0]; // Bias.
+    for (unsigned i = 0; i < cfg_.historyBits; ++i) {
+        const bool bit = (history_ >> i) & 1;
+        sum += bit ? w[i + 1] : -w[i + 1];
+    }
+    return sum;
+}
+
+bool
+Perceptron::predict(Addr pc) const
+{
+    return dot(pc) >= 0;
+}
+
+void
+Perceptron::update(Addr pc, bool taken)
+{
+    const int sum = dot(pc);
+    const bool pred = sum >= 0;
+    if (pred != taken || std::abs(sum) <= threshold_) {
+        std::int16_t *w =
+            &weights_[std::size_t{rowOf(pc)} * (cfg_.historyBits + 1)];
+        const auto adjust = [this](std::int16_t &weight, bool up) {
+            const int v = weight + (up ? 1 : -1);
+            if (v <= weightMax_ && v >= -weightMax_ - 1)
+                weight = static_cast<std::int16_t>(v);
+        };
+        adjust(w[0], taken);
+        for (unsigned i = 0; i < cfg_.historyBits; ++i) {
+            const bool bit = (history_ >> i) & 1;
+            adjust(w[i + 1], bit == taken);
+        }
+    }
+    history_ = (history_ << 1) | (taken ? 1 : 0);
+}
+
+std::uint64_t
+Perceptron::storageBits() const
+{
+    return weights_.size() * cfg_.weightBits;
+}
+
+} // namespace fdip

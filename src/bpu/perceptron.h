@@ -1,0 +1,58 @@
+/**
+ * @file
+ * A perceptron direction predictor (Jiménez & Lin, HPCA 2001; the
+ * paper's reference [22]) as an additional academic baseline beside
+ * gshare and TAGE. Like gshare, it keeps its own idealized direction
+ * history so it is insulated from the frontend history policy.
+ */
+
+#ifndef FDIP_BPU_PERCEPTRON_H_
+#define FDIP_BPU_PERCEPTRON_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.h"
+
+namespace fdip
+{
+
+/** Perceptron sizing. */
+struct PerceptronConfig
+{
+    unsigned logEntries = 10;  ///< 1K perceptrons.
+    unsigned historyBits = 32; ///< Weights per perceptron (+bias).
+    int weightBits = 8;        ///< Weight width (clamped training).
+};
+
+/**
+ * The perceptron predictor.
+ */
+class Perceptron
+{
+  public:
+    explicit Perceptron(const PerceptronConfig &cfg = PerceptronConfig());
+
+    /** Predicts the direction of the branch at @p pc. */
+    bool predict(Addr pc) const;
+
+    /** Trains with the resolved direction and shifts the history. */
+    void update(Addr pc, bool taken);
+
+    /** Modeled storage in bits. */
+    std::uint64_t storageBits() const;
+
+  private:
+    std::uint32_t rowOf(Addr pc) const;
+    int dot(Addr pc) const;
+
+    PerceptronConfig cfg_;
+    int threshold_;
+    int weightMax_;
+    std::vector<std::int16_t> weights_; ///< rows x (historyBits + 1).
+    std::uint64_t history_ = 0;
+};
+
+} // namespace fdip
+
+#endif // FDIP_BPU_PERCEPTRON_H_

@@ -1,0 +1,62 @@
+#include "bpu/ras.h"
+
+namespace fdip
+{
+
+Ras::Ras(unsigned depth)
+    : stack_(depth, kNoAddr)
+{
+}
+
+void
+Ras::push(Addr return_addr)
+{
+    topIndex_ = (topIndex_ + 1) % stack_.size();
+    stack_[topIndex_] = return_addr;
+}
+
+Addr
+Ras::pop()
+{
+    const Addr v = stack_[topIndex_];
+    topIndex_ = (topIndex_ + static_cast<std::uint32_t>(stack_.size()) - 1) %
+                stack_.size();
+    return v;
+}
+
+Addr
+Ras::top() const
+{
+    return stack_[topIndex_];
+}
+
+RasSnapshot
+Ras::snapshot() const
+{
+    return RasSnapshot{topIndex_, stack_[topIndex_]};
+}
+
+RasSnapshot
+Ras::snapshotAfterPush(Addr return_addr) const
+{
+    const auto idx =
+        static_cast<std::uint32_t>((topIndex_ + 1) % stack_.size());
+    return RasSnapshot{idx, return_addr};
+}
+
+RasSnapshot
+Ras::snapshotAfterPop() const
+{
+    const auto idx = static_cast<std::uint32_t>(
+        (topIndex_ + stack_.size() - 1) % stack_.size());
+    return RasSnapshot{idx, stack_[idx]};
+}
+
+void
+Ras::restore(const RasSnapshot &snap)
+{
+    topIndex_ = snap.topIndex;
+    stack_[topIndex_] = snap.topValue;
+}
+
+} // namespace fdip

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Return Address Stack with pointer/top checkpoint recovery.
+ *
+ * The speculative RAS is updated by the prediction pipeline; on a
+ * flush the frontend restores the (pointer, top-entry) pair captured
+ * with the redirecting instruction — the standard low-cost recovery
+ * scheme. Deep wrong-path call/return weaves can still corrupt deeper
+ * entries, which is faithful to real hardware.
+ */
+
+#ifndef FDIP_BPU_RAS_H_
+#define FDIP_BPU_RAS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.h"
+
+namespace fdip
+{
+
+/** Checkpoint of the RAS recovery state. */
+struct RasSnapshot
+{
+    std::uint32_t topIndex = 0;
+    Addr topValue = kNoAddr;
+};
+
+/**
+ * A circular return address stack.
+ */
+class Ras
+{
+  public:
+    explicit Ras(unsigned depth = 32);
+
+    /** Pushes a return address (on predicted calls). */
+    void push(Addr return_addr);
+
+    /** Pops and returns the predicted return target. */
+    Addr pop();
+
+    /** The value a return would pop, without popping. */
+    Addr top() const;
+
+    /** Captures the recovery state. */
+    RasSnapshot snapshot() const;
+
+    /** The recovery state this RAS would have after push(@p addr),
+     *  without mutating. */
+    RasSnapshot snapshotAfterPush(Addr return_addr) const;
+
+    /** The recovery state this RAS would have after pop(), without
+     *  mutating. */
+    RasSnapshot snapshotAfterPop() const;
+
+    /** Restores pointer and top entry from @p snap. */
+    void restore(const RasSnapshot &snap);
+
+    unsigned depth() const
+    {
+        return static_cast<unsigned>(stack_.size());
+    }
+
+  private:
+    std::vector<Addr> stack_;
+    std::uint32_t topIndex_ = 0; ///< Index of the current top entry.
+};
+
+} // namespace fdip
+
+#endif // FDIP_BPU_RAS_H_

@@ -1,0 +1,208 @@
+#include "bpu/tage.h"
+
+#include <cmath>
+
+#include "util/bits.h"
+#include "util/log.h"
+
+namespace fdip
+{
+
+TageConfig
+TageConfig::sized(unsigned kilobytes)
+{
+    TageConfig cfg;
+    switch (kilobytes) {
+      case 9:
+        cfg.logEntries = 9;
+        cfg.logBaseEntries = 12;
+        break;
+      case 18:
+        cfg.logEntries = 10;
+        cfg.logBaseEntries = 13;
+        break;
+      case 36:
+        cfg.logEntries = 11;
+        cfg.logBaseEntries = 14;
+        break;
+      default:
+        fdip_fatal("unsupported TAGE size %u KB (use 9/18/36)", kilobytes);
+    }
+    return cfg;
+}
+
+Tage::Tage(const TageConfig &cfg, BranchHistory &hist)
+    : cfg_(cfg),
+      hist_(hist),
+      useAltOnNa_(4, 0),
+      rng_(0x7467652d726e67ULL) // Fixed seed: deterministic allocation.
+{
+    if (cfg_.numTables > TagePrediction::kMaxTables)
+        fdip_fatal("TAGE numTables %u exceeds metadata capacity",
+                   cfg_.numTables);
+
+    // Geometric history lengths between minHistory and maxHistory.
+    const double ratio =
+        std::pow(static_cast<double>(cfg_.maxHistory) / cfg_.minHistory,
+                 1.0 / (cfg_.numTables - 1));
+    histLens_.resize(cfg_.numTables);
+    double len = cfg_.minHistory;
+    for (unsigned t = 0; t < cfg_.numTables; ++t) {
+        histLens_[t] = std::max<unsigned>(
+            static_cast<unsigned>(len + 0.5),
+            t == 0 ? cfg_.minHistory : histLens_[t - 1] + 1);
+        len *= ratio;
+    }
+
+    const unsigned bits_per_event = hist_.bitsPerEvent();
+    for (unsigned t = 0; t < cfg_.numTables; ++t) {
+        const unsigned hist_bits = histLens_[t] * bits_per_event;
+        idxFold_.push_back(
+            hist_.registerFold(hist_bits, cfg_.logEntries));
+        tagFoldA_.push_back(hist_.registerFold(hist_bits, cfg_.tagBits));
+        tagFoldB_.push_back(
+            hist_.registerFold(hist_bits, cfg_.tagBits - 1));
+    }
+
+    tables_.assign(cfg_.numTables,
+                   std::vector<Entry>(std::size_t{1} << cfg_.logEntries));
+    base_.assign(std::size_t{1} << cfg_.logBaseEntries, SatCounter(2, 1));
+}
+
+std::uint32_t
+Tage::tableIndex(Addr pc, unsigned t) const
+{
+    const std::uint64_t h = (pc >> 2) ^ (pc >> (2 + cfg_.logEntries)) ^
+                            hist_.folded(idxFold_[t]) ^
+                            (static_cast<std::uint64_t>(t) << 3);
+    return static_cast<std::uint32_t>(h & mask(cfg_.logEntries));
+}
+
+std::uint16_t
+Tage::tableTag(Addr pc, unsigned t) const
+{
+    const std::uint64_t h = (pc >> 2) ^ hist_.folded(tagFoldA_[t]) ^
+                            (hist_.folded(tagFoldB_[t]) << 1);
+    return static_cast<std::uint16_t>(h & mask(cfg_.tagBits));
+}
+
+bool
+Tage::predict(Addr pc, TagePrediction &meta) const
+{
+    meta = TagePrediction{};
+    meta.baseIndex = static_cast<std::uint32_t>(
+        ((pc >> 2) ^ (pc >> (2 + cfg_.logBaseEntries))) &
+        mask(cfg_.logBaseEntries));
+    const bool base_pred = base_[meta.baseIndex].taken();
+
+    // Find the two longest-history matching tables.
+    int provider = -1;
+    int alt = -1;
+    for (unsigned t = 0; t < cfg_.numTables; ++t) {
+        meta.indices[t] = tableIndex(pc, t);
+        meta.tags[t] = tableTag(pc, t);
+        if (tables_[t][meta.indices[t]].tag == meta.tags[t]) {
+            alt = provider;
+            provider = static_cast<int>(t);
+        }
+    }
+
+    meta.provider = provider;
+    meta.altProvider = alt;
+    meta.altPred = alt >= 0
+                       ? tables_[alt][meta.indices[alt]].ctr.taken()
+                       : base_pred;
+    if (provider >= 0) {
+        const Entry &e = tables_[provider][meta.indices[provider]];
+        meta.providerPred = e.ctr.taken();
+        meta.providerWeak = e.ctr.weak();
+        // Newly-allocated (weak ctr, low usefulness) entries may be less
+        // reliable than the alternate prediction.
+        const bool newly_allocated = e.ctr.weak() && e.useful.value() == 0;
+        if (newly_allocated && useAltOnNa_.taken()) {
+            meta.usedAlt = true;
+            meta.taken = meta.altPred;
+        } else {
+            meta.taken = meta.providerPred;
+        }
+    } else {
+        meta.providerPred = base_pred;
+        meta.taken = base_pred;
+    }
+    return meta.taken;
+}
+
+void
+Tage::update(Addr pc, bool taken, const TagePrediction &meta)
+{
+    (void)pc;
+    const bool mispredicted = meta.taken != taken;
+
+    if (meta.provider >= 0) {
+        Entry &e = tables_[meta.provider][meta.indices[meta.provider]];
+
+        // useAltOnNa bookkeeping: when the provider was newly allocated
+        // and provider/alt disagree, learn which one to trust.
+        const bool newly_allocated = e.ctr.weak() && e.useful.value() == 0;
+        if (newly_allocated && meta.providerPred != meta.altPred)
+            useAltOnNa_.update(meta.altPred == taken);
+
+        e.ctr.update(taken);
+        // Usefulness: provider was right where the alternate was wrong.
+        if (meta.providerPred != meta.altPred) {
+            if (meta.providerPred == taken)
+                e.useful.increment();
+            else
+                e.useful.decrement();
+        }
+    } else {
+        base_[meta.baseIndex].update(taken);
+    }
+
+    // Allocate a new entry on a misprediction, in a table with longer
+    // history than the provider.
+    if (mispredicted &&
+        meta.provider < static_cast<int>(cfg_.numTables) - 1) {
+        const unsigned start = static_cast<unsigned>(meta.provider + 1);
+        // Randomized start avoids ping-pong allocation (Seznec).
+        unsigned first = start;
+        if (start + 1 < cfg_.numTables && (rng_.next() & 1))
+            first = start + 1;
+
+        bool allocated = false;
+        for (unsigned t = first; t < cfg_.numTables; ++t) {
+            Entry &e = tables_[t][meta.indices[t]];
+            if (e.useful.value() == 0) {
+                e.tag = static_cast<std::uint16_t>(meta.tags[t]);
+                e.ctr.reset(taken);
+                allocated = true;
+                break;
+            }
+        }
+        if (!allocated) {
+            // All candidates useful: age them so future allocations win.
+            for (unsigned t = start; t < cfg_.numTables; ++t)
+                tables_[t][meta.indices[t]].useful.decrement();
+        }
+
+        // Periodic graceful reset of usefulness counters.
+        if (++allocCount_ >= cfg_.usefulResetPeriod) {
+            allocCount_ = 0;
+            for (auto &table : tables_)
+                for (auto &e : table)
+                    e.useful.set(e.useful.value() >> 1);
+        }
+    }
+}
+
+std::uint64_t
+Tage::storageBits() const
+{
+    const std::uint64_t entry_bits =
+        cfg_.counterBits + cfg_.tagBits + cfg_.usefulBits;
+    return cfg_.numTables * (std::uint64_t{1} << cfg_.logEntries) *
+               entry_bits +
+           (std::uint64_t{1} << cfg_.logBaseEntries) * 2;
+}
+
+} // namespace fdip

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * A TAGE conditional branch direction predictor (Seznec), operating on
+ * the shared BranchHistory (so the history-management policies of the
+ * paper directly affect its accuracy).
+ */
+
+#ifndef FDIP_BPU_TAGE_H_
+#define FDIP_BPU_TAGE_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "bpu/history.h"
+#include "util/rng.h"
+#include "util/sat_counter.h"
+#include "util/types.h"
+
+namespace fdip
+{
+
+/** TAGE sizing parameters. */
+struct TageConfig
+{
+    unsigned numTables = 12;     ///< Tagged tables.
+    unsigned minHistory = 4;     ///< Shortest history (events).
+    unsigned maxHistory = 260;   ///< Longest history (events), paper V.
+    unsigned logEntries = 10;    ///< log2 entries per tagged table.
+    unsigned tagBits = 10;       ///< Partial tag width.
+    unsigned counterBits = 3;    ///< Prediction counter width.
+    unsigned usefulBits = 2;     ///< Usefulness counter width.
+    unsigned logBaseEntries = 13; ///< log2 bimodal entries.
+    std::uint32_t usefulResetPeriod = 1 << 18; ///< Allocations per u-reset.
+
+    /** Paper-named variants (Fig. 12): 9KB, 18KB (baseline), 36KB. */
+    static TageConfig sized(unsigned kilobytes);
+};
+
+/**
+ * Prediction metadata threaded from predict() to update() so training
+ * uses exactly the indices/tags computed at prediction time.
+ */
+struct TagePrediction
+{
+    static constexpr unsigned kMaxTables = 16;
+
+    bool taken = false;         ///< Final prediction.
+    bool providerPred = false;  ///< Prediction of the provider component.
+    bool altPred = false;       ///< Alternate (next-longest) prediction.
+    int provider = -1;          ///< Provider table; -1 = bimodal base.
+    int altProvider = -1;       ///< Alternate table; -1 = bimodal base.
+    bool providerWeak = false;  ///< Provider counter in a weak state.
+    bool usedAlt = false;       ///< Alt overrode a newly-allocated entry.
+    std::uint32_t baseIndex = 0;
+    std::array<std::uint32_t, kMaxTables> indices{};
+    std::array<std::uint32_t, kMaxTables> tags{};
+};
+
+/**
+ * The TAGE predictor.
+ */
+class Tage
+{
+  public:
+    /**
+     * @param cfg  sizing.
+     * @param hist shared global history; folded views are registered on
+     *             it here, so one Tage binds to one BranchHistory.
+     */
+    Tage(const TageConfig &cfg, BranchHistory &hist);
+
+    /** Predicts the direction of the branch at @p pc. */
+    bool predict(Addr pc, TagePrediction &meta) const;
+
+    /** Trains with the resolved direction using prediction-time @p meta. */
+    void update(Addr pc, bool taken, const TagePrediction &meta);
+
+    /** Modeled storage in bits (counters + tags + u + base). */
+    std::uint64_t storageBits() const;
+
+    const TageConfig &config() const { return cfg_; }
+
+    /** History length (in events) of tagged table @p t. */
+    unsigned historyLength(unsigned t) const { return histLens_[t]; }
+
+  private:
+    struct Entry
+    {
+        SignedSatCounter ctr;
+        std::uint16_t tag = 0;
+        SatCounter useful;
+
+        Entry() : ctr(3, 0), useful(2, 0) {}
+    };
+
+    std::uint32_t tableIndex(Addr pc, unsigned t) const;
+    std::uint16_t tableTag(Addr pc, unsigned t) const;
+
+    TageConfig cfg_;
+    BranchHistory &hist_;
+    std::vector<unsigned> histLens_;       ///< Per-table event lengths.
+    std::vector<unsigned> idxFold_;        ///< Fold ids: index.
+    std::vector<unsigned> tagFoldA_;       ///< Fold ids: tag part A.
+    std::vector<unsigned> tagFoldB_;       ///< Fold ids: tag part B.
+    std::vector<std::vector<Entry>> tables_;
+    std::vector<SatCounter> base_;         ///< Bimodal base predictor.
+    SignedSatCounter useAltOnNa_;          ///< "Use alt on new alloc".
+    std::uint32_t allocCount_ = 0;
+    Rng rng_;
+};
+
+} // namespace fdip
+
+#endif // FDIP_BPU_TAGE_H_

@@ -1,0 +1,166 @@
+#include "cache/cache.h"
+
+#include "util/bits.h"
+#include "util/log.h"
+
+namespace fdip
+{
+
+Cache::Cache(const CacheConfig &cfg)
+    : cfg_(cfg), rng_(0xcac4e + cfg.sizeBytes)
+{
+    if (!isPowerOf2(cfg_.lineBytes))
+        fdip_fatal("%s: line size must be a power of two",
+                   cfg_.name.c_str());
+    const std::uint64_t lines = cfg_.sizeBytes / cfg_.lineBytes;
+    if (lines % cfg_.ways != 0)
+        fdip_fatal("%s: %llu lines not divisible by %u ways",
+                   cfg_.name.c_str(),
+                   static_cast<unsigned long long>(lines), cfg_.ways);
+    numSets_ = static_cast<unsigned>(lines / cfg_.ways);
+    if (!isPowerOf2(numSets_))
+        fdip_fatal("%s: set count %u must be a power of two",
+                   cfg_.name.c_str(), numSets_);
+    lineShift_ = floorLog2(cfg_.lineBytes);
+    lines_.assign(lines, Line{});
+}
+
+std::uint32_t
+Cache::setOf(Addr addr) const
+{
+    return static_cast<std::uint32_t>((addr >> lineShift_) &
+                                      (numSets_ - 1));
+}
+
+Cache::Line *
+Cache::findLine(Addr addr)
+{
+    const Addr tag = addr >> lineShift_;
+    Line *row = &lines_[std::size_t{setOf(addr)} * cfg_.ways];
+    for (unsigned w = 0; w < cfg_.ways; ++w) {
+        if (row[w].valid && row[w].tag == tag)
+            return &row[w];
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::findLine(Addr addr) const
+{
+    return const_cast<Cache *>(this)->findLine(addr);
+}
+
+std::optional<unsigned>
+Cache::probe(Addr addr)
+{
+    ++tagAccesses_;
+    const Line *l = findLine(addr);
+    if (l == nullptr) {
+        ++misses_;
+        return std::nullopt;
+    }
+    ++hits_;
+    const Line *row = &lines_[std::size_t{setOf(addr)} * cfg_.ways];
+    return static_cast<unsigned>(l - row);
+}
+
+std::optional<unsigned>
+Cache::access(Addr addr)
+{
+    ++tagAccesses_;
+    Line *l = findLine(addr);
+    if (l == nullptr) {
+        ++misses_;
+        return std::nullopt;
+    }
+    ++hits_;
+    l->lru = ++lruClock_;
+    Line *row = &lines_[std::size_t{setOf(addr)} * cfg_.ways];
+    return static_cast<unsigned>(l - row);
+}
+
+void
+Cache::touch(Addr addr)
+{
+    Line *l = findLine(addr);
+    if (l != nullptr)
+        l->lru = ++lruClock_;
+}
+
+Addr
+Cache::insert(Addr addr, unsigned *way_out)
+{
+    Line *existing = findLine(addr);
+    if (existing != nullptr) {
+        existing->lru = ++lruClock_;
+        if (way_out != nullptr) {
+            Line *row = &lines_[std::size_t{setOf(addr)} * cfg_.ways];
+            *way_out = static_cast<unsigned>(existing - row);
+        }
+        return kNoAddr;
+    }
+
+    Line *row = &lines_[std::size_t{setOf(addr)} * cfg_.ways];
+    Line *victim = nullptr;
+    for (unsigned w = 0; w < cfg_.ways; ++w) {
+        if (!row[w].valid) {
+            victim = &row[w];
+            break;
+        }
+    }
+    if (victim == nullptr) {
+        if (cfg_.replacement == ReplacementPolicy::kRandom) {
+            victim = &row[rng_.below(cfg_.ways)];
+        } else {
+            victim = &row[0];
+            for (unsigned w = 1; w < cfg_.ways; ++w) {
+                if (row[w].lru < victim->lru)
+                    victim = &row[w];
+            }
+        }
+    }
+
+    Addr evicted = kNoAddr;
+    if (victim->valid) {
+        ++evictions_;
+        evicted = (victim->tag << lineShift_);
+    }
+    victim->valid = true;
+    victim->tag = addr >> lineShift_;
+    victim->lru = ++lruClock_;
+    if (way_out != nullptr)
+        *way_out = static_cast<unsigned>(victim - row);
+    return evicted;
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    return findLine(addr) != nullptr;
+}
+
+void
+Cache::invalidate(Addr addr)
+{
+    Line *l = findLine(addr);
+    if (l != nullptr)
+        l->valid = false;
+}
+
+void
+Cache::reset()
+{
+    for (auto &l : lines_)
+        l.valid = false;
+}
+
+void
+Cache::resetStats()
+{
+    tagAccesses_ = 0;
+    hits_ = 0;
+    misses_ = 0;
+    evictions_ = 0;
+}
+
+} // namespace fdip

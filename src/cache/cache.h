@@ -1,0 +1,125 @@
+/**
+ * @file
+ * A generic set-associative tag array used for the L1I, L1D, L2 and
+ * LLC. The simulator is latency-based, so caches track tags and
+ * replacement state only; data never moves.
+ */
+
+#ifndef FDIP_CACHE_CACHE_H_
+#define FDIP_CACHE_CACHE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace fdip
+{
+
+/** Replacement policy selection. */
+enum class ReplacementPolicy : std::uint8_t
+{
+    kLru,
+    kRandom,
+};
+
+/** Cache geometry. */
+struct CacheConfig
+{
+    std::string name = "cache";
+    std::uint64_t sizeBytes = 32 * 1024;
+    unsigned ways = 8;
+    unsigned lineBytes = kCacheLineBytes;
+    ReplacementPolicy replacement = ReplacementPolicy::kLru;
+};
+
+/**
+ * A set-associative tag array.
+ */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &cfg);
+
+    const CacheConfig &config() const { return cfg_; }
+
+    /** Line-aligns an address. */
+    Addr
+    lineOf(Addr addr) const
+    {
+        return addr & ~static_cast<Addr>(cfg_.lineBytes - 1);
+    }
+
+    /**
+     * Tag probe without replacement update (the FTQ's I-cache tag
+     * lookup). Returns the hitting way, if any. Counted as a tag
+     * access.
+     */
+    std::optional<unsigned> probe(Addr addr);
+
+    /**
+     * Full access: probe plus LRU touch on hit. Counted as a tag
+     * access. Returns the hitting way, if any.
+     */
+    std::optional<unsigned> access(Addr addr);
+
+    /** LRU touch of a known-resident line (no tag access counted). */
+    void touch(Addr addr);
+
+    /**
+     * Inserts the line for @p addr, evicting the replacement victim.
+     * Returns the evicted line address (kNoAddr if the way was empty),
+     * and the way filled via @p way_out when non-null.
+     */
+    Addr insert(Addr addr, unsigned *way_out = nullptr);
+
+    /** True if the line is resident (no stats, no LRU update). */
+    bool contains(Addr addr) const;
+
+    /** Removes the line if resident. */
+    void invalidate(Addr addr);
+
+    /** Removes everything (testing). */
+    void reset();
+
+    unsigned numSets() const { return numSets_; }
+
+    /// @{ Statistics.
+    std::uint64_t tagAccesses() const { return tagAccesses_; }
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t evictions() const { return evictions_; }
+    void resetStats();
+    /// @}
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        Addr tag = 0;
+        std::uint64_t lru = 0;
+    };
+
+    std::uint32_t setOf(Addr addr) const;
+    Line *findLine(Addr addr);
+    const Line *findLine(Addr addr) const;
+
+    CacheConfig cfg_;
+    unsigned numSets_;
+    unsigned lineShift_;
+    std::vector<Line> lines_;
+    std::uint64_t lruClock_ = 0;
+    Rng rng_;
+
+    std::uint64_t tagAccesses_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
+};
+
+} // namespace fdip
+
+#endif // FDIP_CACHE_CACHE_H_

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The memory hierarchy below the L1I: L1D, unified L2, LLC, and a DRAM
+ * latency/bandwidth model. The L1I itself is owned by the fetch
+ * pipeline (its tag array is architecturally visible to the FTQ state
+ * machine); everything below it is latency-modeled here.
+ */
+
+#ifndef FDIP_CACHE_HIERARCHY_H_
+#define FDIP_CACHE_HIERARCHY_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "cache/cache.h"
+#include "util/types.h"
+
+namespace fdip
+{
+
+/** Where a request was satisfied. */
+enum class HitLevel : std::uint8_t
+{
+    kL1,
+    kL2,
+    kLlc,
+    kDram,
+};
+
+/** Hierarchy configuration (defaults follow the IPC-1 framework). */
+struct MemoryConfig
+{
+    CacheConfig l1d{"L1D", 48 * 1024, 12, kCacheLineBytes,
+                    ReplacementPolicy::kLru};
+    CacheConfig l2{"L2", 512 * 1024, 8, kCacheLineBytes,
+                   ReplacementPolicy::kLru};
+    CacheConfig llc{"LLC", 2 * 1024 * 1024, 16, kCacheLineBytes,
+                    ReplacementPolicy::kLru};
+
+    unsigned l1dLatency = 5;   ///< Load-to-use on an L1D hit.
+    unsigned l2Latency = 14;   ///< L1 miss, L2 hit.
+    unsigned llcLatency = 40;  ///< L2 miss, LLC hit.
+    unsigned dramLatency = 180;
+    unsigned dramOccupancy = 6; ///< Channel occupancy per DRAM access.
+};
+
+/** Completion of a hierarchy request. */
+struct FillResult
+{
+    Cycle ready = 0;
+    HitLevel level = HitLevel::kL1;
+};
+
+/**
+ * Latency-based model of L1D + L2 + LLC + DRAM with in-flight request
+ * merging (MSHR-style) and a simple DRAM bandwidth constraint.
+ */
+class MemoryHierarchy
+{
+  public:
+    explicit MemoryHierarchy(const MemoryConfig &cfg);
+
+    /**
+     * Fetches an instruction line on behalf of an L1I miss (demand or
+     * prefetch). Probes L2, then LLC, then DRAM; fills the probed
+     * levels on the way back. Duplicate in-flight requests merge.
+     */
+    FillResult fetchInstLine(Addr line_addr, Cycle now);
+
+    /**
+     * A data-side access from the backend. Probes the L1D first.
+     */
+    FillResult dataAccess(Addr addr, Cycle now, bool is_store);
+
+    /// @{ Component access for tests and stats.
+    Cache &l1d() { return l1d_; }
+    Cache &l2() { return l2_; }
+    Cache &llc() { return llc_; }
+    /// @}
+
+    /// @{ Statistics.
+    std::uint64_t instRequests() const { return instRequests_; }
+    std::uint64_t instRequestsMerged() const { return instMerged_; }
+    std::uint64_t dramAccesses() const { return dramAccesses_; }
+    void resetStats();
+    /// @}
+
+  private:
+    /** Walks L2 -> LLC -> DRAM and fills on the way back. */
+    FillResult walkBelowL1(Addr line, Cycle now);
+
+    MemoryConfig cfg_;
+    Cache l1d_;
+    Cache l2_;
+    Cache llc_;
+
+    /** In-flight instruction-line fills (line -> completion). */
+    std::unordered_map<Addr, Cycle> inFlightInst_;
+    /** In-flight data-line fills. */
+    std::unordered_map<Addr, Cycle> inFlightData_;
+
+    Cycle nextDramFree_ = 0;
+
+    std::uint64_t instRequests_ = 0;
+    std::uint64_t instMerged_ = 0;
+    std::uint64_t dramAccesses_ = 0;
+};
+
+} // namespace fdip
+
+#endif // FDIP_CACHE_HIERARCHY_H_

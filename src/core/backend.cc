@@ -1,0 +1,130 @@
+#include "core/backend.h"
+
+#include "util/log.h"
+
+namespace fdip
+{
+
+Backend::Backend(const CoreConfig &cfg, MemoryHierarchy &mem,
+                 SimStats &stats)
+    : cfg_(cfg),
+      mem_(mem),
+      stats_(stats),
+      dq_(cfg.decodeQueueEntries),
+      rob_(cfg.robEntries)
+{
+}
+
+std::size_t
+Backend::decodeQueueSpace() const
+{
+    return dq_.capacity() - dq_.size();
+}
+
+void
+Backend::deliver(const DeliveredInst &inst)
+{
+    if (dq_.full())
+        fdip_panic("decode queue overflow at seq %llu",
+                   static_cast<unsigned long long>(inst.seq));
+    dq_.pushBack(inst);
+}
+
+void
+Backend::tick(Cycle now)
+{
+    // ---- Dispatch: in-order, up to commitWidth per cycle, gated by
+    // decode latency and ROB space.
+    for (unsigned n = 0; n < cfg_.commitWidth; ++n) {
+        if (dq_.empty() || rob_.full())
+            break;
+        const DeliveredInst &d = dq_.front();
+        if (d.deliverCycle + cfg_.decodeLatency > now)
+            break;
+
+        RobEntry e;
+        e.seq = d.seq;
+        e.onCorrectPath = d.onCorrectPath;
+        e.resolveToken = d.resolveToken;
+
+        // Committed-branch statistics (correct path only).
+        if (d.onCorrectPath) {
+            if (isConditional(d.cls))
+                ++stats_.condBranches;
+            if (isBranch(d.cls) && d.taken)
+                ++stats_.takenBranches;
+            if (isIndirect(d.cls))
+                ++stats_.indirectBranches;
+            if (isReturn(d.cls))
+                ++stats_.returns;
+        }
+
+        // Execution-completion estimate.
+        Cycle exec_lat = 1;
+        if (d.cls == InstClass::kLoad) {
+            if (d.onCorrectPath && d.memAddr != kNoAddr) {
+                const FillResult r = mem_.dataAccess(d.memAddr, now, false);
+                exec_lat = r.ready > now ? r.ready - now : 1;
+            } else {
+                exec_lat = 4; // Wrong-path loads: nominal L1 hit.
+            }
+        } else if (d.cls == InstClass::kStore) {
+            if (d.onCorrectPath && d.memAddr != kNoAddr)
+                mem_.dataAccess(d.memAddr, now, true);
+            exec_lat = 1;
+        } else if (isBranch(d.cls)) {
+            // Branches resolve after the execution pipeline depth.
+            exec_lat = cfg_.branchResolveLatency;
+        }
+        e.execDone = now + exec_lat;
+        if (e.resolveToken != 0)
+            pendingResolves_.push_back({e.resolveToken, e.seq, e.execDone});
+        rob_.pushBack(e);
+        dq_.popFront();
+    }
+
+    // ---- Execute: fire divergence resolutions whose instruction has
+    // completed.
+    for (std::size_t i = 0; i < pendingResolves_.size();) {
+        if (pendingResolves_[i].execDone <= now) {
+            const PendingResolve pr = pendingResolves_[i];
+            pendingResolves_.erase(pendingResolves_.begin() +
+                                   static_cast<std::ptrdiff_t>(i));
+            if (resolveCb_)
+                resolveCb_(pr.token, pr.seq, now);
+        } else {
+            ++i;
+        }
+    }
+
+    // ---- Commit: in-order, up to commitWidth per cycle.
+    for (unsigned n = 0; n < cfg_.commitWidth; ++n) {
+        if (rob_.empty())
+            break;
+        RobEntry &e = rob_.front();
+        if (e.execDone > now)
+            break;
+        if (e.onCorrectPath)
+            ++committed_;
+        lastCommitDone_ = e.execDone;
+        rob_.popFront();
+    }
+
+    // ---- Starvation: decode queue holds fewer than decode-width
+    // instructions (paper Section VI-D definition).
+    if (dq_.size() < cfg_.fetchBandwidth)
+        ++stats_.starvationCycles;
+}
+
+void
+Backend::flushYoungerThan(std::uint64_t seq)
+{
+    while (!dq_.empty() && dq_.back().seq > seq)
+        dq_.truncate(1);
+    while (!rob_.empty() && rob_.back().seq > seq)
+        rob_.truncate(1);
+    std::erase_if(pendingResolves_,
+                  [seq](const PendingResolve &p) { return p.seq > seq; });
+}
+
+} // namespace fdip

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The backend interval model: decode queue -> in-order dispatch into a
+ * ROB -> out-of-order-completion / in-order commit. Deliberately
+ * simple — the paper's study is frontend-bound, and this model exposes
+ * exactly the sensitivity that matters: how fast the frontend can feed
+ * the decode queue, and how long branch resolution takes.
+ */
+
+#ifndef FDIP_CORE_BACKEND_H_
+#define FDIP_CORE_BACKEND_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cache/hierarchy.h"
+#include "core/core_config.h"
+#include "core/sim_stats.h"
+#include "trace/inst.h"
+#include "util/circular_queue.h"
+#include "util/types.h"
+
+namespace fdip
+{
+
+/** One instruction delivered by the frontend to the decode queue. */
+struct DeliveredInst
+{
+    std::uint64_t seq = 0;      ///< Global delivery sequence number.
+    InstSeq traceIdx = 0;       ///< Valid only when onCorrectPath.
+    bool onCorrectPath = false;
+    bool taken = false;         ///< Actual direction (correct path).
+    InstClass cls = InstClass::kAlu;
+    Addr memAddr = kNoAddr;     ///< Loads/stores on the correct path.
+    Cycle deliverCycle = 0;
+    std::uint64_t resolveToken = 0; ///< Non-zero: resolves a divergence.
+};
+
+/**
+ * The backend pipeline model.
+ */
+class Backend
+{
+  public:
+    /** Called when a divergence-carrying instruction executes:
+     *  (token, seq, cycle). */
+    using ResolveCallback =
+        std::function<void(std::uint64_t, std::uint64_t, Cycle)>;
+
+    Backend(const CoreConfig &cfg, MemoryHierarchy &mem, SimStats &stats);
+
+    /** Space left in the decode queue. */
+    std::size_t decodeQueueSpace() const;
+
+    /** Enqueues a delivered instruction (frontend side). */
+    void deliver(const DeliveredInst &inst);
+
+    /** Advances the backend one cycle: dispatch, execute, commit. */
+    void tick(Cycle now);
+
+    /** Drops all queued/in-flight instructions younger than @p seq. */
+    void flushYoungerThan(std::uint64_t seq);
+
+    /** Registers the divergence-resolution callback. */
+    void setResolveCallback(ResolveCallback cb) { resolveCb_ = std::move(cb); }
+
+    /** Committed correct-path instructions so far (monotonic). */
+    std::uint64_t committed() const { return committed_; }
+
+    /** Current decode-queue occupancy. */
+    std::size_t decodeQueueSize() const { return dq_.size(); }
+
+  private:
+    struct RobEntry
+    {
+        std::uint64_t seq = 0;
+        bool onCorrectPath = false;
+        Cycle execDone = 0;
+        std::uint64_t resolveToken = 0;
+    };
+
+    const CoreConfig &cfg_;
+    MemoryHierarchy &mem_;
+    SimStats &stats_;
+    ResolveCallback resolveCb_;
+
+    CircularQueue<DeliveredInst> dq_;
+    CircularQueue<RobEntry> rob_;
+    std::uint64_t committed_ = 0;
+    Cycle lastCommitDone_ = 0; ///< Completion time of last committed inst.
+
+    /** In-flight divergence tokens awaiting execution (tiny). */
+    struct PendingResolve
+    {
+        std::uint64_t token;
+        std::uint64_t seq;
+        Cycle execDone;
+    };
+    std::vector<PendingResolve> pendingResolves_;
+};
+
+} // namespace fdip
+
+#endif // FDIP_CORE_BACKEND_H_

@@ -1,0 +1,82 @@
+#include "core/core.h"
+
+#include "util/log.h"
+
+namespace fdip
+{
+
+Core::Core(const CoreConfig &cfg, const Trace &trace,
+           std::unique_ptr<InstPrefetcher> prefetcher)
+    : cfg_(cfg),
+      trace_(trace),
+      bpu_(cfg_.bpu),
+      mem_(cfg_.mem),
+      prefetcher_(std::move(prefetcher)),
+      backend_(cfg_, mem_, stats_),
+      frontend_(cfg_, trace_, bpu_, backend_, mem_, *prefetcher_, stats_)
+{
+    backend_.setResolveCallback(
+        [this](std::uint64_t token, std::uint64_t seq, Cycle now) {
+            frontend_.onResolve(token, seq, now);
+        });
+    prefetcher_->bind(bpu_, trace_.image());
+}
+
+SimStats
+Core::run(std::uint64_t warmup_insts)
+{
+    const std::uint64_t total = trace_.size();
+    if (warmup_insts >= total)
+        fdip_fatal("warmup %llu >= trace length %llu",
+                   static_cast<unsigned long long>(warmup_insts),
+                   static_cast<unsigned long long>(total));
+
+    Cycle now = 0;
+    bool warm = warmup_insts == 0;
+    Cycle warm_start_cycle = 0;
+
+    // External counters snapshotted at the warmup boundary.
+    std::uint64_t btb_lookups0 = 0;
+    std::uint64_t btb_hits0 = 0;
+
+    std::uint64_t last_commit = 0;
+    Cycle last_progress = 0;
+
+    while (backend_.committed() < total) {
+        frontend_.tick(now);
+        backend_.tick(now);
+
+        if (!warm && backend_.committed() >= warmup_insts) {
+            warm = true;
+            warm_start_cycle = now;
+            const std::uint64_t kept_commits = backend_.committed();
+            stats_ = SimStats{};
+            // Re-bias commit counting: committedInsts is derived at the
+            // end from backend_.committed() - kept_commits.
+            warmup_insts = kept_commits;
+            btb_lookups0 = bpu_.btb().lookups();
+            btb_hits0 = bpu_.btb().hits();
+        }
+
+        if (backend_.committed() != last_commit) {
+            last_commit = backend_.committed();
+            last_progress = now;
+        } else if (now - last_progress > 1000000) {
+            fdip_panic("no commit progress for 1M cycles at cycle %llu "
+                       "(committed %llu / %llu)",
+                       static_cast<unsigned long long>(now),
+                       static_cast<unsigned long long>(last_commit),
+                       static_cast<unsigned long long>(total));
+        }
+
+        ++now;
+    }
+
+    stats_.cycles = now - warm_start_cycle;
+    stats_.committedInsts = backend_.committed() - warmup_insts;
+    stats_.btbLookups = bpu_.btb().lookups() - btb_lookups0;
+    stats_.btbHits = bpu_.btb().hits() - btb_hits0;
+    return stats_;
+}
+
+} // namespace fdip

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The top-level simulated core: BPU + decoupled frontend + memory
+ * hierarchy + backend, driven over one trace.
+ */
+
+#ifndef FDIP_CORE_CORE_H_
+#define FDIP_CORE_CORE_H_
+
+#include <memory>
+
+#include "bpu/bpu.h"
+#include "cache/hierarchy.h"
+#include "core/backend.h"
+#include "core/core_config.h"
+#include "core/frontend.h"
+#include "core/sim_stats.h"
+#include "prefetch/prefetcher.h"
+#include "trace/trace_gen.h"
+
+namespace fdip
+{
+
+/**
+ * One simulated core instance, bound to a trace.
+ */
+class Core
+{
+  public:
+    /**
+     * @param cfg        core configuration (copied).
+     * @param trace      the committed-path trace to run (borrowed; must
+     *                   outlive the core).
+     * @param prefetcher the L1I prefetcher (owned).
+     */
+    Core(const CoreConfig &cfg, const Trace &trace,
+         std::unique_ptr<InstPrefetcher> prefetcher);
+
+    /**
+     * Runs until every trace instruction has committed; the first
+     * @p warmup_insts commits do not count toward the statistics.
+     * Returns the post-warmup statistics.
+     */
+    SimStats run(std::uint64_t warmup_insts = 0);
+
+    /** Statistics (valid during/after run()). */
+    const SimStats &stats() const { return stats_; }
+
+    const CoreConfig &config() const { return cfg_; }
+    Bpu &bpu() { return bpu_; }
+    Frontend &frontend() { return frontend_; }
+    MemoryHierarchy &memory() { return mem_; }
+
+  private:
+    CoreConfig cfg_;
+    const Trace &trace_;
+    SimStats stats_;
+    Bpu bpu_;
+    MemoryHierarchy mem_;
+    std::unique_ptr<InstPrefetcher> prefetcher_;
+    Backend backend_;
+    Frontend frontend_;
+};
+
+} // namespace fdip
+
+#endif // FDIP_CORE_CORE_H_

@@ -1,0 +1,74 @@
+#include "core/core_config.h"
+
+namespace fdip
+{
+
+const char *
+historySchemeName(HistoryScheme s)
+{
+    switch (s) {
+      case HistoryScheme::kThr: return "THR";
+      case HistoryScheme::kGhr0: return "GHR0";
+      case HistoryScheme::kGhr1: return "GHR1";
+      case HistoryScheme::kGhr2: return "GHR2";
+      case HistoryScheme::kGhr3: return "GHR3";
+      case HistoryScheme::kIdeal: return "Ideal";
+    }
+    return "?";
+}
+
+void
+CoreConfig::applyHistoryScheme()
+{
+    switch (historyScheme) {
+      case HistoryScheme::kThr:
+        bpu.historyPolicy = HistoryPolicy::kTargetHistory;
+        bpu.btb.allocateTakenOnly = true;
+        break;
+      case HistoryScheme::kGhr0:
+        bpu.historyPolicy = HistoryPolicy::kDirectionHistory;
+        bpu.btb.allocateTakenOnly = true;
+        break;
+      case HistoryScheme::kGhr1:
+        bpu.historyPolicy = HistoryPolicy::kDirectionHistory;
+        bpu.btb.allocateTakenOnly = false;
+        break;
+      case HistoryScheme::kGhr2:
+        bpu.historyPolicy = HistoryPolicy::kDirectionHistory;
+        bpu.btb.allocateTakenOnly = true;
+        break;
+      case HistoryScheme::kGhr3:
+        bpu.historyPolicy = HistoryPolicy::kDirectionHistory;
+        bpu.btb.allocateTakenOnly = false;
+        break;
+      case HistoryScheme::kIdeal:
+        bpu.historyPolicy = HistoryPolicy::kIdealDirectionHistory;
+        bpu.btb.allocateTakenOnly = true;
+        break;
+    }
+}
+
+bool
+CoreConfig::ghrFixup() const
+{
+    return historyScheme == HistoryScheme::kGhr2 ||
+           historyScheme == HistoryScheme::kGhr3;
+}
+
+CoreConfig
+paperBaselineConfig()
+{
+    CoreConfig cfg;
+    cfg.applyHistoryScheme();
+    return cfg;
+}
+
+CoreConfig
+noFdpConfig()
+{
+    CoreConfig cfg = paperBaselineConfig();
+    cfg.ftqEntries = 2; // 16-instruction FTQ: no run-ahead capability.
+    return cfg;
+}
+
+} // namespace fdip

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * The decoupled frontend: branch-prediction pipeline, FTQ, instruction
+ * fetch pipeline with PFC, prefetch-queue drain, and all redirect /
+ * repair machinery (paper Sections III and IV).
+ *
+ * Oracle convention: the frontend follows the committed trace. While
+ * the predicted stream matches the trace ("on the correct path"),
+ * predictions are checked against the trace at prediction time;
+ * training happens there too (ChampSim-style immediate update). On a
+ * divergence, the frontend keeps running down the *predicted* wrong
+ * path — polluting the I-cache and FTQ realistically — until the
+ * diverging instruction executes (backend callback) or PFC repairs the
+ * stream early at pre-decode.
+ */
+
+#ifndef FDIP_CORE_FRONTEND_H_
+#define FDIP_CORE_FRONTEND_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "bpu/bpu.h"
+#include "cache/cache.h"
+#include "cache/hierarchy.h"
+#include "core/backend.h"
+#include "core/core_config.h"
+#include "core/ftq.h"
+#include "core/sim_stats.h"
+#include "prefetch/prefetcher.h"
+#include "trace/trace_gen.h"
+#include "util/types.h"
+
+namespace fdip
+{
+
+/**
+ * The frontend pipeline complex.
+ */
+class Frontend
+{
+  public:
+    Frontend(const CoreConfig &cfg, const Trace &trace, Bpu &bpu,
+             Backend &backend, MemoryHierarchy &mem,
+             InstPrefetcher &prefetcher, SimStats &stats);
+
+    /** Advances the frontend one cycle (fills, fetch, predict). */
+    void tick(Cycle now);
+
+    /** Backend callback: a divergence-carrying instruction executed. */
+    void onResolve(std::uint64_t token, std::uint64_t seq, Cycle now);
+
+    /** Next trace index the correct path will predict. */
+    InstSeq tracePos() const { return tracePos_; }
+
+    const Ftq &ftq() const { return ftq_; }
+    Cache &l1i() { return l1i_; }
+
+  private:
+    /** Outcome of scanning one instruction in the predict stage. */
+    struct ScanResult
+    {
+        bool predTaken = false;
+        Addr target = kNoAddr;
+    };
+
+    /// @{ Cycle phases.
+    void processFills(Cycle now);
+    void fetchCycle(Cycle now);
+    void predictCycle(Cycle now);
+    void drainPrefetchQueue(Cycle now);
+    /// @}
+
+    /// @{ Prediction helpers.
+    ScanResult scanInst(FtqEntry &entry, std::uint8_t offset, Cycle now);
+    /** Records a prediction-time divergence at trace position
+     *  tracePos_; computes the post-correction repair snapshots. */
+    void recordDivergence(FtqEntry &entry, std::uint8_t offset, Addr pc,
+                          const StaticInst &si, bool detected,
+                          std::uint8_t cause,
+                          const RasSnapshot &pre_ras_snap);
+    /// @}
+
+    /// @{ Fetch helpers.
+    void probeEntry(FtqEntry &entry, std::size_t pos, Cycle now);
+    void deliverFromHead(Cycle now);
+    /** PFC / GHR-fixup scan; true if a redirect was triggered. */
+    bool predecodeEntry(FtqEntry &entry, Cycle now);
+    void triggerPfc(FtqEntry &entry, std::uint8_t offset,
+                    const StaticInst &si, Cycle now);
+    void triggerGhrFixup(FtqEntry &entry, std::uint8_t offset, Cycle now);
+    /// @}
+
+    /// @{ Repair machinery.
+    /** Restores speculative history + RAS to just before the
+     *  instruction at @p offset of @p entry (snapshot + replay). */
+    void rewindToPrefix(const FtqEntry &entry, std::uint8_t offset);
+    /** Replays one recorded block event onto the speculative state. */
+    void replayEvent(const BlockEvent &ev);
+    /** Pushes one (possibly corrected) branch event onto the
+     *  speculative history per the active policy. */
+    void pushHistoryEvent(Addr pc, Addr target, bool taken);
+    /// @}
+
+    /**
+     * An execute-time divergence resolution record. Repair state is
+     * rebuilt lazily at resolution: restore the owning block's
+     * snapshots, replay the recorded event prefix, then apply the
+     * corrected event. (Eager snapshots would go stale: the wrong path
+     * overwrites ring bits behind them.)
+     */
+    struct PendingDivergence
+    {
+        std::uint64_t token = 0;
+        InstSeq traceIdx = 0;
+        Addr correctNext = kNoAddr;
+        std::uint8_t cause = 0;
+        HistorySnapshot blockHistSnap;
+        RasSnapshot blockRasSnap;
+        std::array<BlockEvent, kInstsPerBlock> prefix{};
+        std::uint8_t numPrefix = 0;
+        BlockEvent corrected; ///< The diverging branch's actual outcome.
+        bool delivered = false; ///< Instruction handed to the backend.
+    };
+
+    /** Mispredict cause buckets. */
+    static constexpr std::uint8_t kCauseCondDir = 0;
+    static constexpr std::uint8_t kCauseBtbMissTaken = 1;
+    static constexpr std::uint8_t kCauseTarget = 2;
+    static constexpr std::uint8_t kCausePfcMisfire = 3;
+
+    /** An in-flight L1I fill. */
+    struct InflightFill
+    {
+        Addr line = kNoAddr;
+        Cycle ready = 0;
+        bool isPrefetch = false;
+        bool demandTouched = false; ///< A demand probe needs this line.
+        bool wasHeadStart = false;  ///< Demand touch happened at FTQ head.
+        /** A starved cycle was observed while this fill blocked the
+         *  FTQ head (the paper's exposure criterion). */
+        bool starvedWhileBlocking = false;
+    };
+
+    /// @{ Wiring.
+    const CoreConfig &cfg_;
+    const Trace &trace_;
+    const ProgramImage &image_;
+    Bpu &bpu_;
+    Backend &backend_;
+    MemoryHierarchy &mem_;
+    InstPrefetcher &prefetcher_;
+    SimStats &stats_;
+    /// @}
+
+    /// @{ Structures.
+    Ftq ftq_;
+    Cache l1i_;
+    Cache itlb_;
+    std::unique_ptr<Cache> prefetchBuffer_; ///< Optional (original FDP).
+    std::vector<InflightFill> fills_;
+    /// @}
+
+    /// @{ Prediction stream state.
+    Addr predPc_;
+    InstSeq tracePos_ = 0;
+    InstSeq trainedUpTo_ = 0; ///< Train-once guard across re-predictions.
+    bool onCorrectPath_ = true;
+    std::uint64_t blockSeq_ = 0;
+    std::uint64_t instSeq_ = 0;
+    std::optional<PendingDivergence> pending_;
+    std::uint64_t nextToken_ = 1;
+    Cycle predStallUntil_ = 0; ///< Redirect bubble.
+    unsigned l2BtbBubble_ = 0; ///< Pending two-level-BTB re-steer bubble.
+    /// @}
+
+    /** Whether the last fill of a line was a prefetch (usefulness). */
+    std::unordered_map<Addr, bool> linePrefetched_;
+};
+
+} // namespace fdip
+
+#endif // FDIP_CORE_FRONTEND_H_

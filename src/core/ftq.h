@@ -1,0 +1,172 @@
+/**
+ * @file
+ * The Fetch Target Queue.
+ *
+ * Each entry covers one 32-byte-aligned instruction block and carries
+ * exactly the architectural fields of the paper's Table III (65 bits,
+ * 195 bytes for 24 entries). The entry additionally carries
+ * simulator-side bookkeeping (snapshots for repair, oracle trace
+ * positions, fill-tracking) that models no extra hardware.
+ */
+
+#ifndef FDIP_CORE_FTQ_H_
+#define FDIP_CORE_FTQ_H_
+
+#include <array>
+#include <cstdint>
+
+#include "bpu/history.h"
+#include "bpu/ras.h"
+#include "trace/inst.h"
+#include "util/circular_queue.h"
+#include "util/types.h"
+
+namespace fdip
+{
+
+/** FTQ entry state machine (paper Section IV-A). */
+enum class FtqState : std::uint8_t
+{
+    kInvalid = 0,
+    kPredicted = 1,  ///< Prediction done; ready for address translation.
+    kFilling = 2,    ///< Translated; waiting for the I-cache fill.
+    kReady = 3,      ///< Line resident; ready to feed the decode queue.
+};
+
+/**
+ * One branch-history/RAS event recorded while predicting a block, kept
+ * so redirects (mispredict resolution, PFC, GHR fixups) can replay the
+ * block prefix exactly.
+ */
+struct BlockEvent
+{
+    Addr pc = kNoAddr;
+    Addr target = kNoAddr;
+    std::uint8_t offset = 0;  ///< Instruction offset within the block.
+    InstClass kind = InstClass::kAlu;
+    bool taken = false;
+    bool pushedHistory = false; ///< Whether it pushed a history event.
+};
+
+/**
+ * An FTQ entry: one 32B-aligned instruction block.
+ */
+struct FtqEntry
+{
+    /// @{ Architectural fields (Table III; 65 bits total).
+    Addr startAddr = kNoAddr;     ///< 48-bit instruction start address.
+    bool predictedTaken = false;  ///< Block ends in a predicted-taken br.
+    std::uint8_t termOffset = 7;  ///< Offset of the last instruction.
+    std::uint8_t icacheWay = 0;   ///< Way to fetch without a tag re-probe.
+    FtqState state = FtqState::kInvalid; ///< 2-bit state.
+    std::uint8_t dirHints = 0;    ///< 1 direction-hint bit per inst.
+    /// @}
+
+    /// @{ Prediction-time context for repair (models checkpointing).
+    HistorySnapshot histSnap;     ///< History before this block.
+    RasSnapshot rasSnap;          ///< RAS recovery state before block.
+    std::array<BlockEvent, kInstsPerBlock> events{};
+    std::uint8_t numEvents = 0;
+    std::uint8_t detectedMask = 0; ///< BTB-hit bitmap (for GHR fixup).
+    /// @}
+
+    /// @{ Simulator bookkeeping.
+    std::uint64_t seq = 0;        ///< Monotonic block sequence number.
+    InstSeq traceIdx = 0;         ///< Trace index of first inst (correct path).
+    bool onCorrectPath = false;
+    Cycle readyAt = 0;            ///< When prediction-pipeline latency elapses.
+    Addr lineAddr = kNoAddr;      ///< I-cache line covering the block.
+    Cycle deliverableAt = 0;      ///< Data-array/pipe latency gate.
+    std::uint8_t nextDeliverOffset = 0; ///< Next inst offset to deliver.
+    bool predecoded = false;      ///< PFC/fixup scan done for this entry.
+    /** Offset of the instruction where the predicted stream diverged
+     *  from the trace (255 = none); later offsets are wrong-path. */
+    std::uint8_t divergeOffset = 255;
+    /// @}
+
+    /** Offset of @p pc within this 32B block. */
+    static std::uint8_t
+    offsetOf(Addr pc)
+    {
+        return static_cast<std::uint8_t>((pc % kFetchBlockBytes) /
+                                         kInstBytes);
+    }
+
+    /** 32B block base address. */
+    Addr
+    blockBase() const
+    {
+        return startAddr & ~static_cast<Addr>(kFetchBlockBytes - 1);
+    }
+
+    /** First instruction offset within the block. */
+    std::uint8_t startOffset() const { return offsetOf(startAddr); }
+
+    /** PC of the instruction at block @p offset. */
+    Addr
+    pcAt(std::uint8_t offset) const
+    {
+        return blockBase() + static_cast<Addr>(offset) * kInstBytes;
+    }
+
+    /** Direction hint of the instruction at @p offset. */
+    bool
+    hintAt(std::uint8_t offset) const
+    {
+        return ((dirHints >> offset) & 1) != 0;
+    }
+
+    /** Number of instructions this entry will deliver. */
+    unsigned
+    numInsts() const
+    {
+        return termOffset - startOffset() + 1;
+    }
+
+    /** Architectural storage of one entry in bits (Table III). */
+    static constexpr unsigned kArchBitsPerEntry =
+        48 + 1 + 3 + 3 + 2 + 8;
+};
+
+/**
+ * The FTQ proper: a bounded FIFO of FtqEntry.
+ */
+class Ftq
+{
+  public:
+    explicit Ftq(unsigned entries) : q_(entries) {}
+
+    bool full() const { return q_.full(); }
+    bool empty() const { return q_.empty(); }
+    std::size_t size() const { return q_.size(); }
+    std::size_t capacity() const { return q_.capacity(); }
+
+    void push(FtqEntry &&e) { q_.pushBack(std::move(e)); }
+    void popHead() { q_.popFront(); }
+    FtqEntry &at(std::size_t i) { return q_.at(i); }
+    const FtqEntry &at(std::size_t i) const { return q_.at(i); }
+    FtqEntry &head() { return q_.front(); }
+
+    /** Discards every entry younger than position @p keep_count - 1. */
+    void
+    truncateAfter(std::size_t keep_count)
+    {
+        q_.resizeTo(keep_count);
+    }
+
+    void clear() { q_.clear(); }
+
+    /** Total architectural storage in bytes (Table III: 195B for 24). */
+    std::uint64_t
+    archStorageBytes() const
+    {
+        return (q_.capacity() * FtqEntry::kArchBitsPerEntry + 7) / 8;
+    }
+
+  private:
+    CircularQueue<FtqEntry> q_;
+};
+
+} // namespace fdip
+
+#endif // FDIP_CORE_FTQ_H_

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Per-run simulation statistics, covering every metric the paper's
+ * figures report (IPC, branch MPKI, starvation cycles/KI, I-cache tag
+ * accesses/KI, exposed/covered miss classification, PFC and fixup
+ * event counts).
+ */
+
+#ifndef FDIP_CORE_SIM_STATS_H_
+#define FDIP_CORE_SIM_STATS_H_
+
+#include <cstdint>
+
+namespace fdip
+{
+
+/** Statistics for one simulation run (collected post-warmup). */
+struct SimStats
+{
+    /// @{ Progress.
+    std::uint64_t cycles = 0;
+    std::uint64_t committedInsts = 0;
+    /// @}
+
+    /// @{ Branches (committed, correct path).
+    std::uint64_t condBranches = 0;
+    std::uint64_t takenBranches = 0;
+    std::uint64_t indirectBranches = 0;
+    std::uint64_t returns = 0;
+    /// @}
+
+    /// @{ Mispredictions = execute-time pipeline flushes, by cause.
+    std::uint64_t mispredicts = 0;
+    std::uint64_t mispredictsCondDir = 0;   ///< Direction wrong.
+    std::uint64_t mispredictsBtbMissTaken = 0; ///< Undetected taken br.
+    std::uint64_t mispredictsTarget = 0;    ///< Indirect/return target.
+    std::uint64_t mispredictsPfcMisfire = 0; ///< PFC re-steered wrongly.
+    /// @}
+
+    /// @{ PFC / history fixups.
+    std::uint64_t pfcFires = 0;
+    std::uint64_t pfcCorrect = 0;   ///< Redirect matched the oracle path.
+    std::uint64_t pfcWrong = 0;     ///< Misfire (became a mispredict).
+    std::uint64_t ghrFixups = 0;    ///< GHR2/3 pre-decode history flushes.
+    /// @}
+
+    /// @{ Frontend delivery.
+    std::uint64_t starvationCycles = 0; ///< Decode queue < decode width.
+    std::uint64_t deliveredInsts = 0;
+    std::uint64_t wrongPathDelivered = 0;
+    /// @}
+
+    /// @{ L1I behaviour.
+    std::uint64_t l1iDemandAccesses = 0;
+    std::uint64_t l1iDemandMisses = 0;
+    std::uint64_t l1iTagAccesses = 0; ///< Demand + prefetch probes.
+    std::uint64_t prefetchesIssued = 0;
+    std::uint64_t prefetchesRedundant = 0; ///< Probe hit: dropped.
+    std::uint64_t prefetchesUseful = 0;    ///< Later hit by demand.
+    std::uint64_t itlbMisses = 0;
+    /// @}
+
+    /// @{ Demand-miss exposure classification (paper Fig. 14).
+    std::uint64_t missFullyExposed = 0;   ///< Initiated at FTQ head.
+    std::uint64_t missPartiallyExposed = 0; ///< Starved before fill.
+    std::uint64_t missCovered = 0;        ///< Fill beat any starvation.
+    /// @}
+
+    /// @{ BTB.
+    std::uint64_t btbLookups = 0;
+    std::uint64_t btbHits = 0;
+    /// @}
+
+    /// @{ Derived metrics.
+    double
+    ipc() const
+    {
+        return cycles == 0 ? 0.0
+                           : static_cast<double>(committedInsts) /
+                                 static_cast<double>(cycles);
+    }
+
+    /** Branch mispredictions per kilo-instruction. */
+    double
+    branchMpki() const
+    {
+        return committedInsts == 0
+                   ? 0.0
+                   : 1000.0 * static_cast<double>(mispredicts) /
+                         static_cast<double>(committedInsts);
+    }
+
+    /** Starvation cycles per kilo-instruction. */
+    double
+    starvationPerKi() const
+    {
+        return committedInsts == 0
+                   ? 0.0
+                   : 1000.0 * static_cast<double>(starvationCycles) /
+                         static_cast<double>(committedInsts);
+    }
+
+    /** L1I tag accesses per kilo-instruction. */
+    double
+    tagAccessesPerKi() const
+    {
+        return committedInsts == 0
+                   ? 0.0
+                   : 1000.0 * static_cast<double>(l1iTagAccesses) /
+                         static_cast<double>(committedInsts);
+    }
+
+    /** L1I demand misses per kilo-instruction. */
+    double
+    l1iMpki() const
+    {
+        return committedInsts == 0
+                   ? 0.0
+                   : 1000.0 * static_cast<double>(l1iDemandMisses) /
+                         static_cast<double>(committedInsts);
+    }
+    /// @}
+};
+
+} // namespace fdip
+
+#endif // FDIP_CORE_SIM_STATS_H_

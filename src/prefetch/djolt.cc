@@ -1,0 +1,128 @@
+#include "prefetch/djolt.h"
+
+#include "util/bits.h"
+
+namespace fdip
+{
+
+DjoltPrefetcher::DjoltPrefetcher(const DjoltConfig &cfg)
+    : cfg_(cfg),
+      retFifo_(cfg.fifoDepth, 0),
+      sigHistory_(cfg.longDistance + 1, 0),
+      shortTable_(std::size_t{1} << cfg.logTableEntries),
+      longTable_(std::size_t{1} << cfg.logTableEntries)
+{
+}
+
+std::uint64_t
+DjoltPrefetcher::signature() const
+{
+    std::uint64_t sig = 0;
+    for (std::size_t i = 0; i < retFifo_.size(); ++i) {
+        const std::uint64_t v =
+            retFifo_[(fifoPos_ + i) % retFifo_.size()] >> 2;
+        sig ^= (v << (7 * i)) | (v >> (64 - 7 * i - 1));
+    }
+    return mix64(sig);
+}
+
+std::uint32_t
+DjoltPrefetcher::indexOf(std::uint64_t sig) const
+{
+    return static_cast<std::uint32_t>(sig & mask(cfg_.logTableEntries));
+}
+
+std::uint32_t
+DjoltPrefetcher::tagOf(std::uint64_t sig) const
+{
+    return static_cast<std::uint32_t>((sig >> cfg_.logTableEntries) &
+                                      mask(12));
+}
+
+void
+DjoltPrefetcher::train(Table &table, std::uint64_t sig, Addr line)
+{
+    Entry &e = table[indexOf(sig)];
+    if (!e.valid || e.tag != tagOf(sig)) {
+        e.valid = true;
+        e.tag = tagOf(sig);
+        e.numLines = 0;
+        e.nextVictim = 0;
+    }
+    for (unsigned i = 0; i < e.numLines; ++i) {
+        if (e.lines[i] == line)
+            return;
+    }
+    if (e.numLines < cfg_.linesPerEntry) {
+        e.lines[e.numLines++] = line;
+    } else {
+        e.lines[e.nextVictim] = line;
+        e.nextVictim =
+            static_cast<std::uint8_t>((e.nextVictim + 1) %
+                                      cfg_.linesPerEntry);
+    }
+}
+
+void
+DjoltPrefetcher::prefetchFrom(Table &table, std::uint64_t sig)
+{
+    const Entry &e = table[indexOf(sig)];
+    if (!e.valid || e.tag != tagOf(sig))
+        return;
+    for (unsigned i = 0; i < e.numLines; ++i)
+        enqueuePrefetch(e.lines[i]);
+}
+
+void
+DjoltPrefetcher::onBranch(Addr pc, InstClass kind, Addr target, bool taken)
+{
+    (void)target;
+    if (!taken || !isCall(kind))
+        return;
+
+    // Update the return-address FIFO and record the signature stream.
+    retFifo_[fifoPos_] = pc + kInstBytes;
+    fifoPos_ = (fifoPos_ + 1) % retFifo_.size();
+
+    const std::uint64_t sig = signature();
+    sigHistory_[sigPos_] = sig;
+    sigPos_ = (sigPos_ + 1) % sigHistory_.size();
+
+    prefetchFrom(longTable_, sig);
+    prefetchFrom(shortTable_, sig);
+}
+
+void
+DjoltPrefetcher::onDemandLookup(Addr line_addr, bool hit, Cycle now)
+{
+    (void)now;
+    if (hit)
+        return;
+    // Train against the signatures that were live short/long call
+    // distances ago, so recurrence prefetches with that much lead.
+    const auto ago = [this](unsigned d) {
+        return sigHistory_[(sigPos_ + sigHistory_.size() - d) %
+                           sigHistory_.size()];
+    };
+    train(shortTable_, ago(cfg_.shortDistance), line_addr);
+    train(longTable_, ago(cfg_.longDistance), line_addr);
+
+    // A miss is also a trigger: fetch the rest of the miss footprint
+    // recorded under the current (most recent) signature.
+    prefetchFrom(shortTable_, ago(1));
+
+    // D-JOLT's frontal next-line component for sequential misses.
+    enqueuePrefetch(line_addr + kCacheLineBytes);
+    enqueuePrefetch(line_addr + 2 * kCacheLineBytes);
+}
+
+std::uint64_t
+DjoltPrefetcher::storageBits() const
+{
+    // Per entry: valid + 12b tag + lines (34b each).
+    const std::uint64_t entry_bits = 1 + 12 + 34ull * cfg_.linesPerEntry;
+    return 2 * (std::uint64_t{1} << cfg_.logTableEntries) * entry_bits +
+           cfg_.fifoDepth * 48;
+}
+
+} // namespace fdip

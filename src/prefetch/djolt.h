@@ -1,0 +1,76 @@
+/**
+ * @file
+ * D-JOLT (Nakamura et al., IPC-1): distant-jolt prefetching. Function
+ * call/return flow is summarized as a signature over a FIFO of recent
+ * return addresses; miss lines are recorded against the signature that
+ * was live several calls earlier, so that when the same call path
+ * recurs, the misses several calls ahead are prefetched early enough.
+ */
+
+#ifndef FDIP_PREFETCH_DJOLT_H_
+#define FDIP_PREFETCH_DJOLT_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "prefetch/prefetcher.h"
+
+namespace fdip
+{
+
+/** D-JOLT sizing. */
+struct DjoltConfig
+{
+    unsigned fifoDepth = 2;       ///< Return-address FIFO length.
+    unsigned logTableEntries = 12; ///< Per-range signature tables.
+    unsigned linesPerEntry = 8;   ///< Miss lines stored per signature.
+    unsigned shortDistance = 1;   ///< Calls ago (short-range table).
+    unsigned longDistance = 3;    ///< Calls ago (long-range table).
+};
+
+/**
+ * The D-JOLT prefetcher.
+ */
+class DjoltPrefetcher : public InstPrefetcher
+{
+  public:
+    explicit DjoltPrefetcher(const DjoltConfig &cfg = DjoltConfig());
+
+    const char *name() const override { return "D-JOLT"; }
+    std::uint64_t storageBits() const override;
+
+    void onDemandLookup(Addr line_addr, bool hit, Cycle now) override;
+    void onBranch(Addr pc, InstClass kind, Addr target,
+                  bool taken) override;
+
+  private:
+    struct Entry
+    {
+        std::uint32_t tag = 0;
+        bool valid = false;
+        std::array<Addr, 16> lines{};
+        std::uint8_t numLines = 0;
+        std::uint8_t nextVictim = 0;
+    };
+
+    using Table = std::vector<Entry>;
+
+    std::uint64_t signature() const;
+    std::uint32_t indexOf(std::uint64_t sig) const;
+    std::uint32_t tagOf(std::uint64_t sig) const;
+    void train(Table &table, std::uint64_t sig, Addr line);
+    void prefetchFrom(Table &table, std::uint64_t sig);
+
+    DjoltConfig cfg_;
+    std::vector<Addr> retFifo_;    ///< Recent return addresses.
+    std::size_t fifoPos_ = 0;
+    std::vector<std::uint64_t> sigHistory_; ///< Signatures at past calls.
+    std::size_t sigPos_ = 0;
+    Table shortTable_;
+    Table longTable_;
+};
+
+} // namespace fdip
+
+#endif // FDIP_PREFETCH_DJOLT_H_

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The Entangling Instruction Prefetcher (Ros & Jimborean; IPC-1
+ * winner, paper [18]). A destination miss line is "entangled" with a
+ * source line accessed far enough in the past to hide the miss
+ * latency; when the source is seen again, the destinations are
+ * prefetched just in time.
+ *
+ * Two sizings from the paper: EIP-128KB (the original, 34-way) and
+ * EIP-27KB (a realistic 8-way budget).
+ */
+
+#ifndef FDIP_PREFETCH_EIP_H_
+#define FDIP_PREFETCH_EIP_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "prefetch/prefetcher.h"
+
+namespace fdip
+{
+
+/** EIP sizing. */
+struct EipConfig
+{
+    unsigned sets = 256;
+    unsigned ways = 34;           ///< 34 = 128KB config; 8 = 27KB.
+    unsigned destsPerEntry = 4;
+    unsigned historyDepth = 64;   ///< Recent-access ring for sources.
+    unsigned entangleLatency = 80; ///< Cycles of lead to hide.
+    unsigned chainDepth = 3;      ///< Follow entangled chains this deep.
+
+    /** The paper's two configurations. */
+    static EipConfig sized128KB();
+    static EipConfig sized27KB();
+};
+
+/**
+ * The entangling prefetcher.
+ */
+class EipPrefetcher : public InstPrefetcher
+{
+  public:
+    explicit EipPrefetcher(const EipConfig &cfg = EipConfig::sized128KB(),
+                           const char *name = "EIP");
+
+    const char *name() const override { return name_; }
+    std::uint64_t storageBits() const override;
+
+    void onDemandLookup(Addr line_addr, bool hit, Cycle now) override;
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        Addr srcLine = kNoAddr;
+        std::array<Addr, 4> dests{};
+        std::uint8_t numDests = 0;
+        std::uint8_t nextVictim = 0;
+        std::uint64_t lru = 0;
+    };
+
+    struct HistoryRecord
+    {
+        Addr line = kNoAddr;
+        Cycle when = 0;
+    };
+
+    std::uint32_t setOf(Addr line) const;
+    Entry *find(Addr line);
+    Entry &allocate(Addr line);
+    void entangle(Addr src, Addr dst);
+
+    const char *name_;
+    EipConfig cfg_;
+    std::vector<Entry> table_;
+    std::vector<HistoryRecord> history_;
+    std::size_t histPos_ = 0;
+    std::uint64_t lruClock_ = 0;
+    Addr lastLine_ = kNoAddr;
+};
+
+} // namespace fdip
+
+#endif // FDIP_PREFETCH_EIP_H_

@@ -1,0 +1,45 @@
+#include "prefetch/factory.h"
+
+#include "prefetch/djolt.h"
+#include "prefetch/eip.h"
+#include "prefetch/fnl_mma.h"
+#include "prefetch/next_line.h"
+#include "prefetch/rdip.h"
+#include "prefetch/sn4l_dis.h"
+#include "util/log.h"
+
+namespace fdip
+{
+
+std::unique_ptr<InstPrefetcher>
+makePrefetcher(const std::string &name)
+{
+    if (name == "none")
+        return std::make_unique<NullPrefetcher>();
+    if (name == "nl1")
+        return std::make_unique<NextLinePrefetcher>(1);
+    if (name == "fnl+mma")
+        return std::make_unique<FnlMmaPrefetcher>();
+    if (name == "d-jolt")
+        return std::make_unique<DjoltPrefetcher>();
+    if (name == "eip-128") {
+        return std::make_unique<EipPrefetcher>(EipConfig::sized128KB(),
+                                               "EIP-128KB");
+    }
+    if (name == "eip-27") {
+        return std::make_unique<EipPrefetcher>(EipConfig::sized27KB(),
+                                               "EIP-27KB");
+    }
+    if (name == "rdip")
+        return std::make_unique<RdipPrefetcher>();
+    if (name == "sn4l+dis") {
+        Sn4lDisConfig cfg;
+        cfg.btbPrefetch = false;
+        return std::make_unique<Sn4lDisPrefetcher>(cfg);
+    }
+    if (name == "sn4l+dis+btb")
+        return std::make_unique<Sn4lDisPrefetcher>();
+    fdip_fatal("unknown prefetcher '%s'", name.c_str());
+}
+
+} // namespace fdip

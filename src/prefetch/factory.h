@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Named prefetcher construction for the experiment harness and bench
+ * binaries.
+ */
+
+#ifndef FDIP_PREFETCH_FACTORY_H_
+#define FDIP_PREFETCH_FACTORY_H_
+
+#include <memory>
+#include <string>
+
+#include "prefetch/prefetcher.h"
+
+namespace fdip
+{
+
+/**
+ * Creates a prefetcher by name. Known names: "none", "nl1",
+ * "fnl+mma", "d-jolt", "eip-128", "eip-27", "rdip", "sn4l+dis",
+ * "sn4l+dis+btb". Unknown names are fatal.
+ */
+std::unique_ptr<InstPrefetcher> makePrefetcher(const std::string &name);
+
+} // namespace fdip
+
+#endif // FDIP_PREFETCH_FACTORY_H_

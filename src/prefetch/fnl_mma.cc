@@ -1,0 +1,98 @@
+#include "prefetch/fnl_mma.h"
+
+#include "util/bits.h"
+
+namespace fdip
+{
+
+FnlMmaPrefetcher::FnlMmaPrefetcher(const FnlMmaConfig &cfg)
+    : cfg_(cfg),
+      worth_(std::size_t{1} << cfg.logFnlEntries, SatCounter(2, 2)),
+      mma_(std::size_t{1} << cfg.logMmaEntries),
+      missHistory_(cfg.mmaDistance, kNoAddr)
+{
+}
+
+std::uint32_t
+FnlMmaPrefetcher::fnlIndex(Addr line) const
+{
+    const std::uint64_t l = line / kCacheLineBytes;
+    return static_cast<std::uint32_t>((l ^ (l >> cfg_.logFnlEntries)) &
+                                      mask(cfg_.logFnlEntries));
+}
+
+std::uint32_t
+FnlMmaPrefetcher::mmaIndex(Addr line) const
+{
+    const std::uint64_t l = line / kCacheLineBytes;
+    return static_cast<std::uint32_t>(
+        mix64(l) & mask(cfg_.logMmaEntries));
+}
+
+std::uint32_t
+FnlMmaPrefetcher::mmaTag(Addr line) const
+{
+    const std::uint64_t l = line / kCacheLineBytes;
+    return static_cast<std::uint32_t>((mix64(l) >> 32) & mask(12));
+}
+
+void
+FnlMmaPrefetcher::onDemandLookup(Addr line_addr, bool hit, Cycle now)
+{
+    (void)now;
+
+    // ---- FNL training: was this access the sequential successor of
+    // the previous one?
+    if (lastLine_ != kNoAddr && line_addr != lastLine_) {
+        if (line_addr == lastLine_ + kCacheLineBytes)
+            worth_[fnlIndex(lastLine_)].increment();
+        else
+            worth_[fnlIndex(lastLine_)].decrement();
+    }
+    const bool new_line = line_addr != lastLine_;
+    lastLine_ = line_addr;
+
+    // ---- FNL prefetch: chain through confident next-line bits.
+    if (new_line) {
+        Addr l = line_addr;
+        for (unsigned d = 0; d < cfg_.fnlMaxDegree; ++d) {
+            if (!worth_[fnlIndex(l)].taken())
+                break;
+            l += kCacheLineBytes;
+            enqueuePrefetch(l);
+        }
+    }
+
+    if (!hit) {
+        // ---- MMA training: the miss mmaDistance ago leads here.
+        const Addr old_miss = missHistory_[missPos_];
+        if (old_miss != kNoAddr) {
+            MmaEntry &e = mma_[mmaIndex(old_miss)];
+            e.tag = mmaTag(old_miss);
+            e.targetLine = line_addr;
+        }
+        missHistory_[missPos_] = line_addr;
+        missPos_ = (missPos_ + 1) % missHistory_.size();
+
+        // ---- MMA prefetch: jump ahead from this miss, chaining a few
+        // hops through the miss-ahead table for additional lead.
+        Addr l = line_addr;
+        for (unsigned hop = 0; hop < 3; ++hop) {
+            const MmaEntry &e = mma_[mmaIndex(l)];
+            if (e.targetLine == kNoAddr || e.tag != mmaTag(l))
+                break;
+            enqueuePrefetch(e.targetLine);
+            l = e.targetLine;
+        }
+    }
+}
+
+std::uint64_t
+FnlMmaPrefetcher::storageBits() const
+{
+    // FNL: 2-bit counters. MMA: 12b tag + 34b line address per entry.
+    return (std::uint64_t{1} << cfg_.logFnlEntries) * 2 +
+           (std::uint64_t{1} << cfg_.logMmaEntries) * (12 + 34);
+}
+
+} // namespace fdip

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * FNL+MMA (Seznec, IPC-1): Footprint Next Line + Multiple Miss Ahead.
+ *
+ * FNL is an aggressive next-line prefetcher gated by "worth
+ * prefetching" confidence per line; MMA is a temporal component that
+ * jumps several misses ahead by remembering, for each miss, the miss
+ * that followed it N misses later.
+ */
+
+#ifndef FDIP_PREFETCH_FNL_MMA_H_
+#define FDIP_PREFETCH_FNL_MMA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "prefetch/prefetcher.h"
+#include "util/sat_counter.h"
+
+namespace fdip
+{
+
+/** FNL+MMA sizing. */
+struct FnlMmaConfig
+{
+    unsigned logFnlEntries = 14;  ///< Worth-next-line counters.
+    unsigned fnlMaxDegree = 4;    ///< Chain length through worth bits.
+    unsigned logMmaEntries = 12;  ///< Miss-ahead table entries.
+    unsigned mmaDistance = 4;     ///< How many misses ahead MMA jumps.
+};
+
+/**
+ * The FNL+MMA prefetcher.
+ */
+class FnlMmaPrefetcher : public InstPrefetcher
+{
+  public:
+    explicit FnlMmaPrefetcher(const FnlMmaConfig &cfg = FnlMmaConfig());
+
+    const char *name() const override { return "FNL+MMA"; }
+    std::uint64_t storageBits() const override;
+
+    void onDemandLookup(Addr line_addr, bool hit, Cycle now) override;
+
+  private:
+    struct MmaEntry
+    {
+        std::uint32_t tag = 0;
+        Addr targetLine = kNoAddr;
+    };
+
+    std::uint32_t fnlIndex(Addr line) const;
+    std::uint32_t mmaIndex(Addr line) const;
+    std::uint32_t mmaTag(Addr line) const;
+
+    FnlMmaConfig cfg_;
+    std::vector<SatCounter> worth_; ///< FNL worth-next-line confidence.
+    std::vector<MmaEntry> mma_;
+
+    Addr lastLine_ = kNoAddr;
+    std::vector<Addr> missHistory_; ///< Ring of recent miss lines.
+    std::size_t missPos_ = 0;
+};
+
+} // namespace fdip
+
+#endif // FDIP_PREFETCH_FNL_MMA_H_

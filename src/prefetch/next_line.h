@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Next-line instruction prefetching (paper's NL1 baseline): on a demand
+ * miss, prefetch the next sequential line(s).
+ */
+
+#ifndef FDIP_PREFETCH_NEXT_LINE_H_
+#define FDIP_PREFETCH_NEXT_LINE_H_
+
+#include "prefetch/prefetcher.h"
+
+namespace fdip
+{
+
+/**
+ * Next-line prefetcher. Degree 1 is the paper's NL1; higher degrees
+ * are available for the ablation bench.
+ */
+class NextLinePrefetcher : public InstPrefetcher
+{
+  public:
+    explicit NextLinePrefetcher(unsigned degree = 1) : degree_(degree) {}
+
+    const char *name() const override { return "NL1"; }
+    std::uint64_t storageBits() const override { return 0; }
+
+    void
+    onDemandLookup(Addr line_addr, bool hit, Cycle now) override
+    {
+        (void)now;
+        if (hit)
+            return;
+        for (unsigned d = 1; d <= degree_; ++d)
+            enqueuePrefetch(line_addr + d * kCacheLineBytes);
+    }
+
+  private:
+    unsigned degree_;
+};
+
+} // namespace fdip
+
+#endif // FDIP_PREFETCH_NEXT_LINE_H_

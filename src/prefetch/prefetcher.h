@@ -1,0 +1,133 @@
+/**
+ * @file
+ * The instruction-prefetcher interface, modeled on the IPC-1 framework:
+ * prefetchers observe the L1I demand stream (and, for some designs,
+ * the committed branch stream) and emit candidate line addresses that
+ * the fetch pipeline turns into prefetch fills.
+ */
+
+#ifndef FDIP_PREFETCH_PREFETCHER_H_
+#define FDIP_PREFETCH_PREFETCHER_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "trace/inst.h"
+#include "util/types.h"
+
+namespace fdip
+{
+
+/**
+ * Base class for instruction prefetchers.
+ *
+ * Concrete prefetchers enqueue line addresses via enqueuePrefetch();
+ * the fetch pipeline drains the queue, probes the L1I tag array
+ * (counted — the paper's Fig. 9 tag-access analysis depends on this),
+ * and issues fills for misses.
+ */
+class InstPrefetcher
+{
+  public:
+    virtual ~InstPrefetcher() = default;
+
+    /** Display name. */
+    virtual const char *name() const = 0;
+
+    /** Modeled metadata storage in bits. */
+    virtual std::uint64_t storageBits() const = 0;
+
+    /**
+     * Called once by the core after construction. Prefetchers that
+     * interact with frontend structures (e.g. BTB prefetching, which
+     * pre-decodes filled lines and installs branches) grab what they
+     * need here.
+     */
+    virtual void
+    bind(class Bpu &bpu, const class ProgramImage &image)
+    {
+        (void)bpu;
+        (void)image;
+    }
+
+    /**
+     * A demand L1I lookup for @p line_addr (64B-aligned) was performed.
+     * @p hit tells the outcome. Called in fetch order.
+     */
+    virtual void
+    onDemandLookup(Addr line_addr, bool hit, Cycle now)
+    {
+        (void)line_addr;
+        (void)hit;
+        (void)now;
+    }
+
+    /** A fill for @p line_addr completed (@p was_prefetch tells how it
+     *  was initiated). */
+    virtual void
+    onFillComplete(Addr line_addr, bool was_prefetch, Cycle now)
+    {
+        (void)line_addr;
+        (void)was_prefetch;
+        (void)now;
+    }
+
+    /**
+     * A correct-path branch resolved. Used by call/return-correlated
+     * prefetchers (D-JOLT) and the discontinuity predictor.
+     */
+    virtual void
+    onBranch(Addr pc, InstClass kind, Addr target, bool taken)
+    {
+        (void)pc;
+        (void)kind;
+        (void)target;
+        (void)taken;
+    }
+
+    /** Pops the next prefetch candidate; kNoAddr when empty. */
+    Addr
+    popPrefetch()
+    {
+        if (queue_.empty())
+            return kNoAddr;
+        const Addr a = queue_.front();
+        queue_.pop_front();
+        return a;
+    }
+
+    /** Pending prefetch candidates. */
+    std::size_t pendingPrefetches() const { return queue_.size(); }
+
+  protected:
+    /** Enqueues a candidate prefetch line (deduplicated FIFO, bounded). */
+    void
+    enqueuePrefetch(Addr line_addr)
+    {
+        if (queue_.size() >= kMaxQueue)
+            return;
+        for (Addr a : queue_)
+            if (a == line_addr)
+                return;
+        queue_.push_back(line_addr);
+    }
+
+  private:
+    static constexpr std::size_t kMaxQueue = 64;
+    std::deque<Addr> queue_;
+};
+
+/**
+ * The trivial "no prefetching" prefetcher.
+ */
+class NullPrefetcher : public InstPrefetcher
+{
+  public:
+    const char *name() const override { return "none"; }
+    std::uint64_t storageBits() const override { return 0; }
+};
+
+} // namespace fdip
+
+#endif // FDIP_PREFETCH_PREFETCHER_H_

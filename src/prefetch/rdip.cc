@@ -1,0 +1,101 @@
+#include "prefetch/rdip.h"
+
+#include "util/bits.h"
+
+namespace fdip
+{
+
+RdipPrefetcher::RdipPrefetcher(const RdipConfig &cfg)
+    : cfg_(cfg), table_(std::size_t{1} << cfg.logTableEntries)
+{
+    shadowStack_.reserve(128);
+}
+
+std::uint64_t
+RdipPrefetcher::signature() const
+{
+    // Hash the top rasDepthHashed entries of the shadow stack.
+    std::uint64_t sig = 0x9e37;
+    const std::size_t n =
+        std::min<std::size_t>(cfg_.rasDepthHashed, shadowStack_.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t v =
+            shadowStack_[shadowStack_.size() - 1 - i] >> 2;
+        sig ^= (v << (9 * i)) ^ (v >> (40 - 9 * i));
+    }
+    return mix64(sig);
+}
+
+void
+RdipPrefetcher::trigger(std::uint64_t sig)
+{
+    const Entry &e = table_[sig & mask(cfg_.logTableEntries)];
+    if (!e.valid ||
+        e.tag != static_cast<std::uint32_t>(
+                     (sig >> cfg_.logTableEntries) & mask(12))) {
+        return;
+    }
+    for (unsigned i = 0; i < e.numLines; ++i)
+        enqueuePrefetch(e.lines[i]);
+}
+
+void
+RdipPrefetcher::onBranch(Addr pc, InstClass kind, Addr target, bool taken)
+{
+    (void)target;
+    if (!taken)
+        return;
+    if (isCall(kind)) {
+        if (shadowStack_.size() >= 128)
+            shadowStack_.erase(shadowStack_.begin());
+        shadowStack_.push_back(pc + kInstBytes);
+    } else if (isReturn(kind)) {
+        if (!shadowStack_.empty())
+            shadowStack_.pop_back();
+    } else {
+        return;
+    }
+    // RAS changed: new program context.
+    previousSig_ = currentSig_;
+    currentSig_ = signature();
+    trigger(currentSig_);
+}
+
+void
+RdipPrefetcher::onDemandLookup(Addr line_addr, bool hit, Cycle now)
+{
+    (void)now;
+    if (hit)
+        return;
+    // Record the miss against the *previous* context so that, on
+    // recurrence, the prefetch fires one context early (lookahead).
+    Entry &e = table_[previousSig_ & mask(cfg_.logTableEntries)];
+    const auto tag = static_cast<std::uint32_t>(
+        (previousSig_ >> cfg_.logTableEntries) & mask(12));
+    if (!e.valid || e.tag != tag) {
+        e.valid = true;
+        e.tag = tag;
+        e.numLines = 0;
+        e.nextVictim = 0;
+    }
+    for (unsigned i = 0; i < e.numLines; ++i) {
+        if (e.lines[i] == line_addr)
+            return;
+    }
+    if (e.numLines < cfg_.linesPerEntry) {
+        e.lines[e.numLines++] = line_addr;
+    } else {
+        e.lines[e.nextVictim] = line_addr;
+        e.nextVictim = static_cast<std::uint8_t>(
+            (e.nextVictim + 1) % cfg_.linesPerEntry);
+    }
+}
+
+std::uint64_t
+RdipPrefetcher::storageBits() const
+{
+    const std::uint64_t entry_bits = 1 + 12 + 34ull * cfg_.linesPerEntry;
+    return (std::uint64_t{1} << cfg_.logTableEntries) * entry_bits;
+}
+
+} // namespace fdip

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * RDIP — RAS-Directed Instruction Prefetching (Kolli, Saidi & Wenisch,
+ * MICRO 2013; the paper's reference [9]): program context is captured
+ * as a hash of the return-address-stack contents; I-cache misses are
+ * recorded against the context and prefetched when it recurs. D-JOLT
+ * (also implemented) is the IPC-1 refinement of this idea.
+ */
+
+#ifndef FDIP_PREFETCH_RDIP_H_
+#define FDIP_PREFETCH_RDIP_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "prefetch/prefetcher.h"
+
+namespace fdip
+{
+
+/** RDIP sizing. */
+struct RdipConfig
+{
+    unsigned rasDepthHashed = 4;   ///< Top-of-stack entries hashed.
+    unsigned logTableEntries = 12; ///< Signature-table entries.
+    unsigned linesPerEntry = 6;    ///< Miss lines per signature.
+};
+
+/**
+ * The RDIP prefetcher. Maintains a shadow call stack from the
+ * committed branch stream.
+ */
+class RdipPrefetcher : public InstPrefetcher
+{
+  public:
+    explicit RdipPrefetcher(const RdipConfig &cfg = RdipConfig());
+
+    const char *name() const override { return "RDIP"; }
+    std::uint64_t storageBits() const override;
+
+    void onDemandLookup(Addr line_addr, bool hit, Cycle now) override;
+    void onBranch(Addr pc, InstClass kind, Addr target,
+                  bool taken) override;
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        std::uint32_t tag = 0;
+        std::array<Addr, 8> lines{};
+        std::uint8_t numLines = 0;
+        std::uint8_t nextVictim = 0;
+    };
+
+    std::uint64_t signature() const;
+    void trigger(std::uint64_t sig);
+
+    RdipConfig cfg_;
+    std::vector<Entry> table_;
+    std::vector<Addr> shadowStack_;
+    std::uint64_t currentSig_ = 0;
+    std::uint64_t previousSig_ = 0;
+};
+
+} // namespace fdip
+
+#endif // FDIP_PREFETCH_RDIP_H_

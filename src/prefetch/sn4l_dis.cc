@@ -1,0 +1,138 @@
+#include "prefetch/sn4l_dis.h"
+
+#include "bpu/bpu.h"
+#include "trace/program.h"
+#include "util/bits.h"
+
+namespace fdip
+{
+
+Sn4lDisPrefetcher::Sn4lDisPrefetcher(const Sn4lDisConfig &cfg)
+    : cfg_(cfg),
+      useful_(std::size_t{1} << cfg.logSn4lEntries, 0x0f),
+      dis_(std::size_t{1} << cfg.logDisEntries)
+{
+}
+
+void
+Sn4lDisPrefetcher::bind(Bpu &bpu, const ProgramImage &image)
+{
+    bpu_ = &bpu;
+    image_ = &image;
+}
+
+std::uint32_t
+Sn4lDisPrefetcher::sn4lIndex(Addr line) const
+{
+    const std::uint64_t l = line / kCacheLineBytes;
+    return static_cast<std::uint32_t>((l ^ (l >> cfg_.logSn4lEntries)) &
+                                      mask(cfg_.logSn4lEntries));
+}
+
+std::uint32_t
+Sn4lDisPrefetcher::disIndex(Addr line) const
+{
+    const std::uint64_t l = line / kCacheLineBytes;
+    return static_cast<std::uint32_t>(mix64(l) &
+                                      mask(cfg_.logDisEntries));
+}
+
+std::uint32_t
+Sn4lDisPrefetcher::disTag(Addr line) const
+{
+    const std::uint64_t l = line / kCacheLineBytes;
+    return static_cast<std::uint32_t>((mix64(l) >> 32) & mask(12));
+}
+
+void
+Sn4lDisPrefetcher::onDemandLookup(Addr line_addr, bool hit, Cycle now)
+{
+    (void)now;
+    const bool new_line = line_addr != lastAccessLine_;
+
+    // ---- SN4L training: a demand access within 4 lines after an
+    // earlier access marks that distance useful.
+    if (new_line && lastAccessLine_ != kNoAddr &&
+        line_addr > lastAccessLine_) {
+        const Addr delta =
+            (line_addr - lastAccessLine_) / kCacheLineBytes;
+        if (delta >= 1 && delta <= 4) {
+            useful_[sn4lIndex(lastAccessLine_)] |=
+                static_cast<std::uint8_t>(1u << (delta - 1));
+        }
+    }
+
+    if (new_line) {
+        // ---- SN4L prefetch: useful next lines only.
+        const std::uint8_t bits = useful_[sn4lIndex(line_addr)];
+        for (unsigned d = 1; d <= 4; ++d) {
+            if ((bits >> (d - 1)) & 1)
+                enqueuePrefetch(line_addr + d * kCacheLineBytes);
+        }
+
+        // ---- Dis prefetch: follow a recorded discontinuity.
+        const DisEntry &e = dis_[disIndex(line_addr)];
+        if (e.target != kNoAddr && e.tag == disTag(line_addr))
+            enqueuePrefetch(e.target);
+
+        lastAccessLine_ = line_addr;
+    }
+
+    if (!hit) {
+        // ---- Dis training: record jumps between miss lines that the
+        // next-4-line window cannot cover.
+        if (lastMissLine_ != kNoAddr && line_addr != lastMissLine_) {
+            const bool sequentialish =
+                line_addr > lastMissLine_ &&
+                line_addr - lastMissLine_ <= 4 * kCacheLineBytes;
+            if (!sequentialish) {
+                DisEntry &e = dis_[disIndex(lastMissLine_)];
+                e.tag = disTag(lastMissLine_);
+                e.target = line_addr;
+            }
+        }
+        lastMissLine_ = line_addr;
+    }
+}
+
+void
+Sn4lDisPrefetcher::onFillComplete(Addr line_addr, bool was_prefetch,
+                                  Cycle now)
+{
+    (void)now;
+    if (!cfg_.btbPrefetch || bpu_ == nullptr || image_ == nullptr)
+        return;
+    // Install only from demand fills: pre-decoding every prefetched
+    // line floods small BTBs with speculative branches and the
+    // pollution swamps the coverage benefit.
+    if (was_prefetch)
+        return;
+
+    // BTB prefetching: pre-decode the filled line and install every
+    // PC-relative branch unconditionally. Register-indirect branches
+    // cannot be prefetched (no target in the encoding).
+    for (unsigned i = 0; i < kCacheLineBytes / kInstBytes; ++i) {
+        const Addr pc = line_addr + i * kInstBytes;
+        if (!image_->contains(pc))
+            continue;
+        const StaticInst &si = image_->instAt(pc);
+        if (!isBranch(si.cls) || !isDirect(si.cls))
+            continue;
+        if (bpu_->btb().peek(pc).has_value())
+            continue;
+        // Unconditional install: force allocation regardless of the
+        // frontend's taken-only policy (this is the pollution the
+        // paper's Section VI-E measures).
+        bpu_->btb().insert(pc, si.cls, si.target, true);
+        ++btbInstalls_;
+    }
+}
+
+std::uint64_t
+Sn4lDisPrefetcher::storageBits() const
+{
+    return (std::uint64_t{1} << cfg_.logSn4lEntries) * 4 +
+           (std::uint64_t{1} << cfg_.logDisEntries) * (12 + 34);
+}
+
+} // namespace fdip

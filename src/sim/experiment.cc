@@ -1,0 +1,96 @@
+#include "sim/experiment.h"
+
+#include "util/log.h"
+#include "util/stats.h"
+
+namespace fdip
+{
+
+PrefetcherFactory
+noPrefetcher()
+{
+    return [](const Trace &) { return std::make_unique<NullPrefetcher>(); };
+}
+
+double
+SuiteResult::geomeanIpc() const
+{
+    std::vector<double> v;
+    v.reserve(runs.size());
+    for (const auto &r : runs)
+        v.push_back(r.stats.ipc());
+    return geometricMean(v);
+}
+
+double
+SuiteResult::meanMpki() const
+{
+    std::vector<double> v;
+    v.reserve(runs.size());
+    for (const auto &r : runs)
+        v.push_back(r.stats.branchMpki());
+    return arithmeticMean(v);
+}
+
+double
+SuiteResult::meanStarvationPerKi() const
+{
+    std::vector<double> v;
+    v.reserve(runs.size());
+    for (const auto &r : runs)
+        v.push_back(r.stats.starvationPerKi());
+    return arithmeticMean(v);
+}
+
+double
+SuiteResult::meanTagAccessesPerKi() const
+{
+    std::vector<double> v;
+    v.reserve(runs.size());
+    for (const auto &r : runs)
+        v.push_back(r.stats.tagAccessesPerKi());
+    return arithmeticMean(v);
+}
+
+double
+SuiteResult::speedupOver(const SuiteResult &base) const
+{
+    if (runs.size() != base.runs.size())
+        fdip_fatal("speedupOver: mismatched suite sizes %zu vs %zu",
+                   runs.size(), base.runs.size());
+    std::vector<double> v;
+    v.reserve(runs.size());
+    for (std::size_t i = 0; i < runs.size(); ++i)
+        v.push_back(runs[i].stats.ipc() / base.runs[i].stats.ipc());
+    return geometricMean(v);
+}
+
+SuiteResult
+runSuite(const std::string &label, CoreConfig cfg,
+         const std::vector<SuiteEntry> &suite,
+         const PrefetcherFactory &make_prefetcher, double warmup_fraction)
+{
+    cfg.applyHistoryScheme();
+    SuiteResult result;
+    result.label = label;
+    result.runs.reserve(suite.size());
+    for (const auto &entry : suite) {
+        Core core(cfg, entry.trace, make_prefetcher(entry.trace));
+        const auto warmup = static_cast<std::uint64_t>(
+            static_cast<double>(entry.trace.size()) * warmup_fraction);
+        RunResult run;
+        run.workload = entry.name;
+        run.stats = core.run(warmup);
+        result.runs.push_back(std::move(run));
+    }
+    return result;
+}
+
+std::vector<SuiteEntry>
+benchSuite(std::size_t default_insts)
+{
+    return buildStandardSuite(suiteInstsFromEnv(default_insts),
+                              suiteSmallFromEnv());
+}
+
+} // namespace fdip

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The experiment harness: runs one core configuration across a
+ * workload suite and aggregates metrics the way the paper does
+ * (geometric-mean IPC speedups, arithmetic-mean MPKI).
+ */
+
+#ifndef FDIP_SIM_EXPERIMENT_H_
+#define FDIP_SIM_EXPERIMENT_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/core.h"
+#include "core/core_config.h"
+#include "core/sim_stats.h"
+#include "prefetch/prefetcher.h"
+#include "trace/suite.h"
+
+namespace fdip
+{
+
+/** Builds a prefetcher instance for one trace. */
+using PrefetcherFactory =
+    std::function<std::unique_ptr<InstPrefetcher>(const Trace &)>;
+
+/** A factory for the null prefetcher. */
+PrefetcherFactory noPrefetcher();
+
+/** Result of one (config, workload) simulation. */
+struct RunResult
+{
+    std::string workload;
+    SimStats stats;
+};
+
+/** Result of one configuration across the suite. */
+struct SuiteResult
+{
+    std::string label;
+    std::vector<RunResult> runs;
+
+    /** Geometric-mean IPC across workloads. */
+    double geomeanIpc() const;
+    /** Arithmetic-mean branch MPKI. */
+    double meanMpki() const;
+    /** Arithmetic-mean starvation cycles per kilo-instruction. */
+    double meanStarvationPerKi() const;
+    /** Arithmetic-mean L1I tag accesses per kilo-instruction. */
+    double meanTagAccessesPerKi() const;
+
+    /** Geomean speedup of this result over @p base (1.0 = equal). */
+    double speedupOver(const SuiteResult &base) const;
+};
+
+/**
+ * Runs @p cfg over every trace in @p suite.
+ *
+ * @param label          display label.
+ * @param cfg            core configuration (historyScheme is applied).
+ * @param suite          the traces.
+ * @param make_prefetcher per-trace prefetcher factory.
+ * @param warmup_fraction fraction of each trace treated as warmup.
+ */
+SuiteResult runSuite(const std::string &label, CoreConfig cfg,
+                     const std::vector<SuiteEntry> &suite,
+                     const PrefetcherFactory &make_prefetcher,
+                     double warmup_fraction = 0.2);
+
+/** Default suite sizing for bench binaries: FDIP_SIM_INSTRS override,
+ *  FDIP_SUITE=small override, defaults to @p default_insts / full. */
+std::vector<SuiteEntry> benchSuite(std::size_t default_insts = 1000000);
+
+} // namespace fdip
+
+#endif // FDIP_SIM_EXPERIMENT_H_

@@ -1,0 +1,98 @@
+#include "sim/report.h"
+
+#include <cstdio>
+#include <memory>
+
+namespace fdip
+{
+
+namespace
+{
+
+struct FileCloser
+{
+    void operator()(std::FILE *f) const { std::fclose(f); }
+};
+
+using FileHandle = std::unique_ptr<std::FILE, FileCloser>;
+
+/** Minimal JSON string escaping (labels are simple identifiers). */
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        if (static_cast<unsigned char>(c) >= 0x20)
+            out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace
+
+bool
+writeSuiteResultsJson(const std::string &path,
+                      const std::vector<SuiteResult> &results)
+{
+    FileHandle f(std::fopen(path.c_str(), "w"));
+    if (!f)
+        return false;
+    std::fprintf(f.get(), "{\n  \"results\": [\n");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const SuiteResult &r = results[i];
+        std::fprintf(f.get(),
+                     "    {\"label\": \"%s\", \"geomeanIpc\": %.6f, "
+                     "\"meanMpki\": %.4f, \"runs\": [\n",
+                     escape(r.label).c_str(), r.geomeanIpc(),
+                     r.meanMpki());
+        for (std::size_t j = 0; j < r.runs.size(); ++j) {
+            const RunResult &run = r.runs[j];
+            const SimStats &s = run.stats;
+            std::fprintf(
+                f.get(),
+                "      {\"workload\": \"%s\", \"ipc\": %.6f, "
+                "\"mpki\": %.4f, \"starvationPerKi\": %.3f, "
+                "\"tagAccessesPerKi\": %.3f, \"l1iMpki\": %.4f, "
+                "\"pfcFires\": %llu, \"ghrFixups\": %llu}%s\n",
+                escape(run.workload).c_str(), s.ipc(), s.branchMpki(),
+                s.starvationPerKi(), s.tagAccessesPerKi(), s.l1iMpki(),
+                static_cast<unsigned long long>(s.pfcFires),
+                static_cast<unsigned long long>(s.ghrFixups),
+                j + 1 < r.runs.size() ? "," : "");
+        }
+        std::fprintf(f.get(), "    ]}%s\n",
+                     i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f.get(), "  ]\n}\n");
+    return true;
+}
+
+bool
+writeSuiteResultsCsv(const std::string &path,
+                     const std::vector<SuiteResult> &results)
+{
+    FileHandle f(std::fopen(path.c_str(), "w"));
+    if (!f)
+        return false;
+    std::fprintf(f.get(),
+                 "label,workload,ipc,mpki,starvation_per_ki,"
+                 "tag_accesses_per_ki,l1i_mpki,pfc_fires,ghr_fixups\n");
+    for (const SuiteResult &r : results) {
+        for (const RunResult &run : r.runs) {
+            const SimStats &s = run.stats;
+            std::fprintf(
+                f.get(), "%s,%s,%.6f,%.4f,%.3f,%.3f,%.4f,%llu,%llu\n",
+                r.label.c_str(), run.workload.c_str(), s.ipc(),
+                s.branchMpki(), s.starvationPerKi(),
+                s.tagAccessesPerKi(), s.l1iMpki(),
+                static_cast<unsigned long long>(s.pfcFires),
+                static_cast<unsigned long long>(s.ghrFixups));
+        }
+    }
+    return true;
+}
+
+} // namespace fdip

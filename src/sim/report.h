@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Machine-readable experiment reporting: JSON and CSV dumps of suite
+ * results, so figures can be re-plotted outside the simulator.
+ */
+
+#ifndef FDIP_SIM_REPORT_H_
+#define FDIP_SIM_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "sim/experiment.h"
+
+namespace fdip
+{
+
+/**
+ * Writes one or more labeled suite results as a JSON document:
+ *
+ * {
+ *   "results": [
+ *     {"label": "...", "geomeanIpc": ..., "meanMpki": ...,
+ *      "runs": [{"workload": "...", "ipc": ..., ...}, ...]},
+ *     ...
+ *   ]
+ * }
+ *
+ * @return false on I/O failure.
+ */
+bool writeSuiteResultsJson(const std::string &path,
+                           const std::vector<SuiteResult> &results);
+
+/**
+ * Writes per-workload metrics as CSV with a header row:
+ * label,workload,ipc,mpki,starvation_per_ki,tag_accesses_per_ki,
+ * l1i_mpki,pfc_fires,ghr_fixups.
+ *
+ * @return false on I/O failure.
+ */
+bool writeSuiteResultsCsv(const std::string &path,
+                          const std::vector<SuiteResult> &results);
+
+} // namespace fdip
+
+#endif // FDIP_SIM_REPORT_H_

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Static and dynamic instruction models.
+ *
+ * The paper assumes fixed-length 32-bit instructions; we do the same. A
+ * StaticInst is one slot in the program image (what an I-cache line
+ * holds and what the pre-decoder sees); a DynInst is one executed
+ * instance in the trace.
+ */
+
+#ifndef FDIP_TRACE_INST_H_
+#define FDIP_TRACE_INST_H_
+
+#include <cstdint>
+
+#include "util/types.h"
+
+namespace fdip
+{
+
+/**
+ * Instruction classes relevant to the frontend.
+ *
+ * "Direct" branches embed a PC-relative offset in the encoding, so the
+ * pre-decoder can recover their target (PFC-able). "Indirect" branches
+ * read the target from a register (not PFC-able). Returns obtain the
+ * target from the RAS (PFC-able).
+ */
+enum class InstClass : std::uint8_t
+{
+    kAlu,          ///< Non-branch, non-memory instruction.
+    kLoad,         ///< Memory load.
+    kStore,        ///< Memory store.
+    kCondDirect,   ///< Conditional PC-relative branch.
+    kJumpDirect,   ///< Unconditional PC-relative jump.
+    kCallDirect,   ///< Unconditional PC-relative call (pushes RAS).
+    kJumpIndirect, ///< Unconditional register-indirect jump.
+    kCallIndirect, ///< Unconditional register-indirect call (pushes RAS).
+    kReturn,       ///< Function return (target from RAS).
+};
+
+/** True for any control-flow instruction. */
+constexpr bool
+isBranch(InstClass c)
+{
+    return c >= InstClass::kCondDirect;
+}
+
+/** True for conditional branches. */
+constexpr bool
+isConditional(InstClass c)
+{
+    return c == InstClass::kCondDirect;
+}
+
+/** True for unconditional control flow. */
+constexpr bool
+isUnconditional(InstClass c)
+{
+    return isBranch(c) && !isConditional(c);
+}
+
+/** True when the target is recoverable from the encoding (PC-relative). */
+constexpr bool
+isDirect(InstClass c)
+{
+    return c == InstClass::kCondDirect || c == InstClass::kJumpDirect ||
+           c == InstClass::kCallDirect;
+}
+
+/** True for register-indirect control flow. */
+constexpr bool
+isIndirect(InstClass c)
+{
+    return c == InstClass::kJumpIndirect || c == InstClass::kCallIndirect;
+}
+
+/** True for calls (push a return address onto the RAS). */
+constexpr bool
+isCall(InstClass c)
+{
+    return c == InstClass::kCallDirect || c == InstClass::kCallIndirect;
+}
+
+/** True for returns (pop the RAS). */
+constexpr bool
+isReturn(InstClass c)
+{
+    return c == InstClass::kReturn;
+}
+
+/** Short mnemonic for debugging output. */
+const char *instClassName(InstClass c);
+
+/**
+ * How the workload generator decides a conditional branch's outcome or
+ * an indirect branch's target at execution time. This is generator-side
+ * ground truth; the simulated predictors never see it.
+ */
+enum class BranchBehavior : std::uint8_t
+{
+    kNone,           ///< Not a conditional/indirect branch.
+    kBiased,         ///< Taken with fixed per-branch probability.
+    kLoop,           ///< Taken (n-1) times, then not-taken, repeating.
+    kPathCorrelated, ///< Outcome is a hash of recent taken-branch path.
+    kDirCorrelated,  ///< Outcome is a hash of recent all-branch directions.
+};
+
+/**
+ * One slot of the program image.
+ */
+struct StaticInst
+{
+    /** Instruction class. */
+    InstClass cls = InstClass::kAlu;
+
+    /** Ground-truth behaviour model (generator-side only). */
+    BranchBehavior behavior = BranchBehavior::kNone;
+
+    /** Behaviour parameter: permille bias, loop count, or history depth. */
+    std::uint16_t param = 0;
+
+    /** Direct target address; kNoAddr for non-branches and indirects. */
+    Addr target = kNoAddr;
+};
+
+/**
+ * One dynamic (executed) instruction in a trace.
+ *
+ * Ground truth for the simulator: actual branch direction and target,
+ * or the effective address of a memory access.
+ */
+struct DynInst
+{
+    /** Index of the static instruction in the program image. */
+    std::uint32_t staticIndex = 0;
+
+    /** Actual direction for conditional branches; 1 for taken
+     *  unconditional flow; 0 otherwise. */
+    std::uint8_t taken = 0;
+
+    /** Padding kept explicit so the trace record layout is stable. */
+    std::uint8_t pad[3] = {0, 0, 0};
+
+    /** Actual branch target (branches) or effective address (memory). */
+    Addr info = kNoAddr;
+};
+
+static_assert(sizeof(DynInst) == 16, "trace record layout must be stable");
+
+} // namespace fdip
+
+#endif // FDIP_TRACE_INST_H_

@@ -1,0 +1,83 @@
+#include "trace/program.h"
+
+#include "util/log.h"
+
+namespace fdip
+{
+
+const char *
+instClassName(InstClass c)
+{
+    switch (c) {
+      case InstClass::kAlu: return "alu";
+      case InstClass::kLoad: return "load";
+      case InstClass::kStore: return "store";
+      case InstClass::kCondDirect: return "b.cond";
+      case InstClass::kJumpDirect: return "b";
+      case InstClass::kCallDirect: return "bl";
+      case InstClass::kJumpIndirect: return "br";
+      case InstClass::kCallIndirect: return "blr";
+      case InstClass::kReturn: return "ret";
+    }
+    return "?";
+}
+
+ProgramImage::ProgramImage(Addr base)
+    : base_(base)
+{
+    if (base_ % kFetchBlockBytes != 0)
+        fdip_fatal("program base %#lx must be 32B aligned", base_);
+    filler_.cls = InstClass::kAlu;
+}
+
+const StaticInst &
+ProgramImage::instAt(Addr pc) const
+{
+    if (!contains(pc))
+        return filler_;
+    return insts_[indexOf(pc)];
+}
+
+std::uint32_t
+ProgramImage::append(const StaticInst &inst)
+{
+    insts_.push_back(inst);
+    return static_cast<std::uint32_t>(insts_.size() - 1);
+}
+
+void
+ProgramImage::addFunction(std::uint32_t first_index, std::uint32_t count)
+{
+    if (first_index + count > insts_.size())
+        fdip_panic("function [%u, %u) exceeds image size %zu", first_index,
+                   first_index + count, insts_.size());
+    functions_.push_back({first_index, count});
+}
+
+std::size_t
+ProgramImage::numBranches() const
+{
+    std::size_t n = 0;
+    for (const auto &i : insts_)
+        if (isBranch(i.cls))
+            ++n;
+    return n;
+}
+
+std::size_t
+ProgramImage::numLikelyTakenBranches() const
+{
+    std::size_t n = 0;
+    for (const auto &i : insts_) {
+        if (!isBranch(i.cls))
+            continue;
+        if (isConditional(i.cls) && i.behavior == BranchBehavior::kBiased &&
+            i.param < 50) {
+            continue; // Almost-never-taken conditional.
+        }
+        ++n;
+    }
+    return n;
+}
+
+} // namespace fdip

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The synthetic program image: a contiguous array of fixed-size
+ * instructions with function boundaries.
+ *
+ * The image plays the role of the text segment. The fetch pipeline's
+ * pre-decoder reads it (that is what an I-cache line contains), the BTB
+ * prefetcher decodes it on fills, and the trace executor runs it.
+ */
+
+#ifndef FDIP_TRACE_PROGRAM_H_
+#define FDIP_TRACE_PROGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/inst.h"
+#include "util/types.h"
+
+namespace fdip
+{
+
+/**
+ * A function: a contiguous run of instructions ending in a return.
+ */
+struct FunctionInfo
+{
+    std::uint32_t firstIndex = 0; ///< Index of the entry instruction.
+    std::uint32_t numInsts = 0;   ///< Size in instructions.
+};
+
+/**
+ * A contiguous program image starting at a base address.
+ */
+class ProgramImage
+{
+  public:
+    /** @param base text-segment base; must be fetch-block aligned. */
+    explicit ProgramImage(Addr base = 0x400000);
+
+    /** Text-segment base address. */
+    Addr baseAddr() const { return base_; }
+
+    /** Number of instructions in the image. */
+    std::size_t numInsts() const { return insts_.size(); }
+
+    /** Code footprint in bytes. */
+    std::size_t footprintBytes() const { return insts_.size() * kInstBytes; }
+
+    /** Address of instruction @p index. */
+    Addr
+    pcOf(std::uint32_t index) const
+    {
+        return base_ + static_cast<Addr>(index) * kInstBytes;
+    }
+
+    /** True if @p pc falls inside the image. */
+    bool
+    contains(Addr pc) const
+    {
+        return pc >= base_ && pc < base_ + footprintBytes() &&
+               pc % kInstBytes == 0;
+    }
+
+    /** Index of the instruction at @p pc; pc must be contained. */
+    std::uint32_t
+    indexOf(Addr pc) const
+    {
+        return static_cast<std::uint32_t>((pc - base_) / kInstBytes);
+    }
+
+    /** Instruction at @p index. */
+    const StaticInst &inst(std::uint32_t index) const
+    {
+        return insts_[index];
+    }
+
+    /**
+     * Instruction at @p pc, or a synthetic non-branch filler when @p pc
+     * lies outside the image (wrong-path fetch may run past the text
+     * segment; real hardware would fetch whatever bytes are there).
+     */
+    const StaticInst &instAt(Addr pc) const;
+
+    /** Mutable access for the builder. */
+    StaticInst &instMutable(std::uint32_t index) { return insts_[index]; }
+
+    /** Appends an instruction, returning its index. */
+    std::uint32_t append(const StaticInst &inst);
+
+    /** Registers a function spanning [first, first + count). */
+    void addFunction(std::uint32_t first_index, std::uint32_t count);
+
+    /** All registered functions. */
+    const std::vector<FunctionInfo> &functions() const { return functions_; }
+
+    /** Number of static branch instructions. */
+    std::size_t numBranches() const;
+
+    /** Number of static taken-capable branches that are not strongly
+     *  biased not-taken (rough BTB footprint estimate). */
+    std::size_t numLikelyTakenBranches() const;
+
+  private:
+    Addr base_;
+    std::vector<StaticInst> insts_;
+    std::vector<FunctionInfo> functions_;
+    StaticInst filler_; ///< Returned for out-of-image PCs.
+};
+
+} // namespace fdip
+
+#endif // FDIP_TRACE_PROGRAM_H_

@@ -1,0 +1,54 @@
+#include "trace/suite.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace fdip
+{
+
+std::vector<SuiteEntry>
+buildStandardSuite(std::size_t insts_per_trace, bool small)
+{
+    std::vector<WorkloadSpec> specs;
+    specs.push_back(serverSpec("srv-a", 101));
+    specs.push_back(clientSpec("clt-a", 201));
+    specs.push_back(specCpuSpec("spec-a", 301));
+    if (!small) {
+        specs.push_back(serverSpec("srv-b", 102));
+        specs.push_back(serverSpec("srv-c", 103));
+        specs.push_back(clientSpec("clt-b", 202));
+        specs.push_back(clientSpec("clt-c", 203));
+        specs.push_back(specCpuSpec("spec-b", 302));
+        specs.push_back(specCpuSpec("spec-c", 303));
+    }
+
+    std::vector<SuiteEntry> suite;
+    suite.reserve(specs.size());
+    for (const auto &spec : specs) {
+        auto wl = std::make_shared<Workload>(buildWorkload(spec));
+        SuiteEntry e;
+        e.name = spec.name;
+        e.trace = generateTrace(wl, insts_per_trace);
+        suite.push_back(std::move(e));
+    }
+    return suite;
+}
+
+std::size_t
+suiteInstsFromEnv(std::size_t default_insts)
+{
+    const char *v = std::getenv("FDIP_SIM_INSTRS");
+    if (v == nullptr || *v == '\0')
+        return default_insts;
+    const long long n = std::atoll(v);
+    return n > 1000 ? static_cast<std::size_t>(n) : default_insts;
+}
+
+bool
+suiteSmallFromEnv()
+{
+    const char *v = std::getenv("FDIP_SUITE");
+    return v != nullptr && std::strcmp(v, "small") == 0;
+}
+
+} // namespace fdip

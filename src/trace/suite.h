@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The standard workload suite used by the experiment harness, mirroring
+ * the IPC-1 mix of server, client, and SPEC-like traces.
+ */
+
+#ifndef FDIP_TRACE_SUITE_H_
+#define FDIP_TRACE_SUITE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/trace_gen.h"
+#include "trace/workload.h"
+
+namespace fdip
+{
+
+/**
+ * A named, ready-to-simulate trace.
+ */
+struct SuiteEntry
+{
+    std::string name;
+    Trace trace;
+};
+
+/**
+ * Builds the standard suite.
+ *
+ * @param insts_per_trace dynamic instructions per trace.
+ * @param small           when true, builds a reduced 3-workload suite
+ *                        (one per class) for fast tests.
+ */
+std::vector<SuiteEntry> buildStandardSuite(std::size_t insts_per_trace,
+                                           bool small = false);
+
+/**
+ * Reads suite sizing from the environment:
+ * FDIP_SIM_INSTRS (default @p default_insts) and FDIP_SUITE
+ * ("small"/"full", default full). Used by every bench binary so suite
+ * cost can be scaled without rebuilding.
+ */
+std::size_t suiteInstsFromEnv(std::size_t default_insts);
+
+/** True when FDIP_SUITE=small is set in the environment. */
+bool suiteSmallFromEnv();
+
+} // namespace fdip
+
+#endif // FDIP_TRACE_SUITE_H_

@@ -1,0 +1,65 @@
+#include "trace/trace_io.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+
+namespace fdip
+{
+
+namespace
+{
+
+constexpr std::uint64_t kMagic = 0x46444950'54524331ULL; // "FDIPTRC1"
+
+struct FileHeader
+{
+    std::uint64_t magic;
+    std::uint64_t count;
+};
+
+struct FileCloser
+{
+    void operator()(std::FILE *f) const { std::fclose(f); }
+};
+
+using FileHandle = std::unique_ptr<std::FILE, FileCloser>;
+
+} // namespace
+
+bool
+writeTraceFile(const std::string &path, const std::vector<DynInst> &insts)
+{
+    FileHandle f(std::fopen(path.c_str(), "wb"));
+    if (!f)
+        return false;
+    FileHeader h{kMagic, insts.size()};
+    if (std::fwrite(&h, sizeof(h), 1, f.get()) != 1)
+        return false;
+    if (!insts.empty() &&
+        std::fwrite(insts.data(), sizeof(DynInst), insts.size(), f.get()) !=
+            insts.size()) {
+        return false;
+    }
+    return true;
+}
+
+bool
+readTraceFile(const std::string &path, std::vector<DynInst> &insts)
+{
+    FileHandle f(std::fopen(path.c_str(), "rb"));
+    if (!f)
+        return false;
+    FileHeader h{};
+    if (std::fread(&h, sizeof(h), 1, f.get()) != 1 || h.magic != kMagic)
+        return false;
+    insts.resize(h.count);
+    if (h.count != 0 &&
+        std::fread(insts.data(), sizeof(DynInst), h.count, f.get()) !=
+            h.count) {
+        return false;
+    }
+    return true;
+}
+
+} // namespace fdip

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Synthetic workload generation.
+ *
+ * The IPC-1 trace files the paper uses are not redistributable, so the
+ * simulator ships a workload generator that synthesizes programs with
+ * the properties the paper's study depends on: instruction footprints
+ * much larger than the L1I, realistic basic-block sizes, biased and
+ * history-correlated conditional branches, loops, deep call graphs, and
+ * indirect dispatch. Each (spec, seed) pair deterministically produces
+ * the same program and trace.
+ */
+
+#ifndef FDIP_TRACE_WORKLOAD_H_
+#define FDIP_TRACE_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/program.h"
+#include "util/types.h"
+
+namespace fdip
+{
+
+/**
+ * Tunable knobs describing a workload family member.
+ *
+ * All "permille" fields are out of 1000.
+ */
+struct WorkloadSpec
+{
+    std::string name = "anon";
+    std::uint64_t seed = 1;
+
+    /// @{ Program shape.
+    unsigned numFunctions = 200;
+    unsigned minFuncInsts = 120;
+    unsigned maxFuncInsts = 800;
+    unsigned maxCalleesPerFunction = 6;
+    /// @}
+
+    /// @{ Instruction mix (per non-terminal slot).
+    unsigned condBranchPermille = 140;  ///< Conditional branches.
+    unsigned jumpPermille = 25;         ///< Unconditional direct jumps.
+    unsigned loadPermille = 250;        ///< Loads.
+    unsigned storePermille = 120;       ///< Stores.
+    /// @}
+
+    /** Probability (permille) that a segment ends in a call site. This,
+     *  together with the ~50% early-exit rate per segment, bounds the
+     *  executed-calls-per-visit near one so call trees stay tractable. */
+    unsigned callPerSegmentPermille = 600;
+
+    /// @{ Segment sizing (instructions per early-exit region).
+    unsigned minSegmentInsts = 28;
+    unsigned maxSegmentInsts = 44;
+    /// @}
+
+    /// @{ Conditional-branch behaviour mix (of conditional branches).
+    unsigned loopPermille = 220;          ///< Backward loop branches.
+    unsigned neverTakenPermille = 180;    ///< Exception-check style.
+    unsigned pathCorrelatedPermille = 320; ///< Taken-path correlated.
+    unsigned dirCorrelatedPermille = 80;  ///< Direction-history correlated.
+    // The remainder are plain biased branches.
+    /// @}
+
+    /// @{ Behaviour parameters.
+    unsigned minLoopCount = 3;
+    unsigned maxLoopCount = 34;
+    unsigned minCorrelationDepth = 2;
+    unsigned maxCorrelationDepth = 10;
+    /// @}
+
+    /// @{ Indirect control flow.
+    unsigned indirectCallPermille = 120; ///< Of call sites.
+    unsigned indirectTargetsMin = 2;
+    unsigned indirectTargetsMax = 6;
+    /// @}
+
+    /// @{ Top-level dispatch.
+    unsigned numRootFunctions = 24;  ///< Hot entry points.
+    unsigned rootRotationLength = 12; ///< Length of repeating root sequence.
+    unsigned numPhases = 3;          ///< Root-set shifts over the trace.
+    /// @}
+};
+
+/**
+ * A generated workload: the program image plus generator-side metadata
+ * the trace executor needs (indirect target sets, dispatch schedule).
+ */
+struct Workload
+{
+    WorkloadSpec spec;
+    ProgramImage image;
+
+    /** Per-indirect-branch candidate target addresses. */
+    std::unordered_map<std::uint32_t, std::vector<Addr>> indirectTargets;
+
+    /** Index of the dispatcher's indirect call instruction. */
+    std::uint32_t dispatchCallIndex = 0;
+
+    /** Address of the dispatcher loop entry (trace start PC). */
+    Addr entryPc = 0;
+
+    /** Root sequences, one per phase, cycled by the dispatcher. */
+    std::vector<std::vector<Addr>> rootSchedule;
+};
+
+/** Builds the full program image and metadata for @p spec. */
+Workload buildWorkload(const WorkloadSpec &spec);
+
+/// @{ Workload family presets modelled on the paper's IPC-1 classes.
+/** Server-like: multi-MB-scale footprint, deep calls, branchy. */
+WorkloadSpec serverSpec(const std::string &name, std::uint64_t seed);
+/** Client-like: medium footprint. */
+WorkloadSpec clientSpec(const std::string &name, std::uint64_t seed);
+/** SPEC-like: loop-dominated, smaller (but still > L1I) footprint. */
+WorkloadSpec specCpuSpec(const std::string &name, std::uint64_t seed);
+/// @}
+
+} // namespace fdip
+
+#endif // FDIP_TRACE_WORKLOAD_H_

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Bit-manipulation helpers shared by predictors and caches.
+ */
+
+#ifndef FDIP_UTIL_BITS_H_
+#define FDIP_UTIL_BITS_H_
+
+#include <cassert>
+#include <cstdint>
+
+namespace fdip
+{
+
+/** Returns a mask with the low @p n bits set (n in [0, 64]). */
+constexpr std::uint64_t
+mask(unsigned n)
+{
+    return n >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1);
+}
+
+/** Extracts bits [lo, lo+n) of @p v. */
+constexpr std::uint64_t
+bits(std::uint64_t v, unsigned lo, unsigned n)
+{
+    return (v >> lo) & mask(n);
+}
+
+/** True if @p v is a power of two (and non-zero). */
+constexpr bool
+isPowerOf2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** log2 of a power of two. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    unsigned l = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++l;
+    }
+    return l;
+}
+
+/** Rounds @p v down to a multiple of @p align (align must be a pow2). */
+constexpr std::uint64_t
+alignDown(std::uint64_t v, std::uint64_t align)
+{
+    return v & ~(align - 1);
+}
+
+/** Rounds @p v up to a multiple of @p align (align must be a pow2). */
+constexpr std::uint64_t
+alignUp(std::uint64_t v, std::uint64_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+/**
+ * Mixes the bits of @p v. Used to decorrelate hash inputs in predictors.
+ * This is the finalizer of SplitMix64.
+ */
+constexpr std::uint64_t
+mix64(std::uint64_t v)
+{
+    v ^= v >> 30;
+    v *= 0xbf58476d1ce4e5b9ULL;
+    v ^= v >> 27;
+    v *= 0x94d049bb133111ebULL;
+    v ^= v >> 31;
+    return v;
+}
+
+/** XOR-folds @p v down to @p out_bits bits. */
+constexpr std::uint64_t
+foldXor(std::uint64_t v, unsigned out_bits)
+{
+    assert(out_bits > 0 && out_bits <= 64);
+    std::uint64_t r = 0;
+    while (v != 0) {
+        r ^= v & mask(out_bits);
+        v >>= out_bits;
+    }
+    return r;
+}
+
+} // namespace fdip
+
+#endif // FDIP_UTIL_BITS_H_

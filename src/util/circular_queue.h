@@ -1,0 +1,122 @@
+/**
+ * @file
+ * A fixed-capacity circular FIFO used for the FTQ, decode queue, and RAS.
+ */
+
+#ifndef FDIP_UTIL_CIRCULAR_QUEUE_H_
+#define FDIP_UTIL_CIRCULAR_QUEUE_H_
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace fdip
+{
+
+/**
+ * Fixed-capacity FIFO with random access by position from the head.
+ *
+ * Unlike std::deque, the capacity is fixed at construction, matching the
+ * hardware structures being modelled, and push/pop never allocate.
+ */
+template <typename T>
+class CircularQueue
+{
+  public:
+    explicit CircularQueue(std::size_t capacity)
+        : buf_(capacity), head_(0), size_(0)
+    {
+        assert(capacity > 0);
+    }
+
+    std::size_t capacity() const { return buf_.size(); }
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    bool full() const { return size_ == buf_.size(); }
+
+    /** Appends an element at the tail. The queue must not be full. */
+    void
+    pushBack(const T &v)
+    {
+        assert(!full());
+        buf_[physIndex(size_)] = v;
+        ++size_;
+    }
+
+    /** Appends an element at the tail (move). The queue must not be full. */
+    void
+    pushBack(T &&v)
+    {
+        assert(!full());
+        buf_[physIndex(size_)] = std::move(v);
+        ++size_;
+    }
+
+    /** Removes the head element. The queue must not be empty. */
+    void
+    popFront()
+    {
+        assert(!empty());
+        head_ = (head_ + 1) % buf_.size();
+        --size_;
+    }
+
+    /** Drops the newest @p n elements from the tail. */
+    void
+    truncate(std::size_t n)
+    {
+        assert(n <= size_);
+        size_ -= n;
+    }
+
+    /** Keeps the oldest @p n elements, discarding everything younger. */
+    void
+    resizeTo(std::size_t n)
+    {
+        assert(n <= size_);
+        size_ = n;
+    }
+
+    /** Removes all elements. */
+    void
+    clear()
+    {
+        head_ = 0;
+        size_ = 0;
+    }
+
+    /** Element @p i positions from the head (0 = oldest). */
+    T &
+    at(std::size_t i)
+    {
+        assert(i < size_);
+        return buf_[physIndex(i)];
+    }
+
+    const T &
+    at(std::size_t i) const
+    {
+        assert(i < size_);
+        return buf_[physIndex(i)];
+    }
+
+    T &front() { return at(0); }
+    const T &front() const { return at(0); }
+    T &back() { return at(size_ - 1); }
+    const T &back() const { return at(size_ - 1); }
+
+  private:
+    std::size_t
+    physIndex(std::size_t logical) const
+    {
+        return (head_ + logical) % buf_.size();
+    }
+
+    std::vector<T> buf_;
+    std::size_t head_;
+    std::size_t size_;
+};
+
+} // namespace fdip
+
+#endif // FDIP_UTIL_CIRCULAR_QUEUE_H_

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Error and status reporting, following the gem5 fatal/panic convention.
+ *
+ * - panic():  an internal simulator bug; aborts.
+ * - fatal():  a user error (bad configuration etc.); exits with code 1.
+ * - warn():   something suspicious that does not stop simulation.
+ * - inform(): plain status output.
+ */
+
+#ifndef FDIP_UTIL_LOG_H_
+#define FDIP_UTIL_LOG_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace fdip
+{
+
+namespace log_detail
+{
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** printf-style formatting into a std::string. */
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace log_detail
+
+} // namespace fdip
+
+/** Aborts on an internal simulator bug. */
+#define fdip_panic(...)                                                       \
+    ::fdip::log_detail::panicImpl(__FILE__, __LINE__,                         \
+                                  ::fdip::log_detail::format(__VA_ARGS__))
+
+/** Exits on a user/configuration error. */
+#define fdip_fatal(...)                                                       \
+    ::fdip::log_detail::fatalImpl(__FILE__, __LINE__,                         \
+                                  ::fdip::log_detail::format(__VA_ARGS__))
+
+/** Warns without stopping simulation. */
+#define fdip_warn(...)                                                        \
+    ::fdip::log_detail::warnImpl(::fdip::log_detail::format(__VA_ARGS__))
+
+/** Emits a status message. */
+#define fdip_inform(...)                                                      \
+    ::fdip::log_detail::informImpl(::fdip::log_detail::format(__VA_ARGS__))
+
+#endif // FDIP_UTIL_LOG_H_

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Saturating counters, the workhorse of branch predictors.
+ */
+
+#ifndef FDIP_UTIL_SAT_COUNTER_H_
+#define FDIP_UTIL_SAT_COUNTER_H_
+
+#include <cassert>
+#include <cstdint>
+
+namespace fdip
+{
+
+/**
+ * An unsigned saturating counter with a runtime bit width.
+ *
+ * The most significant bit is conventionally the "predict taken" bit.
+ */
+class SatCounter
+{
+  public:
+    /** @param num_bits counter width in bits (1..15).
+     *  @param initial  initial counter value. */
+    explicit SatCounter(unsigned num_bits = 2, unsigned initial = 0)
+        : value_(static_cast<std::uint16_t>(initial)),
+          max_(static_cast<std::uint16_t>((1u << num_bits) - 1))
+    {
+        assert(num_bits >= 1 && num_bits <= 15);
+        assert(initial <= max_);
+    }
+
+    /** Increments, saturating at the maximum. */
+    void
+    increment()
+    {
+        if (value_ < max_)
+            ++value_;
+    }
+
+    /** Decrements, saturating at zero. */
+    void
+    decrement()
+    {
+        if (value_ > 0)
+            --value_;
+    }
+
+    /** Moves toward taken (true) or not-taken (false). */
+    void
+    update(bool taken)
+    {
+        if (taken)
+            increment();
+        else
+            decrement();
+    }
+
+    /** Predicted direction: MSB set. */
+    bool taken() const { return value_ > max_ / 2; }
+
+    /** True at either saturation point (strongly biased). */
+    bool saturated() const { return value_ == 0 || value_ == max_; }
+
+    /** True in one of the two weak states (around the midpoint). */
+    bool
+    weak() const
+    {
+        return value_ == max_ / 2 || value_ == max_ / 2 + 1;
+    }
+
+    /** Raw counter value. */
+    unsigned value() const { return value_; }
+
+    /** Maximum representable value. */
+    unsigned maxValue() const { return max_; }
+
+    /** Forces the raw value (used by predictor allocation paths). */
+    void
+    set(unsigned v)
+    {
+        assert(v <= max_);
+        value_ = static_cast<std::uint16_t>(v);
+    }
+
+    /** Resets toward the weak state matching @p taken. */
+    void
+    reset(bool taken)
+    {
+        value_ = static_cast<std::uint16_t>(taken ? max_ / 2 + 1 : max_ / 2);
+    }
+
+  private:
+    std::uint16_t value_;
+    std::uint16_t max_;
+};
+
+/**
+ * A signed saturating counter in [-2^(n-1), 2^(n-1) - 1], as used by TAGE.
+ */
+class SignedSatCounter
+{
+  public:
+    explicit SignedSatCounter(unsigned num_bits = 3, int initial = 0)
+        : value_(static_cast<std::int16_t>(initial)),
+          min_(static_cast<std::int16_t>(-(1 << (num_bits - 1)))),
+          max_(static_cast<std::int16_t>((1 << (num_bits - 1)) - 1))
+    {
+        assert(num_bits >= 1 && num_bits <= 15);
+        assert(initial >= min_ && initial <= max_);
+    }
+
+    /** Moves toward taken (positive) or not-taken (negative). */
+    void
+    update(bool taken)
+    {
+        if (taken) {
+            if (value_ < max_)
+                ++value_;
+        } else {
+            if (value_ > min_)
+                --value_;
+        }
+    }
+
+    /** Predicted direction: value >= 0. */
+    bool taken() const { return value_ >= 0; }
+
+    /** True in the two weakest states (0 and -1). */
+    bool weak() const { return value_ == 0 || value_ == -1; }
+
+    /** True at either saturation point. */
+    bool saturated() const { return value_ == min_ || value_ == max_; }
+
+    int value() const { return value_; }
+
+    void
+    set(int v)
+    {
+        assert(v >= min_ && v <= max_);
+        value_ = static_cast<std::int16_t>(v);
+    }
+
+    /** Resets to the weak state matching @p taken. */
+    void reset(bool taken) { value_ = taken ? 0 : -1; }
+
+  private:
+    std::int16_t value_;
+    std::int16_t min_;
+    std::int16_t max_;
+};
+
+} // namespace fdip
+
+#endif // FDIP_UTIL_SAT_COUNTER_H_

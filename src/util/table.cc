@@ -1,0 +1,84 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/log.h"
+
+namespace fdip
+{
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    if (row.size() != header_.size()) {
+        fdip_fatal("table row width %zu != header width %zu", row.size(),
+                   header_.size());
+    }
+    rows_.push_back(std::move(row));
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TextTable::pct(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+    return buf;
+}
+
+void
+TextTable::print(std::FILE *out) const
+{
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            std::fprintf(out, "%s%*s", c == 0 ? "| " : " | ",
+                         static_cast<int>(widths[c]), row[c].c_str());
+        }
+        std::fprintf(out, " |\n");
+    };
+
+    print_row(header_);
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+        std::fprintf(out, "%s%s", c == 0 ? "|-" : "-|-",
+                     std::string(widths[c], '-').c_str());
+    }
+    std::fprintf(out, "-|\n");
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+void
+TextTable::printCsv(std::FILE *out) const
+{
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            std::fprintf(out, "%s%s", c == 0 ? "" : ",", row[c].c_str());
+        std::fprintf(out, "\n");
+    };
+    print_row(header_);
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+} // namespace fdip

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Console table formatting for benchmark output. Benches print the same
+ * rows/series the paper's figures report; this keeps the formatting in
+ * one place.
+ */
+
+#ifndef FDIP_UTIL_TABLE_H_
+#define FDIP_UTIL_TABLE_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace fdip
+{
+
+/**
+ * A simple right-aligned text table with a header row.
+ */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Appends a data row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: formats a double with @p precision decimals. */
+    static std::string num(double v, int precision = 2);
+
+    /** Convenience: formats a percentage ("12.3%"). */
+    static std::string pct(double fraction, int precision = 1);
+
+    /** Renders to @p out (defaults to stdout). */
+    void print(std::FILE *out = stdout) const;
+
+    /** Renders as comma-separated values. */
+    void printCsv(std::FILE *out = stdout) const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace fdip
+
+#endif // FDIP_UTIL_TABLE_H_

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Fundamental scalar types used throughout fdipsim.
+ */
+
+#ifndef FDIP_UTIL_TYPES_H_
+#define FDIP_UTIL_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace fdip
+{
+
+/** A (virtual) memory address. The simulator models 48-bit VAs. */
+using Addr = std::uint64_t;
+
+/** A simulation cycle count. */
+using Cycle = std::uint64_t;
+
+/** A dynamic-instruction sequence number (position in the trace). */
+using InstSeq = std::uint64_t;
+
+/** Sentinel for "no cycle" / "not scheduled". */
+inline constexpr Cycle kNoCycle = std::numeric_limits<Cycle>::max();
+
+/** Sentinel for "no address". */
+inline constexpr Addr kNoAddr = std::numeric_limits<Addr>::max();
+
+/** Fixed instruction size in bytes (the paper assumes 32-bit insts). */
+inline constexpr unsigned kInstBytes = 4;
+
+/** FTQ entries cover 32-byte aligned instruction blocks (8 insts). */
+inline constexpr unsigned kFetchBlockBytes = 32;
+
+/** Instructions per fetch block. */
+inline constexpr unsigned kInstsPerBlock = kFetchBlockBytes / kInstBytes;
+
+/** I-cache line size in bytes. */
+inline constexpr unsigned kCacheLineBytes = 64;
+
+} // namespace fdip
+
+#endif // FDIP_UTIL_TYPES_H_

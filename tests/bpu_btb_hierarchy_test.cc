@@ -1,0 +1,94 @@
+/** @file Tests for the two-level BTB hierarchy extension. */
+
+#include "bpu/btb_hierarchy.h"
+
+#include <gtest/gtest.h>
+
+namespace fdip
+{
+namespace
+{
+
+struct Harness
+{
+    BtbConfig mainCfg;
+    Btb main;
+    BtbHierarchy hier;
+
+    explicit Harness(BtbHierarchyConfig hcfg = defaultCfg())
+        : mainCfg(makeMain()), main(mainCfg), hier(hcfg, main)
+    {
+    }
+
+    static BtbConfig
+    makeMain()
+    {
+        BtbConfig c;
+        c.numEntries = 8192;
+        return c;
+    }
+
+    static BtbHierarchyConfig
+    defaultCfg()
+    {
+        BtbHierarchyConfig c;
+        c.enabled = true;
+        c.l1Entries = 64;
+        return c;
+    }
+};
+
+TEST(BtbHierarchy, MissEverywhere)
+{
+    Harness h;
+    EXPECT_FALSE(h.hier.lookup(0x1000).has_value());
+}
+
+TEST(BtbHierarchy, InsertHitsL1First)
+{
+    Harness h;
+    h.hier.insert(0x1000, InstClass::kJumpDirect, 0x2000, true);
+    const auto hit = h.hier.lookup(0x1000);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_FALSE(hit->fromL2) << "fresh insert must land in the L1";
+    EXPECT_EQ(hit->hit.target, 0x2000u);
+}
+
+TEST(BtbHierarchy, L2HitPromotes)
+{
+    Harness h;
+    // Fill the 64-entry L1 far beyond capacity so early entries fall
+    // out of L1 but stay in the 8K main BTB.
+    for (unsigned i = 0; i < 2000; ++i) {
+        h.hier.insert(0x10000 + i * 16, InstClass::kJumpDirect, 0x9000,
+                      true);
+    }
+    const auto first = h.hier.lookup(0x10000);
+    ASSERT_TRUE(first.has_value());
+    EXPECT_TRUE(first->fromL2) << "must be an L2 hit after L1 eviction";
+    // Promotion: the second lookup is an L1 hit.
+    const auto second = h.hier.lookup(0x10000);
+    ASSERT_TRUE(second.has_value());
+    EXPECT_FALSE(second->fromL2);
+    EXPECT_GE(h.hier.l2Promotions(), 1u);
+}
+
+TEST(BtbHierarchy, TakenOnlyPolicyOfMainApplies)
+{
+    Harness h;
+    h.hier.insert(0x1000, InstClass::kCondDirect, 0x2000, false);
+    EXPECT_FALSE(h.hier.lookup(0x1000).has_value())
+        << "main BTB allocates taken-only by default";
+}
+
+TEST(BtbHierarchy, StatsAccumulate)
+{
+    Harness h;
+    h.hier.insert(0x1000, InstClass::kJumpDirect, 0x2000, true);
+    h.hier.lookup(0x1000);
+    h.hier.lookup(0x1000);
+    EXPECT_EQ(h.hier.l1Hits(), 2u);
+}
+
+} // namespace
+} // namespace fdip

@@ -1,0 +1,169 @@
+/** @file Tests for the 16B-indexed BTB. */
+
+#include "bpu/btb.h"
+
+#include <gtest/gtest.h>
+
+namespace fdip
+{
+namespace
+{
+
+BtbConfig
+smallConfig(bool taken_only = true)
+{
+    BtbConfig cfg;
+    cfg.numEntries = 64;
+    cfg.ways = 4;
+    cfg.allocateTakenOnly = taken_only;
+    return cfg;
+}
+
+TEST(Btb, MissOnEmpty)
+{
+    Btb btb(smallConfig());
+    EXPECT_FALSE(btb.lookup(0x1000).has_value());
+    EXPECT_EQ(btb.lookups(), 1u);
+    EXPECT_EQ(btb.hits(), 0u);
+}
+
+TEST(Btb, InsertThenHit)
+{
+    Btb btb(smallConfig());
+    btb.insert(0x1000, InstClass::kJumpDirect, 0x2000, true);
+    const auto hit = btb.lookup(0x1000);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->kind, InstClass::kJumpDirect);
+    EXPECT_EQ(hit->target, 0x2000u);
+}
+
+TEST(Btb, TakenOnlyPolicySkipsNotTaken)
+{
+    Btb btb(smallConfig(true));
+    btb.insert(0x1000, InstClass::kCondDirect, 0x2000, false);
+    EXPECT_FALSE(btb.lookup(0x1000).has_value());
+    btb.insert(0x1000, InstClass::kCondDirect, 0x2000, true);
+    EXPECT_TRUE(btb.lookup(0x1000).has_value());
+}
+
+TEST(Btb, AllBranchPolicyAllocatesNotTaken)
+{
+    Btb btb(smallConfig(false));
+    btb.insert(0x1000, InstClass::kCondDirect, 0x2000, false);
+    EXPECT_TRUE(btb.lookup(0x1000).has_value());
+}
+
+TEST(Btb, ExistingEntryRefreshesEvenWhenNotTaken)
+{
+    // Indirect branches update their last target on every resolve.
+    Btb btb(smallConfig(true));
+    btb.insert(0x1000, InstClass::kJumpIndirect, 0x2000, true);
+    btb.insert(0x1000, InstClass::kJumpIndirect, 0x3000, true);
+    const auto hit = btb.lookup(0x1000);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->target, 0x3000u);
+}
+
+/** Collects @p n distinct branch PCs mapping to the same BTB set. */
+std::vector<Addr>
+sameSetPcs(const Btb &btb, unsigned n)
+{
+    std::vector<Addr> pcs;
+    const std::uint32_t target_set = btb.setIndexOf(0x1000);
+    for (Addr pc = 0x1000; pcs.size() < n; pc += 16) {
+        if (btb.setIndexOf(pc) == target_set)
+            pcs.push_back(pc);
+    }
+    return pcs;
+}
+
+TEST(Btb, PeekDoesNotTouchLru)
+{
+    Btb btb(smallConfig());
+    const auto pcs = sameSetPcs(btb, 5);
+    for (unsigned i = 0; i < 4; ++i)
+        btb.insert(pcs[i], InstClass::kJumpDirect, 0x9000, true);
+    // Refresh entry 0 via lookup, then insert a 5th: victim must not
+    // be entry 0.
+    EXPECT_TRUE(btb.lookup(pcs[0]).has_value());
+    btb.insert(pcs[4], InstClass::kJumpDirect, 0x9000, true);
+    EXPECT_TRUE(btb.peek(pcs[0]).has_value());
+}
+
+TEST(Btb, LruEvictsOldest)
+{
+    Btb btb(smallConfig());
+    const auto pcs = sameSetPcs(btb, 5);
+    for (unsigned i = 0; i < 5; ++i)
+        btb.insert(pcs[i], InstClass::kJumpDirect, 0x9000, true);
+    // Entry 0 was the LRU victim.
+    EXPECT_FALSE(btb.peek(pcs[0]).has_value());
+    EXPECT_TRUE(btb.peek(pcs[4]).has_value());
+    EXPECT_EQ(btb.evictions(), 1u);
+}
+
+TEST(Btb, SixteenByteIndexing)
+{
+    // Branches in the same 16B chunk share a set but are separate
+    // entries.
+    Btb btb(smallConfig());
+    btb.insert(0x1000, InstClass::kCondDirect, 0x2000, true);
+    btb.insert(0x1004, InstClass::kCondDirect, 0x3000, true);
+    btb.insert(0x1008, InstClass::kJumpDirect, 0x4000, true);
+    EXPECT_EQ(btb.lookup(0x1000)->target, 0x2000u);
+    EXPECT_EQ(btb.lookup(0x1004)->target, 0x3000u);
+    EXPECT_EQ(btb.lookup(0x1008)->target, 0x4000u);
+}
+
+TEST(Btb, Invalidate)
+{
+    Btb btb(smallConfig());
+    btb.insert(0x1000, InstClass::kJumpDirect, 0x2000, true);
+    btb.invalidate(0x1000);
+    EXPECT_FALSE(btb.lookup(0x1000).has_value());
+}
+
+TEST(Btb, StorageBytesFollowsPaperEstimate)
+{
+    BtbConfig cfg;
+    cfg.numEntries = 8192;
+    Btb btb(cfg);
+    // Paper Section VI-D: ~7 bytes per branch.
+    EXPECT_EQ(btb.storageBytes(), 8192u * 7);
+}
+
+TEST(Btb, RejectsBadGeometry)
+{
+    BtbConfig cfg;
+    cfg.numEntries = 65;
+    cfg.ways = 4;
+    EXPECT_DEATH({ Btb b(cfg); }, "divisible");
+}
+
+/** Capacity sweep: a working set within capacity must be fully held. */
+class BtbCapacity : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(BtbCapacity, HoldsWorkingSetWithinCapacity)
+{
+    BtbConfig cfg;
+    cfg.numEntries = GetParam();
+    Btb btb(cfg);
+    // Insert 1/2 capacity distinct branches spread over 16B chunks.
+    const unsigned n = cfg.numEntries / 2;
+    for (unsigned i = 0; i < n; ++i)
+        btb.insert(0x10000 + i * 16, InstClass::kJumpDirect, 0x9000,
+                   true);
+    unsigned hits = 0;
+    for (unsigned i = 0; i < n; ++i)
+        if (btb.peek(0x10000 + i * 16).has_value())
+            ++hits;
+    EXPECT_EQ(hits, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BtbCapacity,
+                         ::testing::Values(1024, 2048, 8192, 32768));
+
+} // namespace
+} // namespace fdip

@@ -1,0 +1,111 @@
+/** @file Tests for the loop termination predictor. */
+
+#include "bpu/loop_predictor.h"
+
+#include <gtest/gtest.h>
+
+namespace fdip
+{
+namespace
+{
+
+/** Runs @p reps loop instances of trip count @p trip through training,
+ *  returning final-iteration mispredictions after warmup. */
+int
+runLoop(LoopPredictor &lp, Addr pc, unsigned trip, unsigned reps,
+        unsigned warm_reps)
+{
+    int wrong = 0;
+    for (unsigned r = 0; r < reps; ++r) {
+        for (unsigned i = 0; i < trip; ++i) {
+            const bool taken = i + 1 < trip;
+            const LoopPrediction p = lp.predict(pc);
+            if (r >= warm_reps && p.valid && p.taken != taken)
+                ++wrong;
+            lp.update(pc, taken);
+        }
+    }
+    return wrong;
+}
+
+TEST(LoopPredictor, ColdIsInvalid)
+{
+    LoopPredictor lp((LoopPredictorConfig()));
+    EXPECT_FALSE(lp.predict(0x1000).valid);
+}
+
+TEST(LoopPredictor, LearnsFixedTripCount)
+{
+    LoopPredictor lp((LoopPredictorConfig()));
+    const int wrong = runLoop(lp, 0x1000, 10, 50, 6);
+    EXPECT_EQ(wrong, 0);
+    // After warmup the predictor must be confident.
+    EXPECT_TRUE(lp.predict(0x1000).valid);
+}
+
+TEST(LoopPredictor, PredictsExitIteration)
+{
+    LoopPredictor lp((LoopPredictorConfig()));
+    runLoop(lp, 0x1000, 5, 10, 10);
+    // Fresh loop entry: predictions go T,T,T,T,NT.
+    for (unsigned i = 0; i < 5; ++i) {
+        const LoopPrediction p = lp.predict(0x1000);
+        ASSERT_TRUE(p.valid);
+        EXPECT_EQ(p.taken, i + 1 < 5) << "iteration " << i;
+        lp.update(0x1000, i + 1 < 5);
+    }
+}
+
+TEST(LoopPredictor, ChangingTripDropsConfidence)
+{
+    LoopPredictor lp((LoopPredictorConfig()));
+    runLoop(lp, 0x1000, 8, 10, 10);
+    ASSERT_TRUE(lp.predict(0x1000).valid);
+    // Switch to trip 3: confidence must fall, then recover.
+    runLoop(lp, 0x1000, 3, 1, 1);
+    EXPECT_FALSE(lp.predict(0x1000).valid);
+    runLoop(lp, 0x1000, 3, 10, 10);
+    EXPECT_TRUE(lp.predict(0x1000).valid);
+}
+
+TEST(LoopPredictor, DoesNotAllocateOnTakenOnly)
+{
+    LoopPredictor lp((LoopPredictorConfig()));
+    for (int i = 0; i < 100; ++i)
+        lp.update(0x2000, true); // Never exits: not a finite loop.
+    EXPECT_FALSE(lp.predict(0x2000).valid);
+}
+
+TEST(LoopPredictor, IndependentLoops)
+{
+    LoopPredictor lp((LoopPredictorConfig()));
+    EXPECT_EQ(runLoop(lp, 0x1000, 4, 30, 8), 0);
+    EXPECT_EQ(runLoop(lp, 0x3000, 9, 30, 8), 0);
+    // Both remain learned.
+    EXPECT_TRUE(lp.predict(0x1000).valid);
+    EXPECT_TRUE(lp.predict(0x3000).valid);
+}
+
+TEST(LoopPredictor, StorageIsSmall)
+{
+    LoopPredictor lp((LoopPredictorConfig()));
+    EXPECT_LT(lp.storageBits() / 8, 8u * 1024);
+}
+
+/** Trip-count sweep. */
+class LoopTrips : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(LoopTrips, LearnsEachTrip)
+{
+    LoopPredictor lp((LoopPredictorConfig()));
+    EXPECT_EQ(runLoop(lp, 0x4000, GetParam(), 40, 8), 0)
+        << "trip " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Trips, LoopTrips,
+                         ::testing::Values(2, 3, 5, 17, 63, 200));
+
+} // namespace
+} // namespace fdip

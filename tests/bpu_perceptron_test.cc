@@ -1,0 +1,95 @@
+/** @file Tests for the perceptron direction predictor. */
+
+#include "bpu/perceptron.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace fdip
+{
+namespace
+{
+
+int
+trainAndCount(Perceptron &p, Addr pc,
+              const std::function<bool(int)> &pattern, int n, int warm)
+{
+    int wrong = 0;
+    for (int i = 0; i < n; ++i) {
+        const bool taken = pattern(i);
+        if (p.predict(pc) != taken && i >= warm)
+            ++wrong;
+        p.update(pc, taken);
+    }
+    return wrong;
+}
+
+TEST(Perceptron, LearnsBias)
+{
+    Perceptron p;
+    EXPECT_LE(trainAndCount(
+                  p, 0x1000, [](int) { return true; }, 500, 50),
+              1);
+}
+
+TEST(Perceptron, LearnsAlternation)
+{
+    Perceptron p;
+    EXPECT_LE(trainAndCount(
+                  p, 0x1000, [](int i) { return i % 2 == 0; }, 2000,
+                  500),
+              30);
+}
+
+TEST(Perceptron, LearnsLinearHistoryFunction)
+{
+    // Outcome = history bit 3 (a linearly separable function: the
+    // perceptron's sweet spot).
+    Perceptron p;
+    Rng rng(5);
+    std::vector<bool> hist;
+    int wrong = 0;
+    int total = 0;
+    for (int i = 0; i < 4000; ++i) {
+        const bool taken =
+            hist.size() >= 4 ? hist[hist.size() - 4] : false;
+        if (i > 1000) {
+            ++total;
+            if (p.predict(0x2000) != taken)
+                ++wrong;
+        }
+        p.update(0x2000, taken);
+        // Interleave a random branch to churn history.
+        const bool r = (rng.next() & 1) != 0;
+        p.update(0x3000, r);
+        hist.push_back(taken);
+        hist.push_back(r);
+    }
+    EXPECT_LT(static_cast<double>(wrong) / total, 0.05);
+}
+
+TEST(Perceptron, StorageMatchesConfig)
+{
+    PerceptronConfig cfg;
+    Perceptron p(cfg);
+    EXPECT_EQ(p.storageBits(),
+              (std::uint64_t{1} << cfg.logEntries) *
+                  (cfg.historyBits + 1) * cfg.weightBits);
+}
+
+TEST(Perceptron, WeightsSaturate)
+{
+    // Overtraining one direction must not overflow weights (predict
+    // still works afterwards).
+    Perceptron p;
+    for (int i = 0; i < 100000; ++i)
+        p.update(0x1000, true);
+    EXPECT_TRUE(p.predict(0x1000));
+    for (int i = 0; i < 600; ++i)
+        p.update(0x1000, false);
+    EXPECT_FALSE(p.predict(0x1000));
+}
+
+} // namespace
+} // namespace fdip

@@ -1,0 +1,105 @@
+/** @file Tests for the return address stack. */
+
+#include "bpu/ras.h"
+
+#include <gtest/gtest.h>
+
+namespace fdip
+{
+namespace
+{
+
+TEST(Ras, PushPopLifo)
+{
+    Ras ras(8);
+    ras.push(0x100);
+    ras.push(0x200);
+    ras.push(0x300);
+    EXPECT_EQ(ras.pop(), 0x300u);
+    EXPECT_EQ(ras.pop(), 0x200u);
+    EXPECT_EQ(ras.pop(), 0x100u);
+}
+
+TEST(Ras, TopDoesNotPop)
+{
+    Ras ras(8);
+    ras.push(0x100);
+    EXPECT_EQ(ras.top(), 0x100u);
+    EXPECT_EQ(ras.top(), 0x100u);
+    EXPECT_EQ(ras.pop(), 0x100u);
+}
+
+TEST(Ras, OverflowWrapsAndCorrupts)
+{
+    // A depth-4 RAS pushed 5 deep loses the oldest entry (realistic).
+    Ras ras(4);
+    for (Addr a = 1; a <= 5; ++a)
+        ras.push(a * 0x100);
+    EXPECT_EQ(ras.pop(), 0x500u);
+    EXPECT_EQ(ras.pop(), 0x400u);
+    EXPECT_EQ(ras.pop(), 0x300u);
+    EXPECT_EQ(ras.pop(), 0x200u);
+    // The oldest was overwritten by 0x500's slot wrap.
+    EXPECT_NE(ras.pop(), 0x100u);
+}
+
+TEST(Ras, SnapshotRestoreRecoversTop)
+{
+    Ras ras(8);
+    ras.push(0x100);
+    ras.push(0x200);
+    const RasSnapshot snap = ras.snapshot();
+    ras.push(0x300);
+    ras.pop();
+    ras.pop(); // Speculative damage to the top.
+    ras.restore(snap);
+    EXPECT_EQ(ras.top(), 0x200u);
+    EXPECT_EQ(ras.pop(), 0x200u);
+    EXPECT_EQ(ras.pop(), 0x100u);
+}
+
+TEST(Ras, SnapshotAfterPushMatchesRealPush)
+{
+    Ras a(8);
+    Ras b(8);
+    a.push(0x100);
+    b.push(0x100);
+    const RasSnapshot predicted = a.snapshotAfterPush(0x200);
+    b.push(0x200);
+    const RasSnapshot actual = b.snapshot();
+    EXPECT_EQ(predicted.topIndex, actual.topIndex);
+    EXPECT_EQ(predicted.topValue, actual.topValue);
+}
+
+TEST(Ras, SnapshotAfterPopMatchesRealPop)
+{
+    Ras a(8);
+    Ras b(8);
+    for (Addr v : {0x100, 0x200, 0x300}) {
+        a.push(v);
+        b.push(v);
+    }
+    const RasSnapshot predicted = a.snapshotAfterPop();
+    b.pop();
+    const RasSnapshot actual = b.snapshot();
+    EXPECT_EQ(predicted.topIndex, actual.topIndex);
+    EXPECT_EQ(predicted.topValue, actual.topValue);
+}
+
+TEST(Ras, DeepCallChain)
+{
+    Ras ras(32);
+    for (Addr d = 0; d < 20; ++d)
+        ras.push(0x1000 + d * 4);
+    for (Addr d = 20; d-- > 0;)
+        EXPECT_EQ(ras.pop(), 0x1000 + d * 4);
+}
+
+TEST(Ras, DepthAccessor)
+{
+    Ras ras(16);
+    EXPECT_EQ(ras.depth(), 16u);
+}
+
+} // namespace
+} // namespace fdip

@@ -1,0 +1,194 @@
+/** @file Tests for the backend interval model. */
+
+#include "core/backend.h"
+
+#include <gtest/gtest.h>
+
+namespace fdip
+{
+namespace
+{
+
+struct BackendHarness
+{
+    CoreConfig cfg;
+    SimStats stats;
+    MemoryHierarchy mem{MemoryConfig{}};
+    Backend backend;
+
+    BackendHarness() : backend(makeCfg(), mem, stats) {}
+
+    const CoreConfig &
+    makeCfg()
+    {
+        cfg.decodeQueueEntries = 16;
+        cfg.robEntries = 32;
+        cfg.commitWidth = 4;
+        cfg.fetchBandwidth = 4;
+        cfg.decodeLatency = 2;
+        cfg.branchResolveLatency = 6;
+        return cfg;
+    }
+
+    DeliveredInst
+    inst(std::uint64_t seq, Cycle deliver, InstClass cls = InstClass::kAlu)
+    {
+        DeliveredInst d;
+        d.seq = seq;
+        d.deliverCycle = deliver;
+        d.cls = cls;
+        d.onCorrectPath = true;
+        d.traceIdx = seq;
+        return d;
+    }
+
+    void
+    runTo(Cycle end)
+    {
+        for (Cycle c = 0; c <= end; ++c)
+            backend.tick(c);
+    }
+};
+
+TEST(Backend, CommitsAfterDecodeLatency)
+{
+    BackendHarness h;
+    h.backend.deliver(h.inst(0, 0));
+    h.backend.tick(0);
+    h.backend.tick(1);
+    EXPECT_EQ(h.backend.committed(), 0u);
+    h.backend.tick(2); // Decode latency 2: dispatch at 2.
+    h.backend.tick(3); // Exec latency 1: done at 3.
+    EXPECT_EQ(h.backend.committed(), 1u);
+}
+
+TEST(Backend, CommitWidthLimits)
+{
+    BackendHarness h;
+    for (std::uint64_t i = 0; i < 12; ++i)
+        h.backend.deliver(h.inst(i, 0));
+    h.runTo(20);
+    EXPECT_EQ(h.backend.committed(), 12u);
+    // With width 4 and 12 insts, commits span >= 3 cycles: check the
+    // count is not reached too early.
+    BackendHarness h2;
+    for (std::uint64_t i = 0; i < 12; ++i)
+        h2.backend.deliver(h2.inst(i, 0));
+    for (Cycle c = 0; c <= 3; ++c)
+        h2.backend.tick(c);
+    EXPECT_LT(h2.backend.committed(), 12u);
+}
+
+TEST(Backend, WrongPathInstsDoNotCommitCount)
+{
+    BackendHarness h;
+    DeliveredInst wrong = h.inst(0, 0);
+    wrong.onCorrectPath = false;
+    h.backend.deliver(wrong);
+    h.backend.deliver(h.inst(1, 0));
+    h.runTo(10);
+    EXPECT_EQ(h.backend.committed(), 1u);
+}
+
+TEST(Backend, BranchStatsCountedAtDispatch)
+{
+    BackendHarness h;
+    DeliveredInst br = h.inst(0, 0, InstClass::kCondDirect);
+    br.taken = true;
+    h.backend.deliver(br);
+    DeliveredInst ret = h.inst(1, 0, InstClass::kReturn);
+    ret.taken = true; // Returns always redirect.
+    h.backend.deliver(ret);
+    h.runTo(10);
+    EXPECT_EQ(h.stats.condBranches, 1u);
+    EXPECT_EQ(h.stats.takenBranches, 2u); // Cond taken + return.
+    EXPECT_EQ(h.stats.returns, 1u);
+}
+
+TEST(Backend, ResolveCallbackFiresAtExecLatency)
+{
+    BackendHarness h;
+    Cycle resolved_at = 0;
+    std::uint64_t resolved_token = 0;
+    h.backend.setResolveCallback(
+        [&](std::uint64_t token, std::uint64_t, Cycle now) {
+            resolved_token = token;
+            resolved_at = now;
+        });
+    DeliveredInst br = h.inst(0, 0, InstClass::kCondDirect);
+    br.resolveToken = 77;
+    h.backend.deliver(br);
+    h.runTo(20);
+    EXPECT_EQ(resolved_token, 77u);
+    // Dispatch at decodeLatency (2), resolve 6 cycles later.
+    EXPECT_EQ(resolved_at, 2u + 6u);
+}
+
+TEST(Backend, FlushDropsYoungerOnly)
+{
+    BackendHarness h;
+    for (std::uint64_t i = 0; i < 8; ++i)
+        h.backend.deliver(h.inst(i, 0));
+    h.backend.flushYoungerThan(3);
+    h.runTo(20);
+    EXPECT_EQ(h.backend.committed(), 4u); // Seq 0..3 survive.
+}
+
+TEST(Backend, FlushCancelsPendingResolve)
+{
+    BackendHarness h;
+    bool resolved = false;
+    h.backend.setResolveCallback(
+        [&](std::uint64_t, std::uint64_t, Cycle) { resolved = true; });
+    DeliveredInst br = h.inst(5, 0, InstClass::kCondDirect);
+    br.resolveToken = 9;
+    h.backend.deliver(br);
+    h.backend.tick(0);
+    h.backend.tick(1);
+    h.backend.tick(2); // Dispatched; resolve pending at 8.
+    h.backend.flushYoungerThan(4);
+    h.runTo(20);
+    EXPECT_FALSE(resolved);
+}
+
+TEST(Backend, StarvationCountsWhenQueueShallow)
+{
+    BackendHarness h;
+    h.runTo(9); // Empty queue: every cycle starves.
+    EXPECT_EQ(h.stats.starvationCycles, 10u);
+}
+
+TEST(Backend, NoStarvationWhenQueueDeep)
+{
+    BackendHarness h;
+    // Keep >= fetchBandwidth insts queued but undispatchable (future
+    // deliver cycle gates decode).
+    for (std::uint64_t i = 0; i < 8; ++i)
+        h.backend.deliver(h.inst(i, 100));
+    const std::uint64_t before = h.stats.starvationCycles;
+    h.backend.tick(0);
+    EXPECT_EQ(h.stats.starvationCycles, before);
+}
+
+TEST(Backend, DecodeQueueSpaceTracksDeliveries)
+{
+    BackendHarness h;
+    EXPECT_EQ(h.backend.decodeQueueSpace(), 16u);
+    h.backend.deliver(h.inst(0, 0));
+    EXPECT_EQ(h.backend.decodeQueueSpace(), 15u);
+}
+
+TEST(Backend, LoadLatencyDelaysCommit)
+{
+    BackendHarness h;
+    DeliveredInst load = h.inst(0, 0, InstClass::kLoad);
+    load.memAddr = 0x100000; // Cold: DRAM-latency load.
+    h.backend.deliver(load);
+    h.runTo(20);
+    EXPECT_EQ(h.backend.committed(), 0u) << "DRAM load cannot commit yet";
+    h.runTo(400);
+    EXPECT_EQ(h.backend.committed(), 1u);
+}
+
+} // namespace
+} // namespace fdip

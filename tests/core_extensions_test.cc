@@ -1,0 +1,131 @@
+/** @file End-to-end tests of the optional extensions through the full
+ *  core: two-level BTB, loop predictor, prefetch buffer, perceptron,
+ *  and ChampSim-imported traces. */
+
+#include "core/core.h"
+
+#include <cstdio>
+#include <gtest/gtest.h>
+
+#include "prefetch/factory.h"
+#include "trace/champsim.h"
+#include "trace/suite.h"
+
+namespace fdip
+{
+namespace
+{
+
+const Trace &
+sharedTrace()
+{
+    static const Trace trace = [] {
+        WorkloadSpec s = serverSpec("ext", 515);
+        s.numFunctions = 120;
+        auto wl = std::make_shared<Workload>(buildWorkload(s));
+        return generateTrace(wl, 120000);
+    }();
+    return trace;
+}
+
+SimStats
+run(CoreConfig cfg, const char *pf = "none",
+    const Trace &trace = sharedTrace())
+{
+    cfg.applyHistoryScheme();
+    Core core(cfg, trace, makePrefetcher(pf));
+    return core.run(trace.size() / 5);
+}
+
+TEST(Extensions, TwoLevelBtbRunsAndStaysClose)
+{
+    CoreConfig two = paperBaselineConfig();
+    two.bpu.btbHierarchy.enabled = true;
+    two.bpu.btbHierarchy.l1Entries = 1024;
+    const SimStats s2 = run(two);
+    const SimStats s1 = run(paperBaselineConfig());
+    // The L1 filter plus bubble must cost only a few percent.
+    EXPECT_GT(s2.ipc(), s1.ipc() * 0.90);
+    EXPECT_EQ(s2.committedInsts, s1.committedInsts);
+}
+
+TEST(Extensions, TwoLevelBtbBubbleHurtsWithTinyL1)
+{
+    CoreConfig tiny = paperBaselineConfig();
+    tiny.bpu.btbHierarchy.enabled = true;
+    tiny.bpu.btbHierarchy.l1Entries = 64; // Thrashes: many L2 bubbles.
+    tiny.bpu.btbHierarchy.l2ExtraLatency = 4;
+    const SimStats s_tiny = run(tiny);
+    const SimStats s_flat = run(paperBaselineConfig());
+    EXPECT_LT(s_tiny.ipc(), s_flat.ipc());
+}
+
+TEST(Extensions, LoopPredictorDoesNotRegress)
+{
+    CoreConfig with = paperBaselineConfig();
+    with.bpu.useLoopPredictor = true;
+    const SimStats s_with = run(with);
+    const SimStats s_without = run(paperBaselineConfig());
+    // Loop-heavy synthetic code: the override must not blow up MPKI.
+    EXPECT_LT(s_with.branchMpki(), s_without.branchMpki() * 1.15);
+    EXPECT_GT(s_with.ipc(), s_without.ipc() * 0.95);
+}
+
+TEST(Extensions, PrefetchBufferIsolatesPollution)
+{
+    CoreConfig direct = noFdpConfig();
+    CoreConfig buffered = noFdpConfig();
+    buffered.usePrefetchBuffer = true;
+    const SimStats sd = run(direct, "eip-27");
+    const SimStats sb = run(buffered, "eip-27");
+    // Both complete and perform in the same ballpark.
+    EXPECT_EQ(sd.committedInsts, sb.committedInsts);
+    EXPECT_GT(sb.ipc(), sd.ipc() * 0.85);
+    EXPECT_GT(sb.prefetchesIssued, 0u);
+}
+
+TEST(Extensions, PerceptronRunsEndToEnd)
+{
+    CoreConfig cfg = paperBaselineConfig();
+    cfg.bpu.direction = DirectionPredictorKind::kPerceptron;
+    const SimStats s = run(cfg);
+    EXPECT_GT(s.ipc(), 0.3);
+    // Perceptron should beat gshare on these correlated workloads.
+    CoreConfig gshare = paperBaselineConfig();
+    gshare.bpu.direction = DirectionPredictorKind::kGshare;
+    const SimStats sg = run(gshare);
+    EXPECT_LT(s.branchMpki(), sg.branchMpki() * 1.5);
+}
+
+TEST(Extensions, ChampSimImportedTraceRunsOnCore)
+{
+    const std::string path =
+        std::string(::testing::TempDir()) + "/core.champsim";
+    ASSERT_TRUE(writeChampSimTrace(path, sharedTrace()));
+    Trace imported;
+    ASSERT_TRUE(readChampSimTrace(path, 0, imported));
+
+    const SimStats native = run(paperBaselineConfig());
+    const SimStats replay =
+        run(paperBaselineConfig(), "none", imported);
+    EXPECT_EQ(replay.committedInsts, native.committedInsts);
+    // Renormalization shifts absolute numbers but not the ballpark.
+    EXPECT_GT(replay.ipc(), native.ipc() * 0.6);
+    EXPECT_LT(replay.ipc(), native.ipc() * 1.6);
+    std::remove(path.c_str());
+}
+
+TEST(Extensions, CalibrationGuardrail)
+{
+    // The headline reproduction: FDP speedup over the no-FDP baseline
+    // must stay in the paper's neighbourhood (41% +- a wide band) on
+    // this reduced workload. Catches accidental recalibration.
+    const SimStats base = run(noFdpConfig());
+    const SimStats fdp = run(paperBaselineConfig());
+    const double speedup = fdp.ipc() / base.ipc() - 1.0;
+    EXPECT_GT(speedup, 0.55 * 0.41);
+    EXPECT_LT(speedup, 2.2 * 0.41);
+}
+
+} // namespace
+} // namespace fdip

@@ -1,0 +1,222 @@
+/** @file Whole-core integration tests: direction-of-effect invariants
+ *  from the paper, run on reduced workloads. */
+
+#include "core/core.h"
+
+#include <gtest/gtest.h>
+
+#include "prefetch/factory.h"
+#include "trace/suite.h"
+
+namespace fdip
+{
+namespace
+{
+
+/** A reduced server-like trace shared across tests. */
+const Trace &
+sharedTrace()
+{
+    static const Trace trace = [] {
+        WorkloadSpec s = serverSpec("itest", 404);
+        s.numFunctions = 120;
+        s.numRootFunctions = 16;
+        auto wl = std::make_shared<Workload>(buildWorkload(s));
+        return generateTrace(wl, 120000);
+    }();
+    return trace;
+}
+
+SimStats
+run(CoreConfig cfg, const char *prefetcher = "none",
+    const Trace &trace = sharedTrace())
+{
+    cfg.applyHistoryScheme();
+    Core core(cfg, trace, makePrefetcher(prefetcher));
+    return core.run(trace.size() / 5);
+}
+
+TEST(CoreIntegration, CommitsExactlyTheTrace)
+{
+    const SimStats s = run(paperBaselineConfig());
+    // The warmup boundary is detected at commit granularity, so the
+    // measured window can be short by up to a commit group.
+    const std::uint64_t expected =
+        sharedTrace().size() - sharedTrace().size() / 5;
+    EXPECT_LE(s.committedInsts, expected);
+    EXPECT_GE(s.committedInsts,
+              expected - paperBaselineConfig().commitWidth);
+    EXPECT_GT(s.cycles, 0u);
+    EXPECT_GT(s.ipc(), 0.1);
+    EXPECT_LT(s.ipc(), 6.0);
+}
+
+TEST(CoreIntegration, DeterministicAcrossRuns)
+{
+    const SimStats a = run(paperBaselineConfig());
+    const SimStats b = run(paperBaselineConfig());
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.mispredicts, b.mispredicts);
+    EXPECT_EQ(a.l1iDemandMisses, b.l1iDemandMisses);
+    EXPECT_EQ(a.pfcFires, b.pfcFires);
+}
+
+TEST(CoreIntegration, FdpBeatsNoFdp)
+{
+    const SimStats no_fdp = run(noFdpConfig());
+    const SimStats fdp = run(paperBaselineConfig());
+    EXPECT_GT(fdp.ipc(), no_fdp.ipc() * 1.05)
+        << "run-ahead must pay off on a frontend-bound workload";
+    EXPECT_LT(fdp.starvationPerKi(), no_fdp.starvationPerKi());
+}
+
+TEST(CoreIntegration, PerfectICacheIsUpperBoundOnFetch)
+{
+    CoreConfig perfect = paperBaselineConfig();
+    perfect.perfectICache = true;
+    const SimStats p = run(perfect);
+    const SimStats real = run(paperBaselineConfig());
+    EXPECT_GE(p.ipc(), real.ipc() * 0.99);
+    EXPECT_EQ(p.l1iDemandMisses, 0u);
+}
+
+TEST(CoreIntegration, PerfectPrefetchHelpsNoFdp)
+{
+    CoreConfig cfg = noFdpConfig();
+    cfg.perfectPrefetch = true;
+    const SimStats p = run(cfg);
+    const SimStats base = run(noFdpConfig());
+    EXPECT_GT(p.ipc(), base.ipc() * 1.05);
+}
+
+TEST(CoreIntegration, PfcReducesMispredictsWithSmallBtb)
+{
+    CoreConfig on = paperBaselineConfig();
+    on.bpu.btb.numEntries = 1024;
+    CoreConfig off = on;
+    off.pfcEnabled = false;
+    const SimStats s_on = run(on);
+    const SimStats s_off = run(off);
+    EXPECT_GT(s_on.pfcFires, 0u);
+    EXPECT_LT(s_on.mispredicts, s_off.mispredicts)
+        << "PFC must convert BTB-miss flushes into early re-steers";
+    EXPECT_GT(s_on.ipc(), s_off.ipc());
+}
+
+TEST(CoreIntegration, PerfectBtbRemovesBtbMissFlushes)
+{
+    CoreConfig cfg = paperBaselineConfig();
+    cfg.bpu.perfectBtb = true;
+    const SimStats s = run(cfg);
+    EXPECT_EQ(s.mispredictsBtbMissTaken, 0u);
+    EXPECT_EQ(s.pfcFires, 0u);
+}
+
+TEST(CoreIntegration, ThrBeatsGhr2)
+{
+    CoreConfig thr = paperBaselineConfig();
+    thr.historyScheme = HistoryScheme::kThr;
+    CoreConfig ghr2 = paperBaselineConfig();
+    ghr2.historyScheme = HistoryScheme::kGhr2;
+    const SimStats s_thr = run(thr);
+    const SimStats s_ghr2 = run(ghr2);
+    EXPECT_EQ(s_thr.ghrFixups, 0u);
+    EXPECT_GT(s_ghr2.ghrFixups, 0u)
+        << "GHR2 must pay fixup flushes for BTB-miss not-taken branches";
+    EXPECT_GT(s_thr.ipc(), s_ghr2.ipc());
+}
+
+TEST(CoreIntegration, IdealHistoryIsCompetitive)
+{
+    CoreConfig ideal = paperBaselineConfig();
+    ideal.historyScheme = HistoryScheme::kIdeal;
+    const SimStats s_ideal = run(ideal);
+    const SimStats s_thr = run(paperBaselineConfig());
+    // Paper VI-C: THR performs like the idealized history.
+    EXPECT_NEAR(s_thr.ipc() / s_ideal.ipc(), 1.0, 0.05);
+}
+
+TEST(CoreIntegration, BiggerFtqNeverMuchWorse)
+{
+    CoreConfig small = paperBaselineConfig();
+    small.ftqEntries = 4;
+    CoreConfig big = paperBaselineConfig();
+    big.ftqEntries = 24;
+    const SimStats s_small = run(small);
+    const SimStats s_big = run(big);
+    EXPECT_GT(s_big.ipc(), s_small.ipc() * 0.98);
+}
+
+TEST(CoreIntegration, PrefetcherReducesDemandMisses)
+{
+    const SimStats base = run(noFdpConfig());
+    const SimStats pf = run(noFdpConfig(), "fnl+mma");
+    EXPECT_LT(pf.l1iDemandMisses, base.l1iDemandMisses);
+    EXPECT_GT(pf.prefetchesIssued, 0u);
+    EXPECT_GT(pf.ipc(), base.ipc());
+}
+
+TEST(CoreIntegration, PrefetchTagAccessesAreCounted)
+{
+    const SimStats base = run(paperBaselineConfig());
+    const SimStats pf = run(paperBaselineConfig(), "eip-27");
+    EXPECT_GT(pf.l1iTagAccesses, base.l1iTagAccesses)
+        << "prefetch probes must show up in the tag-access count";
+}
+
+TEST(CoreIntegration, MispredictCausesAreClassified)
+{
+    const SimStats s = run(paperBaselineConfig());
+    EXPECT_EQ(s.mispredicts,
+              s.mispredictsCondDir + s.mispredictsBtbMissTaken +
+                  s.mispredictsTarget + s.mispredictsPfcMisfire);
+    EXPECT_GT(s.mispredictsCondDir, 0u);
+}
+
+TEST(CoreIntegration, MissClassificationCoversDemandMisses)
+{
+    const SimStats s = run(noFdpConfig());
+    const std::uint64_t classified = s.missFullyExposed +
+                                     s.missPartiallyExposed +
+                                     s.missCovered;
+    EXPECT_GT(classified, 0u);
+}
+
+TEST(CoreIntegration, WrongPathActivityExists)
+{
+    const SimStats s = run(paperBaselineConfig());
+    EXPECT_GT(s.wrongPathDelivered, 0u)
+        << "run-ahead must speculate past mispredicted branches";
+}
+
+TEST(CoreIntegration, GshareWorseThanTage)
+{
+    CoreConfig gshare = paperBaselineConfig();
+    gshare.bpu.direction = DirectionPredictorKind::kGshare;
+    const SimStats s_g = run(gshare);
+    const SimStats s_t = run(paperBaselineConfig());
+    EXPECT_GT(s_g.branchMpki(), s_t.branchMpki());
+}
+
+TEST(CoreIntegration, PerfectDirectionRemovesCondMispredicts)
+{
+    CoreConfig cfg = paperBaselineConfig();
+    cfg.bpu.direction = DirectionPredictorKind::kPerfect;
+    const SimStats s = run(cfg);
+    EXPECT_EQ(s.mispredictsCondDir, 0u);
+}
+
+TEST(CoreIntegration, WarmupShrinksMeasuredWindow)
+{
+    CoreConfig cfg = paperBaselineConfig();
+    cfg.applyHistoryScheme();
+    Core a(cfg, sharedTrace(), makePrefetcher("none"));
+    const SimStats with_warmup = a.run(sharedTrace().size() / 2);
+    const std::uint64_t expected =
+        sharedTrace().size() - sharedTrace().size() / 2;
+    EXPECT_LE(with_warmup.committedInsts, expected);
+    EXPECT_GE(with_warmup.committedInsts, expected - cfg.commitWidth);
+}
+
+} // namespace
+} // namespace fdip

@@ -1,0 +1,128 @@
+/** @file Randomized-configuration robustness suite: the core must
+ *  finish any trace and satisfy basic invariants across the whole
+ *  configuration space (fuzz-style property tests). */
+
+#include "core/core.h"
+
+#include <gtest/gtest.h>
+
+#include "prefetch/factory.h"
+#include "trace/suite.h"
+#include "util/rng.h"
+
+namespace fdip
+{
+namespace
+{
+
+const Trace &
+fuzzTrace()
+{
+    static const Trace t = [] {
+        WorkloadSpec s = serverSpec("fuzz", 777);
+        s.numFunctions = 100;
+        s.numRootFunctions = 12;
+        auto wl = std::make_shared<Workload>(buildWorkload(s));
+        return generateTrace(wl, 60000);
+    }();
+    return t;
+}
+
+/** Draws a random-but-valid configuration. */
+CoreConfig
+randomConfig(Rng &rng)
+{
+    CoreConfig cfg = paperBaselineConfig();
+    const unsigned ftqs[] = {2, 3, 4, 8, 12, 24, 32};
+    cfg.ftqEntries = ftqs[rng.below(std::size(ftqs))];
+    const unsigned btbs[] = {512, 1024, 2048, 8192, 32768};
+    cfg.bpu.btb.numEntries = btbs[rng.below(std::size(btbs))];
+    cfg.predictBandwidth = 4 + static_cast<unsigned>(rng.below(20));
+    cfg.maxTakenPerCycle = 1 + static_cast<unsigned>(rng.below(2));
+    cfg.fetchBandwidth = 2 + static_cast<unsigned>(rng.below(8));
+    cfg.btbLatency = 1 + static_cast<unsigned>(rng.below(4));
+    cfg.l1iHitLatency = 1 + static_cast<unsigned>(rng.below(4));
+    cfg.pfcEnabled = rng.below(2) == 0;
+    cfg.pfcUnconditionalOnly = rng.below(2) == 0;
+    cfg.perfectPrefetch = rng.below(8) == 0;
+    cfg.perfectICache = rng.below(8) == 0;
+    cfg.usePrefetchBuffer = rng.below(4) == 0;
+    cfg.bpu.useLoopPredictor = rng.below(4) == 0;
+    cfg.bpu.btbHierarchy.enabled = rng.below(4) == 0;
+    cfg.bpu.perfectBtb = rng.below(8) == 0;
+    cfg.bpu.perfectIndirect = rng.below(8) == 0;
+
+    const HistoryScheme schemes[] = {
+        HistoryScheme::kThr,  HistoryScheme::kGhr0,
+        HistoryScheme::kGhr1, HistoryScheme::kGhr2,
+        HistoryScheme::kGhr3, HistoryScheme::kIdeal,
+    };
+    cfg.historyScheme = schemes[rng.below(std::size(schemes))];
+
+    const DirectionPredictorKind kinds[] = {
+        DirectionPredictorKind::kTage,
+        DirectionPredictorKind::kGshare,
+        DirectionPredictorKind::kPerceptron,
+        DirectionPredictorKind::kPerfect,
+    };
+    cfg.bpu.direction = kinds[rng.below(std::size(kinds))];
+    cfg.applyHistoryScheme();
+    return cfg;
+}
+
+const char *
+randomPrefetcher(Rng &rng)
+{
+    static const char *names[] = {
+        "none",   "nl1",     "fnl+mma",  "d-jolt",       "eip-27",
+        "eip-128", "rdip",   "sn4l+dis", "sn4l+dis+btb",
+    };
+    return names[rng.below(std::size(names))];
+}
+
+class RandomConfig : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RandomConfig, FinishesWithInvariantsIntact)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+    const CoreConfig cfg = randomConfig(rng);
+    const char *pf = randomPrefetcher(rng);
+
+    Core core(cfg, fuzzTrace(), makePrefetcher(pf));
+    const SimStats s = core.run(fuzzTrace().size() / 10);
+
+    // Every instruction commits exactly once.
+    const std::uint64_t expected =
+        fuzzTrace().size() - fuzzTrace().size() / 10;
+    EXPECT_LE(s.committedInsts, expected);
+    EXPECT_GE(s.committedInsts, expected - cfg.commitWidth);
+
+    // Sanity ranges.
+    EXPECT_GT(s.ipc(), 0.05);
+    EXPECT_LT(s.ipc(), static_cast<double>(cfg.commitWidth));
+    EXPECT_EQ(s.mispredicts,
+              s.mispredictsCondDir + s.mispredictsBtbMissTaken +
+                  s.mispredictsTarget + s.mispredictsPfcMisfire);
+    if (cfg.bpu.direction == DirectionPredictorKind::kPerfect) {
+        EXPECT_EQ(s.mispredictsCondDir, 0u);
+    }
+    if (cfg.bpu.perfectBtb) {
+        EXPECT_EQ(s.mispredictsBtbMissTaken, 0u);
+    }
+    if (cfg.perfectICache) {
+        EXPECT_EQ(s.l1iDemandMisses, 0u);
+    }
+    if (!cfg.pfcEnabled) {
+        EXPECT_EQ(s.pfcFires, 0u);
+    }
+    if (!cfg.ghrFixup()) {
+        EXPECT_EQ(s.ghrFixups, 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Draws, RandomConfig, ::testing::Range(0, 24));
+
+} // namespace
+} // namespace fdip

@@ -1,0 +1,128 @@
+/** @file Tests for the memory hierarchy latency model. */
+
+#include "cache/hierarchy.h"
+
+#include <gtest/gtest.h>
+
+namespace fdip
+{
+namespace
+{
+
+MemoryConfig
+cfg()
+{
+    return MemoryConfig{};
+}
+
+TEST(Hierarchy, ColdInstFetchGoesToDram)
+{
+    MemoryHierarchy m(cfg());
+    const FillResult r = m.fetchInstLine(0x10000, 100);
+    EXPECT_EQ(r.level, HitLevel::kDram);
+    EXPECT_GE(r.ready, 100 + cfg().dramLatency);
+    EXPECT_EQ(m.dramAccesses(), 1u);
+}
+
+TEST(Hierarchy, RefetchHitsL2)
+{
+    MemoryHierarchy m(cfg());
+    m.fetchInstLine(0x10000, 0);
+    const FillResult r = m.fetchInstLine(0x10000, 100000);
+    EXPECT_EQ(r.level, HitLevel::kL2);
+    EXPECT_EQ(r.ready, 100000 + cfg().l2Latency);
+}
+
+TEST(Hierarchy, LatencyOrdering)
+{
+    const MemoryConfig c = cfg();
+    EXPECT_LT(c.l1dLatency, c.l2Latency);
+    EXPECT_LT(c.l2Latency, c.llcLatency);
+    EXPECT_LT(c.llcLatency, c.dramLatency);
+}
+
+TEST(Hierarchy, InFlightInstFillsMerge)
+{
+    MemoryHierarchy m(cfg());
+    const FillResult a = m.fetchInstLine(0x10000, 0);
+    const FillResult b = m.fetchInstLine(0x10000, 5);
+    EXPECT_EQ(b.ready, a.ready) << "second request must merge";
+    EXPECT_EQ(m.instRequestsMerged(), 1u);
+    EXPECT_EQ(m.dramAccesses(), 1u);
+}
+
+TEST(Hierarchy, DistinctLinesDoNotMerge)
+{
+    MemoryHierarchy m(cfg());
+    m.fetchInstLine(0x10000, 0);
+    m.fetchInstLine(0x20000, 0);
+    EXPECT_EQ(m.instRequestsMerged(), 0u);
+    EXPECT_EQ(m.dramAccesses(), 2u);
+}
+
+TEST(Hierarchy, DramBandwidthSerializes)
+{
+    MemoryHierarchy m(cfg());
+    Cycle prev = 0;
+    for (int i = 0; i < 8; ++i) {
+        const FillResult r =
+            m.fetchInstLine(0x100000 + i * 0x1000, 0);
+        EXPECT_GE(r.ready, prev) << "DRAM channel must serialize";
+        if (i > 0) {
+            EXPECT_GE(r.ready, prev + cfg().dramOccupancy);
+        }
+        prev = r.ready;
+    }
+}
+
+TEST(Hierarchy, DataAccessHitsL1dAfterFill)
+{
+    MemoryHierarchy m(cfg());
+    const FillResult miss = m.dataAccess(0x5000, 0, false);
+    EXPECT_GT(miss.ready, cfg().l1dLatency);
+    // After the fill completes, the line is an L1D hit.
+    const FillResult hit = m.dataAccess(0x5000, miss.ready + 1, false);
+    EXPECT_EQ(hit.level, HitLevel::kL1);
+    EXPECT_EQ(hit.ready, miss.ready + 1 + cfg().l1dLatency);
+}
+
+TEST(Hierarchy, StoresDoNotAllocateL1d)
+{
+    MemoryHierarchy m(cfg());
+    m.dataAccess(0x6000, 0, true);
+    EXPECT_FALSE(m.l1d().contains(0x6000));
+}
+
+TEST(Hierarchy, InstFillsWarmL2AndLlc)
+{
+    MemoryHierarchy m(cfg());
+    m.fetchInstLine(0x7000, 0);
+    EXPECT_TRUE(m.l2().contains(0x7000));
+    EXPECT_TRUE(m.llc().contains(0x7000));
+}
+
+TEST(Hierarchy, L2EvictionFallsBackToLlc)
+{
+    MemoryConfig c = cfg();
+    c.l2.sizeBytes = 4 * 1024; // Tiny L2 to force eviction.
+    c.l2.ways = 2;
+    MemoryHierarchy m(c);
+    // Touch enough lines to roll the tiny L2 over.
+    for (Addr a = 0; a < 64 * 1024; a += kCacheLineBytes)
+        m.fetchInstLine(0x100000 + a, 0);
+    // An early line is gone from L2 but still in the 2MB LLC.
+    const FillResult r = m.fetchInstLine(0x100000, 1000000);
+    EXPECT_EQ(r.level, HitLevel::kLlc);
+}
+
+TEST(Hierarchy, ResetStats)
+{
+    MemoryHierarchy m(cfg());
+    m.fetchInstLine(0x1000, 0);
+    m.resetStats();
+    EXPECT_EQ(m.instRequests(), 0u);
+    EXPECT_EQ(m.dramAccesses(), 0u);
+}
+
+} // namespace
+} // namespace fdip

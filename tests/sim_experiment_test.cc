@@ -1,0 +1,133 @@
+/** @file Tests for the experiment harness and suite aggregation. */
+
+#include "sim/experiment.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+namespace fdip
+{
+namespace
+{
+
+std::vector<SuiteEntry>
+tinySuite()
+{
+    // Two reduced workloads to keep the harness tests quick.
+    std::vector<SuiteEntry> suite;
+    for (std::uint64_t seed : {9001ull, 9002ull}) {
+        WorkloadSpec s = specCpuSpec("tiny", seed);
+        s.numFunctions = 48;
+        auto wl = std::make_shared<Workload>(buildWorkload(s));
+        SuiteEntry e;
+        e.name = "tiny-" + std::to_string(seed);
+        e.trace = generateTrace(wl, 60000);
+        suite.push_back(std::move(e));
+    }
+    return suite;
+}
+
+TEST(Experiment, RunsEveryWorkload)
+{
+    const auto suite = tinySuite();
+    const SuiteResult r =
+        runSuite("fdp", paperBaselineConfig(), suite, noPrefetcher());
+    ASSERT_EQ(r.runs.size(), suite.size());
+    EXPECT_EQ(r.runs[0].workload, "tiny-9001");
+    for (const auto &run : r.runs)
+        EXPECT_GT(run.stats.ipc(), 0.0);
+}
+
+TEST(Experiment, GeomeanIpcBetweenMinAndMax)
+{
+    const auto suite = tinySuite();
+    const SuiteResult r =
+        runSuite("fdp", paperBaselineConfig(), suite, noPrefetcher());
+    const double g = r.geomeanIpc();
+    double lo = 1e9;
+    double hi = 0;
+    for (const auto &run : r.runs) {
+        lo = std::min(lo, run.stats.ipc());
+        hi = std::max(hi, run.stats.ipc());
+    }
+    EXPECT_GE(g, lo);
+    EXPECT_LE(g, hi);
+}
+
+TEST(Experiment, SpeedupOverSelfIsOne)
+{
+    const auto suite = tinySuite();
+    const SuiteResult r =
+        runSuite("fdp", paperBaselineConfig(), suite, noPrefetcher());
+    EXPECT_NEAR(r.speedupOver(r), 1.0, 1e-12);
+}
+
+TEST(Experiment, SpeedupMatchesPerRunRatios)
+{
+    const auto suite = tinySuite();
+    const SuiteResult a =
+        runSuite("fdp", paperBaselineConfig(), suite, noPrefetcher());
+    const SuiteResult b =
+        runSuite("nofdp", noFdpConfig(), suite, noPrefetcher());
+    const double s = a.speedupOver(b);
+    double expected = 1.0;
+    for (std::size_t i = 0; i < suite.size(); ++i)
+        expected *= a.runs[i].stats.ipc() / b.runs[i].stats.ipc();
+    expected = std::sqrt(expected);
+    EXPECT_NEAR(s, expected, 1e-9);
+}
+
+TEST(Experiment, MismatchedSuitesAreFatal)
+{
+    const auto suite = tinySuite();
+    SuiteResult a =
+        runSuite("a", paperBaselineConfig(), suite, noPrefetcher());
+    SuiteResult b = a;
+    b.runs.pop_back();
+    EXPECT_DEATH({ (void)a.speedupOver(b); }, "mismatched");
+}
+
+TEST(Experiment, HistorySchemeIsApplied)
+{
+    // runSuite must call applyHistoryScheme: a GHR2 config passed with
+    // stale bpu fields still runs as GHR2 (fixups happen).
+    const auto suite = tinySuite();
+    CoreConfig cfg = paperBaselineConfig();
+    cfg.historyScheme = HistoryScheme::kGhr2;
+    const SuiteResult r = runSuite("ghr2", cfg, suite, noPrefetcher());
+    std::uint64_t fixups = 0;
+    for (const auto &run : r.runs)
+        fixups += run.stats.ghrFixups;
+    EXPECT_GT(fixups, 0u);
+}
+
+TEST(Experiment, EnvOverridesParseSafely)
+{
+    ::setenv("FDIP_SIM_INSTRS", "123456", 1);
+    EXPECT_EQ(suiteInstsFromEnv(999), 123456u);
+    ::setenv("FDIP_SIM_INSTRS", "garbage", 1);
+    EXPECT_EQ(suiteInstsFromEnv(999), 999u);
+    ::unsetenv("FDIP_SIM_INSTRS");
+    EXPECT_EQ(suiteInstsFromEnv(999), 999u);
+
+    ::setenv("FDIP_SUITE", "small", 1);
+    EXPECT_TRUE(suiteSmallFromEnv());
+    ::setenv("FDIP_SUITE", "full", 1);
+    EXPECT_FALSE(suiteSmallFromEnv());
+    ::unsetenv("FDIP_SUITE");
+}
+
+TEST(Experiment, MeanMetricsAggregate)
+{
+    const auto suite = tinySuite();
+    const SuiteResult r =
+        runSuite("fdp", paperBaselineConfig(), suite, noPrefetcher());
+    EXPECT_GT(r.meanMpki(), 0.0);
+    EXPECT_GT(r.meanTagAccessesPerKi(), 0.0);
+    EXPECT_GE(r.meanStarvationPerKi(), 0.0);
+}
+
+} // namespace
+} // namespace fdip

@@ -1,0 +1,96 @@
+/** @file Tests for the JSON/CSV experiment reports. */
+
+#include "sim/report.h"
+
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace fdip
+{
+namespace
+{
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+std::vector<SuiteResult>
+fakeResults()
+{
+    SuiteResult a;
+    a.label = "fdp";
+    RunResult r1;
+    r1.workload = "srv-a";
+    r1.stats.cycles = 1000;
+    r1.stats.committedInsts = 1500;
+    r1.stats.mispredicts = 9;
+    RunResult r2;
+    r2.workload = "clt-a";
+    r2.stats.cycles = 2000;
+    r2.stats.committedInsts = 2400;
+    a.runs = {r1, r2};
+
+    SuiteResult b = a;
+    b.label = "no-fdp";
+    b.runs[0].stats.cycles = 1400;
+    return {a, b};
+}
+
+TEST(Report, JsonRoundStructure)
+{
+    const std::string path =
+        std::string(::testing::TempDir()) + "/report.json";
+    ASSERT_TRUE(writeSuiteResultsJson(path, fakeResults()));
+    const std::string body = slurp(path);
+    EXPECT_NE(body.find("\"results\""), std::string::npos);
+    EXPECT_NE(body.find("\"label\": \"fdp\""), std::string::npos);
+    EXPECT_NE(body.find("\"workload\": \"srv-a\""), std::string::npos);
+    EXPECT_NE(body.find("\"ipc\": 1.5"), std::string::npos);
+    // Valid-ish JSON: balanced braces/brackets.
+    EXPECT_EQ(std::count(body.begin(), body.end(), '{'),
+              std::count(body.begin(), body.end(), '}'));
+    EXPECT_EQ(std::count(body.begin(), body.end(), '['),
+              std::count(body.begin(), body.end(), ']'));
+    std::remove(path.c_str());
+}
+
+TEST(Report, CsvHasHeaderAndRows)
+{
+    const std::string path =
+        std::string(::testing::TempDir()) + "/report.csv";
+    ASSERT_TRUE(writeSuiteResultsCsv(path, fakeResults()));
+    const std::string body = slurp(path);
+    EXPECT_EQ(body.find("label,workload,ipc"), 0u);
+    // Header + 2 configs x 2 workloads.
+    EXPECT_EQ(std::count(body.begin(), body.end(), '\n'), 5);
+    EXPECT_NE(body.find("no-fdp,srv-a"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(Report, FailsOnBadPath)
+{
+    EXPECT_FALSE(writeSuiteResultsJson("/nonexistent/x.json", {}));
+    EXPECT_FALSE(writeSuiteResultsCsv("/nonexistent/x.csv", {}));
+}
+
+TEST(Report, EscapesQuotes)
+{
+    SuiteResult r;
+    r.label = "we\"ird";
+    const std::string path =
+        std::string(::testing::TempDir()) + "/esc.json";
+    ASSERT_TRUE(writeSuiteResultsJson(path, {r}));
+    const std::string body = slurp(path);
+    EXPECT_NE(body.find("we\\\"ird"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace fdip

@@ -1,0 +1,118 @@
+/** @file Unit tests for trace/program.h and trace/inst.h. */
+
+#include "trace/program.h"
+
+#include <gtest/gtest.h>
+
+namespace fdip
+{
+namespace
+{
+
+TEST(InstClass, Predicates)
+{
+    EXPECT_FALSE(isBranch(InstClass::kAlu));
+    EXPECT_FALSE(isBranch(InstClass::kLoad));
+    EXPECT_TRUE(isBranch(InstClass::kCondDirect));
+    EXPECT_TRUE(isConditional(InstClass::kCondDirect));
+    EXPECT_FALSE(isConditional(InstClass::kJumpDirect));
+    EXPECT_TRUE(isUnconditional(InstClass::kReturn));
+    EXPECT_TRUE(isDirect(InstClass::kCallDirect));
+    EXPECT_FALSE(isDirect(InstClass::kCallIndirect));
+    EXPECT_TRUE(isIndirect(InstClass::kJumpIndirect));
+    EXPECT_TRUE(isCall(InstClass::kCallIndirect));
+    EXPECT_FALSE(isCall(InstClass::kReturn));
+    EXPECT_TRUE(isReturn(InstClass::kReturn));
+}
+
+TEST(InstClass, NamesAreDistinct)
+{
+    EXPECT_STREQ(instClassName(InstClass::kAlu), "alu");
+    EXPECT_STREQ(instClassName(InstClass::kReturn), "ret");
+    EXPECT_STRNE(instClassName(InstClass::kCondDirect),
+                 instClassName(InstClass::kJumpDirect));
+}
+
+TEST(ProgramImage, PcIndexRoundTrip)
+{
+    ProgramImage img(0x400000);
+    for (int i = 0; i < 100; ++i) {
+        StaticInst s;
+        s.cls = InstClass::kAlu;
+        img.append(s);
+    }
+    for (std::uint32_t i = 0; i < 100; ++i) {
+        const Addr pc = img.pcOf(i);
+        EXPECT_TRUE(img.contains(pc));
+        EXPECT_EQ(img.indexOf(pc), i);
+    }
+}
+
+TEST(ProgramImage, ContainsBoundaries)
+{
+    ProgramImage img(0x400000);
+    StaticInst s;
+    img.append(s);
+    img.append(s);
+    EXPECT_TRUE(img.contains(0x400000));
+    EXPECT_TRUE(img.contains(0x400004));
+    EXPECT_FALSE(img.contains(0x400008));
+    EXPECT_FALSE(img.contains(0x3ffffc));
+    EXPECT_FALSE(img.contains(0x400001)); // Misaligned.
+}
+
+TEST(ProgramImage, OutOfImageFetchIsFiller)
+{
+    ProgramImage img(0x400000);
+    StaticInst s;
+    s.cls = InstClass::kReturn;
+    img.append(s);
+    const StaticInst &filler = img.instAt(0x500000);
+    EXPECT_EQ(filler.cls, InstClass::kAlu);
+    EXPECT_EQ(img.instAt(0x400000).cls, InstClass::kReturn);
+}
+
+TEST(ProgramImage, FunctionAccounting)
+{
+    ProgramImage img;
+    StaticInst s;
+    for (int i = 0; i < 10; ++i)
+        img.append(s);
+    img.addFunction(0, 4);
+    img.addFunction(4, 6);
+    ASSERT_EQ(img.functions().size(), 2u);
+    EXPECT_EQ(img.functions()[1].firstIndex, 4u);
+    EXPECT_EQ(img.functions()[1].numInsts, 6u);
+}
+
+TEST(ProgramImage, BranchCounting)
+{
+    ProgramImage img;
+    StaticInst alu;
+    StaticInst br;
+    br.cls = InstClass::kCondDirect;
+    br.behavior = BranchBehavior::kBiased;
+    br.param = 500;
+    StaticInst never;
+    never.cls = InstClass::kCondDirect;
+    never.behavior = BranchBehavior::kBiased;
+    never.param = 2;
+    img.append(alu);
+    img.append(br);
+    img.append(never);
+    EXPECT_EQ(img.numBranches(), 2u);
+    // The almost-never-taken branch is not "likely taken".
+    EXPECT_EQ(img.numLikelyTakenBranches(), 1u);
+}
+
+TEST(ProgramImage, FootprintBytes)
+{
+    ProgramImage img;
+    StaticInst s;
+    for (int i = 0; i < 8; ++i)
+        img.append(s);
+    EXPECT_EQ(img.footprintBytes(), 8 * kInstBytes);
+}
+
+} // namespace
+} // namespace fdip

@@ -1,0 +1,78 @@
+/** @file Tests for the standard workload suite builder. */
+
+#include "trace/suite.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace fdip
+{
+namespace
+{
+
+TEST(Suite, SmallSuiteHasOnePerClass)
+{
+    const auto suite = buildStandardSuite(20000, /*small=*/true);
+    ASSERT_EQ(suite.size(), 3u);
+    EXPECT_EQ(suite[0].name, "srv-a");
+    EXPECT_EQ(suite[1].name, "clt-a");
+    EXPECT_EQ(suite[2].name, "spec-a");
+}
+
+TEST(Suite, FullSuiteHasThreePerClass)
+{
+    const auto suite = buildStandardSuite(20000, /*small=*/false);
+    ASSERT_EQ(suite.size(), 9u);
+    std::set<std::string> names;
+    unsigned srv = 0;
+    unsigned clt = 0;
+    unsigned spec = 0;
+    for (const auto &e : suite) {
+        names.insert(e.name);
+        if (e.name.rfind("srv", 0) == 0)
+            ++srv;
+        if (e.name.rfind("clt", 0) == 0)
+            ++clt;
+        if (e.name.rfind("spec", 0) == 0)
+            ++spec;
+    }
+    EXPECT_EQ(names.size(), 9u) << "names must be distinct";
+    EXPECT_EQ(srv, 3u);
+    EXPECT_EQ(clt, 3u);
+    EXPECT_EQ(spec, 3u);
+}
+
+TEST(Suite, TracesHaveRequestedLength)
+{
+    const auto suite = buildStandardSuite(12345, true);
+    for (const auto &e : suite)
+        EXPECT_EQ(e.trace.size(), 12345u) << e.name;
+}
+
+TEST(Suite, SuiteIsDeterministic)
+{
+    const auto a = buildStandardSuite(15000, true);
+    const auto b = buildStandardSuite(15000, true);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i].trace.size(), b[i].trace.size());
+        for (std::size_t j = 0; j < a[i].trace.size(); j += 997) {
+            EXPECT_EQ(a[i].trace.insts[j].staticIndex,
+                      b[i].trace.insts[j].staticIndex);
+        }
+    }
+}
+
+TEST(Suite, WorkloadsPressureTheL1I)
+{
+    // The paper's selection rule needs instruction footprints beyond
+    // the 32KB L1I; check the static image at minimum.
+    const auto suite = buildStandardSuite(20000, true);
+    for (const auto &e : suite) {
+        EXPECT_GT(e.trace.image().footprintBytes(), 64u * 1024)
+            << e.name;
+    }
+}
+
+} // namespace
+} // namespace fdip

@@ -1,0 +1,92 @@
+/** @file Unit tests for util/bits.h. */
+
+#include "util/bits.h"
+
+#include <gtest/gtest.h>
+
+namespace fdip
+{
+namespace
+{
+
+TEST(Bits, MaskBasics)
+{
+    EXPECT_EQ(mask(0), 0u);
+    EXPECT_EQ(mask(1), 1u);
+    EXPECT_EQ(mask(8), 0xffu);
+    EXPECT_EQ(mask(63), 0x7fffffffffffffffULL);
+    EXPECT_EQ(mask(64), ~std::uint64_t{0});
+}
+
+TEST(Bits, BitsExtract)
+{
+    EXPECT_EQ(bits(0xabcd, 0, 4), 0xdu);
+    EXPECT_EQ(bits(0xabcd, 4, 4), 0xcu);
+    EXPECT_EQ(bits(0xabcd, 8, 8), 0xabu);
+    EXPECT_EQ(bits(0xffffffffffffffffULL, 32, 32), 0xffffffffu);
+}
+
+TEST(Bits, IsPowerOf2)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_TRUE(isPowerOf2(1ULL << 40));
+    EXPECT_FALSE(isPowerOf2((1ULL << 40) + 1));
+}
+
+TEST(Bits, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+    EXPECT_EQ(floorLog2(1ULL << 48), 48u);
+}
+
+TEST(Bits, Alignment)
+{
+    EXPECT_EQ(alignDown(100, 32), 96u);
+    EXPECT_EQ(alignDown(96, 32), 96u);
+    EXPECT_EQ(alignUp(100, 32), 128u);
+    EXPECT_EQ(alignUp(96, 32), 96u);
+    EXPECT_EQ(alignDown(0x12345, 0x1000), 0x12000u);
+}
+
+TEST(Bits, Mix64Decorrelates)
+{
+    // Consecutive inputs must land far apart and never collide over a
+    // modest range.
+    std::uint64_t prev = mix64(0);
+    for (std::uint64_t i = 1; i < 1000; ++i) {
+        const std::uint64_t m = mix64(i);
+        EXPECT_NE(m, prev);
+        prev = m;
+    }
+}
+
+TEST(Bits, Mix64IsDeterministic)
+{
+    EXPECT_EQ(mix64(0x1234), mix64(0x1234));
+    EXPECT_NE(mix64(0x1234), mix64(0x1235));
+}
+
+TEST(Bits, FoldXorWidth)
+{
+    for (unsigned w = 1; w <= 32; ++w) {
+        const std::uint64_t f = foldXor(0xdeadbeefcafebabeULL, w);
+        EXPECT_LE(f, mask(w)) << "width " << w;
+    }
+}
+
+TEST(Bits, FoldXorKnownValues)
+{
+    // Folding to 64 bits is the identity.
+    EXPECT_EQ(foldXor(0x1234, 64), 0x1234u);
+    // 8-bit fold of two bytes is their XOR.
+    EXPECT_EQ(foldXor(0xab00 | 0xcd, 8), (0xabu ^ 0xcdu));
+}
+
+} // namespace
+} // namespace fdip

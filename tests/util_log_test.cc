@@ -1,0 +1,47 @@
+/** @file Tests for the logging/error helpers. */
+
+#include "util/log.h"
+
+#include <gtest/gtest.h>
+
+namespace fdip
+{
+namespace
+{
+
+TEST(Log, FormatBasics)
+{
+    EXPECT_EQ(log_detail::format("plain"), "plain");
+    EXPECT_EQ(log_detail::format("%d + %d = %d", 1, 2, 3), "1 + 2 = 3");
+    EXPECT_EQ(log_detail::format("%s/%s", "a", "b"), "a/b");
+    EXPECT_EQ(log_detail::format("%#x", 0x40), "0x40");
+}
+
+TEST(Log, FormatLongStrings)
+{
+    const std::string big(5000, 'x');
+    const std::string out = log_detail::format("%s!", big.c_str());
+    EXPECT_EQ(out.size(), 5001u);
+    EXPECT_EQ(out.back(), '!');
+}
+
+TEST(Log, FatalExitsWithCodeOne)
+{
+    EXPECT_EXIT({ fdip_fatal("user error %d", 7); },
+                ::testing::ExitedWithCode(1), "user error 7");
+}
+
+TEST(Log, PanicAborts)
+{
+    EXPECT_DEATH({ fdip_panic("bug %s", "here"); }, "bug here");
+}
+
+TEST(Log, WarnAndInformDoNotTerminate)
+{
+    fdip_warn("just a warning %d", 1);
+    fdip_inform("status %s", "ok");
+    SUCCEED();
+}
+
+} // namespace
+} // namespace fdip

@@ -1,0 +1,130 @@
+/** @file Unit and property tests for util/rng.h. */
+
+#include "util/rng.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace fdip
+{
+namespace
+{
+
+TEST(Rng, DeterministicPerSeed)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, BelowRespectsBound)
+{
+    Rng r(7);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+        for (int i = 0; i < 1000; ++i)
+            EXPECT_LT(r.below(bound), bound);
+    }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero)
+{
+    Rng r(9);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(r.below(1), 0u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(11);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const std::uint64_t v = r.range(3, 7);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 7u);
+        saw_lo = saw_lo || v == 3;
+        saw_hi = saw_hi || v == 7;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChancePermilleExtremes)
+{
+    Rng r(13);
+    for (int i = 0; i < 200; ++i) {
+        EXPECT_FALSE(r.chancePermille(0));
+        EXPECT_TRUE(r.chancePermille(1000));
+    }
+}
+
+TEST(Rng, ChancePermilleApproximatesProbability)
+{
+    Rng r(17);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        if (r.chancePermille(250))
+            ++hits;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(19);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, NoShortCycles)
+{
+    Rng r(23);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 10000; ++i)
+        seen.insert(r.next());
+    EXPECT_EQ(seen.size(), 10000u);
+}
+
+/** Property sweep: below() is unbiased enough across bounds. */
+class RngBoundSweep : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RngBoundSweep, RoughlyUniform)
+{
+    const std::uint64_t bound = GetParam();
+    Rng r(bound * 31 + 1);
+    std::vector<int> buckets(bound, 0);
+    const int per = 2000;
+    for (std::uint64_t i = 0; i < bound * per; ++i)
+        ++buckets[r.below(bound)];
+    for (std::uint64_t b = 0; b < bound; ++b) {
+        EXPECT_GT(buckets[b], per / 2) << "bucket " << b;
+        EXPECT_LT(buckets[b], per * 2) << "bucket " << b;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngBoundSweep,
+                         ::testing::Values(2, 3, 5, 8, 13, 100));
+
+} // namespace
+} // namespace fdip

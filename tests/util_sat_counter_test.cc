@@ -1,0 +1,143 @@
+/** @file Unit tests for util/sat_counter.h. */
+
+#include "util/sat_counter.h"
+
+#include <gtest/gtest.h>
+
+namespace fdip
+{
+namespace
+{
+
+TEST(SatCounter, SaturatesHigh)
+{
+    SatCounter c(2, 0);
+    for (int i = 0; i < 10; ++i)
+        c.increment();
+    EXPECT_EQ(c.value(), 3u);
+    EXPECT_TRUE(c.taken());
+    EXPECT_TRUE(c.saturated());
+}
+
+TEST(SatCounter, SaturatesLow)
+{
+    SatCounter c(2, 3);
+    for (int i = 0; i < 10; ++i)
+        c.decrement();
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_FALSE(c.taken());
+    EXPECT_TRUE(c.saturated());
+}
+
+TEST(SatCounter, TakenThreshold)
+{
+    SatCounter c(2, 0);
+    EXPECT_FALSE(c.taken()); // 0
+    c.increment();
+    EXPECT_FALSE(c.taken()); // 1
+    c.increment();
+    EXPECT_TRUE(c.taken()); // 2
+    c.increment();
+    EXPECT_TRUE(c.taken()); // 3
+}
+
+TEST(SatCounter, WeakStates)
+{
+    SatCounter c(2, 1);
+    EXPECT_TRUE(c.weak());
+    c.increment();
+    EXPECT_TRUE(c.weak()); // 2
+    c.increment();
+    EXPECT_FALSE(c.weak()); // 3
+}
+
+TEST(SatCounter, UpdateFollowsDirection)
+{
+    SatCounter c(3, 3);
+    c.update(true);
+    EXPECT_EQ(c.value(), 4u);
+    c.update(false);
+    c.update(false);
+    EXPECT_EQ(c.value(), 2u);
+}
+
+TEST(SatCounter, ResetLandsWeak)
+{
+    SatCounter c(2, 0);
+    c.reset(true);
+    EXPECT_TRUE(c.taken());
+    EXPECT_TRUE(c.weak());
+    c.reset(false);
+    EXPECT_FALSE(c.taken());
+    EXPECT_TRUE(c.weak());
+}
+
+TEST(SignedSatCounter, SaturatesBothWays)
+{
+    SignedSatCounter c(3, 0);
+    for (int i = 0; i < 20; ++i)
+        c.update(true);
+    EXPECT_EQ(c.value(), 3);
+    for (int i = 0; i < 20; ++i)
+        c.update(false);
+    EXPECT_EQ(c.value(), -4);
+    EXPECT_TRUE(c.saturated());
+}
+
+TEST(SignedSatCounter, TakenAtZero)
+{
+    SignedSatCounter c(3, 0);
+    EXPECT_TRUE(c.taken());
+    c.update(false);
+    EXPECT_FALSE(c.taken()); // -1
+}
+
+TEST(SignedSatCounter, WeakStates)
+{
+    SignedSatCounter c(3, 0);
+    EXPECT_TRUE(c.weak());
+    c.update(false);
+    EXPECT_TRUE(c.weak()); // -1
+    c.update(false);
+    EXPECT_FALSE(c.weak()); // -2
+}
+
+TEST(SignedSatCounter, ResetMatchesDirection)
+{
+    SignedSatCounter c(3, 3);
+    c.reset(false);
+    EXPECT_FALSE(c.taken());
+    EXPECT_TRUE(c.weak());
+    c.reset(true);
+    EXPECT_TRUE(c.taken());
+    EXPECT_TRUE(c.weak());
+}
+
+/** Width sweep: saturation bounds must match the bit width. */
+class SatWidthSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(SatWidthSweep, BoundsMatchWidth)
+{
+    const unsigned bits = GetParam();
+    SatCounter c(bits, 0);
+    for (int i = 0; i < 1 << (bits + 1); ++i)
+        c.increment();
+    EXPECT_EQ(c.value(), (1u << bits) - 1);
+    EXPECT_EQ(c.maxValue(), (1u << bits) - 1);
+
+    SignedSatCounter s(bits, 0);
+    for (int i = 0; i < 1 << (bits + 1); ++i)
+        s.update(true);
+    EXPECT_EQ(s.value(), (1 << (bits - 1)) - 1);
+    for (int i = 0; i < 1 << (bits + 1); ++i)
+        s.update(false);
+    EXPECT_EQ(s.value(), -(1 << (bits - 1)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SatWidthSweep,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+} // namespace
+} // namespace fdip

@@ -1,0 +1,106 @@
+/** @file Unit tests for util/stats.h and util/table.h. */
+
+#include "util/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/table.h"
+
+namespace fdip
+{
+namespace
+{
+
+TEST(Counter, IncrementAndReset)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(4);
+    h.sample(0);
+    h.sample(1);
+    h.sample(1);
+    h.sample(100); // Overflow bucket.
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(1), 2u);
+    EXPECT_EQ(h.bucket(3), 1u);
+    EXPECT_EQ(h.totalSamples(), 4u);
+}
+
+TEST(Histogram, Mean)
+{
+    Histogram h(16);
+    h.sample(2);
+    h.sample(4);
+    EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+    h.reset();
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(StatRegistry, CreatesOnDemand)
+{
+    StatRegistry reg;
+    reg.counter("a").inc(3);
+    reg.counter("a").inc(2);
+    reg.counter("b").inc();
+    EXPECT_EQ(reg.value("a"), 5u);
+    EXPECT_EQ(reg.value("b"), 1u);
+    EXPECT_EQ(reg.value("missing"), 0u);
+    reg.reset();
+    EXPECT_EQ(reg.value("a"), 0u);
+}
+
+TEST(Means, GeometricMean)
+{
+    EXPECT_DOUBLE_EQ(geometricMean({}), 0.0);
+    EXPECT_NEAR(geometricMean({2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_NEAR(geometricMean({1.0, 1.0, 1.0}), 1.0, 1e-12);
+    EXPECT_NEAR(geometricMean({3.0}), 3.0, 1e-12);
+}
+
+TEST(Means, ArithmeticMean)
+{
+    EXPECT_DOUBLE_EQ(arithmeticMean({}), 0.0);
+    EXPECT_DOUBLE_EQ(arithmeticMean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(Means, GeomeanOfSpeedupsMatchesPaperConvention)
+{
+    // Speedups 1.1 and 1.3 -> geomean ~1.196, not 1.2.
+    const double g = geometricMean({1.1, 1.3});
+    EXPECT_NEAR(g, std::sqrt(1.1 * 1.3), 1e-12);
+}
+
+TEST(TextTable, FormatsNumbers)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::num(2.0, 0), "2");
+    EXPECT_EQ(TextTable::pct(0.41, 1), "41.0%");
+}
+
+TEST(TextTable, RendersRows)
+{
+    TextTable t({"a", "bb"});
+    t.addRow({"1", "2"});
+    t.addRow({"333", "4"});
+    // Render into a temp file and check content survives.
+    std::FILE *f = std::tmpfile();
+    ASSERT_NE(f, nullptr);
+    t.print(f);
+    long size = std::ftell(f);
+    EXPECT_GT(size, 0);
+    std::fclose(f);
+}
+
+} // namespace
+} // namespace fdip

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * The fdipsim command-line driver: run any frontend configuration over
+ * the synthetic suite, a single workload class, or an imported
+ * ChampSim trace, with optional JSON/CSV reports.
+ *
+ * Run `fdipsim --help` for the full flag list.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "prefetch/factory.h"
+#include "sim/experiment.h"
+#include "sim/report.h"
+#include "trace/champsim.h"
+#include "util/log.h"
+#include "util/table.h"
+
+namespace
+{
+
+using namespace fdip;
+
+struct Options
+{
+    std::string workload = "suite-small";
+    std::uint64_t seed = 1;
+    std::size_t insts = 1000000;
+    double warmupFrac = 0.2;
+    std::string prefetcher = "none";
+    std::string champsimTrace;
+    std::string jsonPath;
+    std::string csvPath;
+    bool compareBaseline = false;
+    CoreConfig cfg = paperBaselineConfig();
+};
+
+void
+usage()
+{
+    std::printf(
+        "usage: fdipsim [options]\n"
+        "\n"
+        "workload selection:\n"
+        "  --workload W       srv | clt | spec | suite-small | suite\n"
+        "  --seed N           workload seed (default 1)\n"
+        "  --insts N          dynamic instructions per trace (1e6)\n"
+        "  --warmup-frac F    warmup fraction (0.2)\n"
+        "  --champsim-trace P import a ChampSim trace instead\n"
+        "\n"
+        "frontend configuration:\n"
+        "  --ftq N            FTQ entries (24; 2 disables FDP)\n"
+        "  --btb N            BTB entries (8192)\n"
+        "  --scheme S         thr|ghr0|ghr1|ghr2|ghr3|ideal (thr)\n"
+        "  --pfc on|off       post-fetch correction (on)\n"
+        "  --dirpred P        tage9|tage18|tage36|gshare|perceptron|"
+        "perfect\n"
+        "  --prefetcher P     none|nl1|fnl+mma|d-jolt|eip-27|eip-128|"
+        "rdip|sn4l+dis|sn4l+dis+btb\n"
+        "  --two-level-btb    enable the L1/L2 BTB hierarchy\n"
+        "  --loop-predictor   enable the loop-exit predictor\n"
+        "  --prefetch-buffer  prefetch into a side buffer (original "
+        "FDP)\n"
+        "  --perfect-icache   every L1I access hits\n"
+        "  --perfect-prefetch instantaneous prefetching (with traffic)\n"
+        "  --perfect-btb      oracle branch detection\n"
+        "\n"
+        "output:\n"
+        "  --compare-baseline also run the no-FDP baseline\n"
+        "  --json PATH        write a JSON report\n"
+        "  --csv PATH         write a CSV report\n");
+}
+
+HistoryScheme
+parseScheme(const std::string &s)
+{
+    if (s == "thr")
+        return HistoryScheme::kThr;
+    if (s == "ghr0")
+        return HistoryScheme::kGhr0;
+    if (s == "ghr1")
+        return HistoryScheme::kGhr1;
+    if (s == "ghr2")
+        return HistoryScheme::kGhr2;
+    if (s == "ghr3")
+        return HistoryScheme::kGhr3;
+    if (s == "ideal")
+        return HistoryScheme::kIdeal;
+    fdip_fatal("unknown history scheme '%s'", s.c_str());
+}
+
+void
+parseDirPred(const std::string &s, CoreConfig &cfg)
+{
+    if (s == "tage9" || s == "tage18" || s == "tage36") {
+        cfg.bpu.direction = DirectionPredictorKind::kTage;
+        cfg.bpu.tageKilobytes =
+            static_cast<unsigned>(std::atoi(s.c_str() + 4));
+    } else if (s == "gshare") {
+        cfg.bpu.direction = DirectionPredictorKind::kGshare;
+    } else if (s == "perceptron") {
+        cfg.bpu.direction = DirectionPredictorKind::kPerceptron;
+    } else if (s == "perfect") {
+        cfg.bpu.direction = DirectionPredictorKind::kPerfect;
+    } else {
+        fdip_fatal("unknown direction predictor '%s'", s.c_str());
+    }
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+    auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            fdip_fatal("flag %s needs a value", argv[i]);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--help" || a == "-h") {
+            usage();
+            std::exit(0);
+        } else if (a == "--workload") {
+            opt.workload = need(i);
+        } else if (a == "--seed") {
+            opt.seed = std::strtoull(need(i), nullptr, 10);
+        } else if (a == "--insts") {
+            opt.insts = std::strtoull(need(i), nullptr, 10);
+        } else if (a == "--warmup-frac") {
+            opt.warmupFrac = std::atof(need(i));
+        } else if (a == "--champsim-trace") {
+            opt.champsimTrace = need(i);
+        } else if (a == "--ftq") {
+            opt.cfg.ftqEntries =
+                static_cast<unsigned>(std::atoi(need(i)));
+        } else if (a == "--btb") {
+            opt.cfg.bpu.btb.numEntries =
+                static_cast<unsigned>(std::atoi(need(i)));
+        } else if (a == "--scheme") {
+            opt.cfg.historyScheme = parseScheme(need(i));
+        } else if (a == "--pfc") {
+            opt.cfg.pfcEnabled = std::strcmp(need(i), "off") != 0;
+        } else if (a == "--dirpred") {
+            parseDirPred(need(i), opt.cfg);
+        } else if (a == "--prefetcher") {
+            opt.prefetcher = need(i);
+        } else if (a == "--two-level-btb") {
+            opt.cfg.bpu.btbHierarchy.enabled = true;
+        } else if (a == "--loop-predictor") {
+            opt.cfg.bpu.useLoopPredictor = true;
+        } else if (a == "--prefetch-buffer") {
+            opt.cfg.usePrefetchBuffer = true;
+        } else if (a == "--perfect-icache") {
+            opt.cfg.perfectICache = true;
+        } else if (a == "--perfect-prefetch") {
+            opt.cfg.perfectPrefetch = true;
+        } else if (a == "--perfect-btb") {
+            opt.cfg.bpu.perfectBtb = true;
+        } else if (a == "--compare-baseline") {
+            opt.compareBaseline = true;
+        } else if (a == "--json") {
+            opt.jsonPath = need(i);
+        } else if (a == "--csv") {
+            opt.csvPath = need(i);
+        } else {
+            usage();
+            fdip_fatal("unknown flag '%s'", a.c_str());
+        }
+    }
+    return opt;
+}
+
+std::vector<SuiteEntry>
+buildInputs(const Options &opt)
+{
+    std::vector<SuiteEntry> suite;
+    if (!opt.champsimTrace.empty()) {
+        SuiteEntry e;
+        e.name = opt.champsimTrace;
+        if (!readChampSimTrace(opt.champsimTrace, opt.insts, e.trace))
+            fdip_fatal("cannot import '%s'", opt.champsimTrace.c_str());
+        suite.push_back(std::move(e));
+        return suite;
+    }
+    if (opt.workload == "suite" || opt.workload == "suite-small")
+        return buildStandardSuite(opt.insts,
+                                  opt.workload == "suite-small");
+
+    WorkloadSpec spec =
+        opt.workload == "clt"
+            ? clientSpec("clt", opt.seed)
+            : opt.workload == "spec" ? specCpuSpec("spec", opt.seed)
+                                     : serverSpec("srv", opt.seed);
+    if (opt.workload != "srv" && opt.workload != "clt" &&
+        opt.workload != "spec") {
+        fdip_fatal("unknown workload '%s'", opt.workload.c_str());
+    }
+    auto wl = std::make_shared<Workload>(buildWorkload(spec));
+    SuiteEntry e;
+    e.name = opt.workload;
+    e.trace = generateTrace(wl, opt.insts);
+    suite.push_back(std::move(e));
+    return suite;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt = parseArgs(argc, argv);
+    const auto suite = buildInputs(opt);
+
+    std::vector<SuiteResult> results;
+    results.push_back(runSuite(
+        "config", opt.cfg, suite,
+        [&](const Trace &) { return makePrefetcher(opt.prefetcher); },
+        opt.warmupFrac));
+    if (opt.compareBaseline) {
+        results.push_back(runSuite("baseline", noFdpConfig(), suite,
+                                   noPrefetcher(), opt.warmupFrac));
+    }
+
+    TextTable t({"result", "workload", "IPC", "MPKI", "starv/KI",
+                 "tags/KI"});
+    for (const auto &r : results) {
+        for (const auto &run : r.runs) {
+            t.addRow({r.label, run.workload,
+                      TextTable::num(run.stats.ipc(), 3),
+                      TextTable::num(run.stats.branchMpki()),
+                      TextTable::num(run.stats.starvationPerKi(), 1),
+                      TextTable::num(run.stats.tagAccessesPerKi(), 1)});
+        }
+    }
+    t.print();
+    std::printf("\ngeomean IPC: %.3f\n", results[0].geomeanIpc());
+    if (opt.compareBaseline) {
+        std::printf("speedup over no-FDP baseline: %+.1f%%\n",
+                    100.0 * (results[0].speedupOver(results[1]) - 1.0));
+    }
+
+    if (!opt.jsonPath.empty() &&
+        !writeSuiteResultsJson(opt.jsonPath, results)) {
+        fdip_fatal("cannot write %s", opt.jsonPath.c_str());
+    }
+    if (!opt.csvPath.empty() &&
+        !writeSuiteResultsCsv(opt.csvPath, results)) {
+        fdip_fatal("cannot write %s", opt.csvPath.c_str());
+    }
+    return 0;
+}
