@@ -121,7 +121,13 @@ Bpu::updateIndirect(Addr pc, Addr target, const IttagePrediction &meta)
 std::uint64_t
 Bpu::predictorStorageBits() const
 {
-    std::uint64_t bits = ittage_->storageBits();
+    return directionStorageBits() + indirectStorageBits();
+}
+
+std::uint64_t
+Bpu::directionStorageBits() const
+{
+    std::uint64_t bits = 0;
     if (tage_)
         bits += tage_->storageBits();
     if (gshare_)
@@ -130,6 +136,24 @@ Bpu::predictorStorageBits() const
         bits += perceptron_->storageBits();
     if (loop_)
         bits += loop_->storageBits();
+    return bits;
+}
+
+std::uint64_t
+Bpu::indirectStorageBits() const
+{
+    return ittage_->storageBits();
+}
+
+std::uint64_t
+Bpu::storageBits() const
+{
+    std::uint64_t bits = predictorStorageBits() + history_.storageBits() +
+                         btb_->storageBits() + ras_.storageBits();
+    if (btbHier_) {
+        bits += std::uint64_t{cfg_.btbHierarchy.l1Entries} *
+                cfg_.btb.bytesPerEntry * 8;
+    }
     return bits;
 }
 

@@ -73,8 +73,11 @@ class Bpu
     const BpuConfig &config() const { return cfg_; }
 
     BranchHistory &history() { return history_; }
+    const BranchHistory &history() const { return history_; }
     Btb &btb() { return *btb_; }
+    const Btb &btb() const { return *btb_; }
     Ras &ras() { return ras_; }
+    const Ras &ras() const { return ras_; }
 
     /**
      * Branch lookup through the (optionally two-level) BTB hierarchy.
@@ -104,6 +107,15 @@ class Bpu
 
     /** Modeled predictor storage in bits (excluding the BTB). */
     std::uint64_t predictorStorageBits() const;
+
+    /** Direction predictor (TAGE/gshare/perceptron + loop) bits only. */
+    std::uint64_t directionStorageBits() const;
+
+    /** ITTAGE indirect predictor bits only. */
+    std::uint64_t indirectStorageBits() const;
+
+    /** Everything: predictors, history, BTB hierarchy, RAS. */
+    std::uint64_t storageBits() const;
 
   private:
     BpuConfig cfg_;

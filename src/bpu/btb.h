@@ -77,6 +77,9 @@ class Btb
         return std::uint64_t{cfg_.numEntries} * cfg_.bytesPerEntry;
     }
 
+    /** Modeled storage in bits (budget-accounting interface). */
+    std::uint64_t storageBits() const { return storageBytes() * 8; }
+
     /// @{ Statistics.
     std::uint64_t lookups() const { return lookups_; }
     std::uint64_t hits() const { return hits_; }

@@ -1,5 +1,7 @@
 #include "bpu/history.h"
 
+#include <algorithm>
+
 #include "util/bits.h"
 #include "util/log.h"
 
@@ -102,6 +104,18 @@ BranchHistory::restore(const HistorySnapshot &snap)
     recentBits_ = snap.recentBits;
     for (std::size_t i = 0; i < folds_.size(); ++i)
         folds_[i].comp = snap.folds[i];
+}
+
+std::uint64_t
+BranchHistory::storageBits() const
+{
+    std::uint64_t window = 64; // The plain recent-bit register.
+    std::uint64_t foldedBits = 0;
+    for (const auto &f : folds_) {
+        window = std::max<std::uint64_t>(window, f.origLen);
+        foldedBits += f.compLen;
+    }
+    return window + foldedBits;
 }
 
 } // namespace fdip

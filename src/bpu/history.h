@@ -142,6 +142,17 @@ class BranchHistory
     /** Total events pushed since construction (monotonic). */
     std::uint64_t numEvents() const { return numEvents_; }
 
+    /** Number of registered folded views. */
+    std::size_t numFolds() const { return folds_.size(); }
+
+    /**
+     * Modeled storage in bits: the history window actually consumed
+     * (the longest registered fold window) plus the incrementally
+     * maintained folded images. The 4Kb ring itself is a simulator
+     * convenience and is not charged beyond the consumed window.
+     */
+    std::uint64_t storageBits() const;
+
   private:
     void pushBit(unsigned bit);
 

@@ -1,11 +1,14 @@
 #include "bpu/ras.h"
 
+#include "util/bits.h"
+
 namespace fdip
 {
 
 Ras::Ras(unsigned depth)
     : stack_(depth, kNoAddr)
 {
+    FDIP_REQUIRE(depth > 0, "a RAS needs at least one entry");
 }
 
 void
@@ -13,11 +16,21 @@ Ras::push(Addr return_addr)
 {
     topIndex_ = (topIndex_ + 1) % stack_.size();
     stack_[topIndex_] = return_addr;
+    if (live_ < stack_.size())
+        ++live_;
 }
 
 Addr
 Ras::pop()
 {
+    if (live_ == 0) {
+        FDIP_CHECK(!strictUnderflow_,
+                   "RAS underflow: pop with no live entries (depth %u)",
+                   depth());
+        ++underflows_;
+    } else {
+        --live_;
+    }
     const Addr v = stack_[topIndex_];
     topIndex_ = (topIndex_ + static_cast<std::uint32_t>(stack_.size()) - 1) %
                 stack_.size();
@@ -33,7 +46,7 @@ Ras::top() const
 RasSnapshot
 Ras::snapshot() const
 {
-    return RasSnapshot{topIndex_, stack_[topIndex_]};
+    return RasSnapshot{topIndex_, stack_[topIndex_], live_};
 }
 
 RasSnapshot
@@ -41,7 +54,9 @@ Ras::snapshotAfterPush(Addr return_addr) const
 {
     const auto idx =
         static_cast<std::uint32_t>((topIndex_ + 1) % stack_.size());
-    return RasSnapshot{idx, return_addr};
+    const auto live = static_cast<std::uint32_t>(
+        live_ < stack_.size() ? live_ + 1 : live_);
+    return RasSnapshot{idx, return_addr, live};
 }
 
 RasSnapshot
@@ -49,14 +64,30 @@ Ras::snapshotAfterPop() const
 {
     const auto idx = static_cast<std::uint32_t>(
         (topIndex_ + stack_.size() - 1) % stack_.size());
-    return RasSnapshot{idx, stack_[idx]};
+    return RasSnapshot{idx, stack_[idx], live_ > 0 ? live_ - 1 : 0};
 }
 
 void
 Ras::restore(const RasSnapshot &snap)
 {
+    FDIP_CHECK(snap.topIndex < stack_.size(),
+               "RAS restore to index %u beyond depth %u", snap.topIndex,
+               depth());
+    FDIP_CHECK(snap.liveCount <= stack_.size(),
+               "RAS restore with %u live entries beyond depth %u",
+               snap.liveCount, depth());
     topIndex_ = snap.topIndex;
     stack_[topIndex_] = snap.topValue;
+    live_ = snap.liveCount;
+}
+
+std::uint64_t
+Ras::storageBits() const
+{
+    const unsigned depth_v = depth();
+    const unsigned ptr_bits =
+        floorLog2(depth_v) + (isPowerOf2(depth_v) ? 0u : 1u);
+    return std::uint64_t{depth_v} * 48 + ptr_bits;
 }
 
 } // namespace fdip

@@ -7,6 +7,13 @@
  * with the redirecting instruction — the standard low-cost recovery
  * scheme. Deep wrong-path call/return weaves can still corrupt deeper
  * entries, which is faithful to real hardware.
+ *
+ * Underflow semantics: a circular RAS never traps on over-pop — a
+ * wrong-path return happily pops garbage, exactly like hardware. The
+ * RAS therefore *counts* underflows (pops with no live entry) rather
+ * than forbidding them. Contexts where an underflow can only mean a
+ * simulator bug (unit tests, structured replay) can opt into strict
+ * mode, where the invariant checker rejects it.
  */
 
 #ifndef FDIP_BPU_RAS_H_
@@ -15,16 +22,22 @@
 #include <cstdint>
 #include <vector>
 
+#include "check/invariant.h"
 #include "util/types.h"
 
 namespace fdip
 {
 
-/** Checkpoint of the RAS recovery state. */
+/**
+ * Checkpoint of the RAS recovery state. topIndex/topValue model the
+ * hardware checkpoint (Table IV); liveCount is simulator bookkeeping
+ * for underflow detection and models no storage.
+ */
 struct RasSnapshot
 {
     std::uint32_t topIndex = 0;
     Addr topValue = kNoAddr;
+    std::uint32_t liveCount = 0;
 };
 
 /**
@@ -63,9 +76,28 @@ class Ras
         return static_cast<unsigned>(stack_.size());
     }
 
+    /** Entries pushed and not yet popped (saturates at depth()). */
+    unsigned liveEntries() const { return live_; }
+
+    /** Pops that found no live entry (wrong-path over-pops). */
+    std::uint64_t underflows() const { return underflows_; }
+
+    /**
+     * In strict mode an underflowing pop() violates an invariant
+     * (FDIP_CHECK) instead of being counted. Off by default: over-pop
+     * is legal hardware behaviour on the wrong path.
+     */
+    void setStrictUnderflow(bool strict) { strictUnderflow_ = strict; }
+
+    /** Modeled storage in bits: depth x 48-bit entries + top pointer. */
+    std::uint64_t storageBits() const;
+
   private:
     std::vector<Addr> stack_;
     std::uint32_t topIndex_ = 0; ///< Index of the current top entry.
+    std::uint32_t live_ = 0;     ///< Live entries (sim bookkeeping).
+    std::uint64_t underflows_ = 0;
+    bool strictUnderflow_ = false;
 };
 
 } // namespace fdip

@@ -154,6 +154,19 @@ Cache::reset()
         l.valid = false;
 }
 
+std::uint64_t
+Cache::storageBitsFor(const CacheConfig &cfg)
+{
+    const std::uint64_t lines = cfg.sizeBytes / cfg.lineBytes;
+    const std::uint64_t sets = lines / cfg.ways;
+    const unsigned offsetBits = floorLog2(cfg.lineBytes);
+    const unsigned setBits = floorLog2(sets);
+    const unsigned tagBits = 48 - offsetBits - setBits;
+    const std::uint64_t perLineBits =
+        std::uint64_t{cfg.lineBytes} * 8 + tagBits + 1 /* valid */;
+    return lines * perLineBits;
+}
+
 void
 Cache::resetStats()
 {

@@ -87,6 +87,16 @@ class Cache
 
     unsigned numSets() const { return numSets_; }
 
+    /**
+     * Modeled storage in bits for @p cfg: data plus a 48-bit-address
+     * tag array (tag = addr bits above set+offset) and valid bits.
+     * Replacement state is not charged (LRU modeling here is loose).
+     */
+    static std::uint64_t storageBitsFor(const CacheConfig &cfg);
+
+    /** Modeled storage in bits of this instance. */
+    std::uint64_t storageBits() const { return storageBitsFor(cfg_); }
+
     /// @{ Statistics.
     std::uint64_t tagAccesses() const { return tagAccesses_; }
     std::uint64_t hits() const { return hits_; }

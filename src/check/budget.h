@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Iso-storage budget accounting (the paper's hardware-legality
+ * contract).
+ *
+ * The paper's central claim — FDP + THR + PFC beats the IPC-1 winners
+ * with 195 *bytes* of new hardware against their 128KB metadata
+ * budgets — is only meaningful if every compared configuration is
+ * storage-accounted exactly. This module makes those budgets
+ * machine-checked:
+ *
+ *  - constexpr accounting functions + static_asserts pin the Table III
+ *    / Table IV / Section VI-D costs at compile time, so the named
+ *    configurations in core_config.h cannot silently drift over their
+ *    paper budgets;
+ *  - StorageBudget / BudgetReport perform the same accounting at
+ *    runtime for arbitrary configurations (experiment sweeps, CLI
+ *    configs), flagging every item over its limit.
+ *
+ * Conventions: all quantities are in *bits*; a limit of 0 means
+ * "informational" (reported, never enforced). Addresses cost
+ * kModelAddrBits (48-bit VAs, util/types.h).
+ */
+
+#ifndef FDIP_CHECK_BUDGET_H_
+#define FDIP_CHECK_BUDGET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bpu/btb.h"
+#include "core/core_config.h"
+#include "core/ftq.h"
+#include "util/bits.h"
+
+namespace fdip
+{
+
+class InstPrefetcher;
+
+/** Modeled address width (48-bit virtual addresses). */
+inline constexpr unsigned kModelAddrBits = 48;
+
+/// @{ Paper storage budgets.
+/** Table III: the FTQ's architectural cost — 24 x 65 bits = 195 B. */
+inline constexpr std::uint64_t kPaperFtqBudgetBits = 195 * 8;
+/** Section VI-D: 8K-entry BTB at ~7 B per branch = 56 KB. */
+inline constexpr std::uint64_t kPaperBtbBudgetBits = 8192ull * 7 * 8;
+/** IPC-1 rules (Table I): 128 KB of prefetcher metadata. */
+inline constexpr std::uint64_t kIpc1PrefetcherBudgetBits =
+    128ull * 1024 * 8;
+/** Table IV RAS: 32 x 48-bit return addresses (+ top pointer). */
+inline constexpr std::uint64_t kPaperRasBudgetBits = 32ull * 48 + 5;
+/// @}
+
+/// @{ constexpr accounting (compile-time legality path).
+
+/** Architectural FTQ cost of @p entries Table III entries. */
+constexpr std::uint64_t
+ftqArchStorageBits(unsigned entries)
+{
+    return std::uint64_t{entries} * FtqEntry::kArchBitsPerEntry;
+}
+
+/** Modeled BTB cost (entries x per-entry bytes, Section VI-D). */
+constexpr std::uint64_t
+btbStorageBits(unsigned num_entries, unsigned bytes_per_entry)
+{
+    return std::uint64_t{num_entries} * bytes_per_entry * 8;
+}
+
+constexpr std::uint64_t
+btbStorageBits(const BtbConfig &cfg)
+{
+    return btbStorageBits(cfg.numEntries, cfg.bytesPerEntry);
+}
+
+/** RAS cost: @p depth return addresses plus the top pointer. */
+constexpr std::uint64_t
+rasStorageBits(unsigned depth)
+{
+    const unsigned ptr_bits =
+        floorLog2(depth) + (isPowerOf2(depth) ? 0u : 1u);
+    return std::uint64_t{depth} * kModelAddrBits + ptr_bits;
+}
+
+/// @}
+
+// The named configurations in core_config.h default to these values;
+// pin them to the paper's claims at compile time. Growing FtqEntry's
+// architectural fields or the default BTB geometry past its budget is
+// a compile error, not a silently-invalid figure.
+static_assert(FtqEntry::kArchBitsPerEntry == 65,
+              "FTQ entry architectural cost diverged from Table III");
+static_assert(ftqArchStorageBits(24) == kPaperFtqBudgetBits,
+              "24-entry FTQ must cost exactly the 195 B of Table III");
+static_assert(ftqArchStorageBits(2) <= kPaperFtqBudgetBits,
+              "the no-FDP FTQ must fit the FDP budget");
+static_assert(btbStorageBits(8192, 7) == kPaperBtbBudgetBits,
+              "default BTB geometry diverged from Section VI-D");
+static_assert(rasStorageBits(32) == kPaperRasBudgetBits,
+              "default RAS depth diverged from Table IV");
+
+/**
+ * Compile-time budget gate: instantiating with Bits > LimitBits fails
+ * compilation. Use to pin a config constant to its paper budget:
+ *
+ *   static_assert(StaticBudgetCheck<ftqArchStorageBits(24),
+ *                                   kPaperFtqBudgetBits>::ok);
+ */
+template <std::uint64_t Bits, std::uint64_t LimitBits>
+struct StaticBudgetCheck
+{
+    static_assert(Bits <= LimitBits,
+                  "storage budget exceeded (hardware-illegal config)");
+    static constexpr bool ok = true;
+    static constexpr std::uint64_t slackBits = LimitBits - Bits;
+};
+
+/** One accounted structure. */
+struct BudgetItem
+{
+    std::string name;
+    std::uint64_t bits = 0;
+    std::uint64_t limitBits = 0; ///< 0: informational, never enforced.
+
+    bool overLimit() const { return limitBits != 0 && bits > limitBits; }
+};
+
+/**
+ * The result of a budget check: per-structure costs, limits, and an
+ * overall verdict.
+ */
+class BudgetReport
+{
+  public:
+    explicit BudgetReport(std::string title) : title_(std::move(title)) {}
+
+    void
+    add(std::string name, std::uint64_t bits, std::uint64_t limit_bits = 0)
+    {
+        items_.push_back({std::move(name), bits, limit_bits});
+    }
+
+    const std::string &title() const { return title_; }
+    const std::vector<BudgetItem> &items() const { return items_; }
+
+    /** Sum of all accounted bits (informational items included). */
+    std::uint64_t totalBits() const;
+
+    /** True when no item exceeds its limit. */
+    bool ok() const;
+
+    /** Names of the items over budget (empty when ok()). */
+    std::vector<std::string> violations() const;
+
+    /** Human-readable table (bits, bytes, limit, verdict per item). */
+    std::string toString() const;
+
+  private:
+    std::string title_;
+    std::vector<BudgetItem> items_;
+};
+
+/**
+ * A named budget accountant: structures report their storage into it
+ * (typically via their storageBits() method), each against an optional
+ * limit, and report() renders the verdict.
+ */
+class StorageBudget
+{
+  public:
+    explicit StorageBudget(std::string name) : name_(std::move(name)) {}
+
+    /** Accounts @p bits for @p item (limit 0 = informational). */
+    void
+    add(std::string item, std::uint64_t bits, std::uint64_t limit_bits = 0)
+    {
+        report_.add(std::move(item), bits, limit_bits);
+    }
+
+    const std::string &name() const { return name_; }
+    std::uint64_t totalBits() const { return report_.totalBits(); }
+    bool ok() const { return report_.ok(); }
+    BudgetReport report() const { return report_; }
+
+  private:
+    std::string name_;
+    BudgetReport report_{name_};
+};
+
+/** Per-structure limits a configuration is verified against. */
+struct StorageLimits
+{
+    std::uint64_t ftqBits = kPaperFtqBudgetBits;
+    std::uint64_t btbBits = kPaperBtbBudgetBits;
+    /** Direction predictor: the configured TAGE size is its own
+     *  nominal budget (9/18/36 KB variants of Fig. 12). */
+    std::uint64_t prefetcherBits = kIpc1PrefetcherBudgetBits;
+    std::uint64_t rasBits = kPaperRasBudgetBits;
+};
+
+/**
+ * Accounts every storage-bearing structure a CoreConfig would
+ * instantiate (FTQ, BTB hierarchy, direction/indirect predictors,
+ * RAS, history, caches) against @p limits. The L1I/L1D/L2/LLC data
+ * arrays are reported informationally: iso-storage comparisons hold
+ * them fixed rather than budgeted.
+ */
+BudgetReport coreStorageReport(const CoreConfig &cfg,
+                               const StorageLimits &limits = {});
+
+/**
+ * As above, additionally accounting @p prefetcher metadata against the
+ * 128 KB IPC-1 budget.
+ */
+BudgetReport coreStorageReport(const CoreConfig &cfg,
+                               const InstPrefetcher &prefetcher,
+                               const StorageLimits &limits = {});
+
+/**
+ * Verifies the named configurations of core_config.h
+ * (paperBaselineConfig, noFdpConfig) against the paper budgets.
+ * Returns the first failing report, or the last (passing) one.
+ */
+BudgetReport checkNamedConfigs();
+
+} // namespace fdip
+
+#endif // FDIP_CHECK_BUDGET_H_

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "check/invariant.h"
+#include "check/invariants.h"
 #include "util/bits.h"
 #include "util/log.h"
 
@@ -41,6 +43,8 @@ Frontend::Frontend(const CoreConfig &cfg, const Trace &trace, Bpu &bpu,
       itlb_(itlbConfig(cfg.itlbEntries)),
       predPc_(trace.workload->entryPc)
 {
+    if constexpr (kInvariantChecksEnabled)
+        checkCoreConfig(cfg_);
     fills_.reserve(cfg.l1iMshrs);
     if (cfg_.usePrefetchBuffer) {
         CacheConfig pb;
@@ -76,6 +80,33 @@ Frontend::tick(Cycle now)
     fetchCycle(now);
     drainPrefetchQueue(now);
     predictCycle(now);
+
+    if constexpr (kInvariantChecksEnabled)
+        checkTickInvariants(now);
+}
+
+void
+Frontend::checkTickInvariants(Cycle now)
+{
+    InvariantScope scope("Frontend::tick");
+    FDIP_CHECK(now >= lastTickPlus1_,
+               "tick at cycle %llu after cycle %llu (time ran backwards)",
+               static_cast<unsigned long long>(now),
+               static_cast<unsigned long long>(lastTickPlus1_ - 1));
+    lastTickPlus1_ = now + 1;
+    FDIP_CHECK(fills_.size() <= cfg_.l1iMshrs,
+               "%zu in-flight fills exceed %u MSHRs", fills_.size(),
+               cfg_.l1iMshrs);
+    checkFtqIntegrity(ftq_);
+    checkCacheConservation(l1i_);
+    checkSimStats(stats_);
+}
+
+void
+Frontend::forgetEvicted(Addr evicted_line)
+{
+    if (evicted_line != kNoAddr)
+        linePrefetched_.erase(evicted_line);
 }
 
 // ---------------------------------------------------------------------
@@ -412,7 +443,7 @@ Frontend::processFills(Cycle now)
             // side buffer and only enter the L1I on a demand hit.
             prefetchBuffer_->insert(f.line);
         } else {
-            l1i_.insert(f.line, &way);
+            forgetEvicted(l1i_.insert(f.line, &way));
         }
         linePrefetched_[f.line] = f.isPrefetch && !f.demandTouched;
 
@@ -464,7 +495,7 @@ Frontend::probeEntry(FtqEntry &entry, std::size_t pos, Cycle now)
     if (cfg_.perfectPrefetch && !cfg_.perfectICache &&
         !l1i_.contains(entry.lineAddr)) {
         mem_.fetchInstLine(entry.lineAddr, now);
-        l1i_.insert(entry.lineAddr);
+        forgetEvicted(l1i_.insert(entry.lineAddr));
     }
 
     // L1I tag probe.
@@ -495,7 +526,7 @@ Frontend::probeEntry(FtqEntry &entry, std::size_t pos, Cycle now)
     // Prefetch-buffer probe (parallel with the L1I tags).
     if (prefetchBuffer_ && prefetchBuffer_->access(entry.lineAddr)) {
         prefetchBuffer_->invalidate(entry.lineAddr);
-        l1i_.insert(entry.lineAddr);
+        forgetEvicted(l1i_.insert(entry.lineAddr));
         auto it = linePrefetched_.find(entry.lineAddr);
         if (it != linePrefetched_.end() && it->second) {
             ++stats_.prefetchesUseful;

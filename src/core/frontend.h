@@ -59,6 +59,14 @@ class Frontend
     const Ftq &ftq() const { return ftq_; }
     Cache &l1i() { return l1i_; }
 
+    /** Lines tracked for prefetch-usefulness accounting. Stays bounded
+     *  by the L1I/prefetch-buffer capacity (regression guard: entries
+     *  are dropped on eviction). */
+    std::size_t prefetchTrackingEntries() const
+    {
+        return linePrefetched_.size();
+    }
+
   private:
     /** Outcome of scanning one instruction in the predict stage. */
     struct ScanResult
@@ -177,8 +185,19 @@ class Frontend
     unsigned l2BtbBubble_ = 0; ///< Pending two-level-BTB re-steer bubble.
     /// @}
 
-    /** Whether the last fill of a line was a prefetch (usefulness). */
+    /** Whether the last fill of a line was a prefetch (usefulness).
+     *  Entries are erased when the line leaves the L1I so the map stays
+     *  bounded by the cache's line count. */
     std::unordered_map<Addr, bool> linePrefetched_;
+
+    /** Drops usefulness tracking for an evicted line (kNoAddr ok). */
+    void forgetEvicted(Addr evicted_line);
+
+    /** Structural invariants verified at the end of every tick();
+     *  compiled out when invariant checks are disabled. */
+    void checkTickInvariants(Cycle now);
+
+    Cycle lastTickPlus1_ = 0; ///< Monotone-tick watermark (checks only).
 };
 
 } // namespace fdip

@@ -17,6 +17,7 @@
 
 #include "bpu/history.h"
 #include "bpu/ras.h"
+#include "check/invariant.h"
 #include "trace/inst.h"
 #include "util/circular_queue.h"
 #include "util/types.h"
@@ -141,7 +142,14 @@ class Ftq
     std::size_t size() const { return q_.size(); }
     std::size_t capacity() const { return q_.capacity(); }
 
-    void push(FtqEntry &&e) { q_.pushBack(std::move(e)); }
+    void
+    push(FtqEntry &&e)
+    {
+        FDIP_CHECK(!q_.full(),
+                   "FTQ overflow: occupancy %zu at capacity %zu", q_.size(),
+                   q_.capacity());
+        q_.pushBack(std::move(e));
+    }
     void popHead() { q_.popFront(); }
     FtqEntry &at(std::size_t i) { return q_.at(i); }
     const FtqEntry &at(std::size_t i) const { return q_.at(i); }
@@ -161,6 +169,13 @@ class Ftq
     archStorageBytes() const
     {
         return (q_.capacity() * FtqEntry::kArchBitsPerEntry + 7) / 8;
+    }
+
+    /** Architectural storage in bits (budget-accounting interface). */
+    std::uint64_t
+    storageBits() const
+    {
+        return q_.capacity() * FtqEntry::kArchBitsPerEntry;
     }
 
   private:

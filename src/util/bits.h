@@ -79,6 +79,8 @@ constexpr std::uint64_t
 foldXor(std::uint64_t v, unsigned out_bits)
 {
     assert(out_bits > 0 && out_bits <= 64);
+    if (out_bits >= 64) // A 64-bit shift below would be UB.
+        return v;
     std::uint64_t r = 0;
     while (v != 0) {
         r ^= v & mask(out_bits);

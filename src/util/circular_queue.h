@@ -6,9 +6,10 @@
 #ifndef FDIP_UTIL_CIRCULAR_QUEUE_H_
 #define FDIP_UTIL_CIRCULAR_QUEUE_H_
 
-#include <cassert>
 #include <cstddef>
 #include <vector>
+
+#include "check/invariant.h"
 
 namespace fdip
 {
@@ -26,7 +27,8 @@ class CircularQueue
     explicit CircularQueue(std::size_t capacity)
         : buf_(capacity), head_(0), size_(0)
     {
-        assert(capacity > 0);
+        FDIP_REQUIRE(capacity > 0,
+                     "a zero-capacity queue models no hardware");
     }
 
     std::size_t capacity() const { return buf_.size(); }
@@ -38,7 +40,8 @@ class CircularQueue
     void
     pushBack(const T &v)
     {
-        assert(!full());
+        FDIP_CHECK(!full(), "push onto a full queue (capacity %zu)",
+                   capacity());
         buf_[physIndex(size_)] = v;
         ++size_;
     }
@@ -47,7 +50,8 @@ class CircularQueue
     void
     pushBack(T &&v)
     {
-        assert(!full());
+        FDIP_CHECK(!full(), "push onto a full queue (capacity %zu)",
+                   capacity());
         buf_[physIndex(size_)] = std::move(v);
         ++size_;
     }
@@ -56,7 +60,7 @@ class CircularQueue
     void
     popFront()
     {
-        assert(!empty());
+        FDIP_CHECK(!empty(), "pop from an empty queue");
         head_ = (head_ + 1) % buf_.size();
         --size_;
     }
@@ -65,7 +69,7 @@ class CircularQueue
     void
     truncate(std::size_t n)
     {
-        assert(n <= size_);
+        FDIP_CHECK(n <= size_, "truncating %zu of %zu elements", n, size_);
         size_ -= n;
     }
 
@@ -73,7 +77,7 @@ class CircularQueue
     void
     resizeTo(std::size_t n)
     {
-        assert(n <= size_);
+        FDIP_CHECK(n <= size_, "resize to %zu of %zu elements", n, size_);
         size_ = n;
     }
 
@@ -89,14 +93,16 @@ class CircularQueue
     T &
     at(std::size_t i)
     {
-        assert(i < size_);
+        FDIP_CHECK(i < size_, "index %zu out of bounds (size %zu)", i,
+                   size_);
         return buf_[physIndex(i)];
     }
 
     const T &
     at(std::size_t i) const
     {
-        assert(i < size_);
+        FDIP_CHECK(i < size_, "index %zu out of bounds (size %zu)", i,
+                   size_);
         return buf_[physIndex(i)];
     }
 

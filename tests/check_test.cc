@@ -1,0 +1,216 @@
+/** @file Budget-accounting tests: compile-time paper-budget pins,
+ *  StaticBudgetCheck, BudgetReport verdicts, and the named-config
+ *  storage reports (hardware-legality acceptance path). */
+
+#include "check/budget.h"
+
+#include <gtest/gtest.h>
+
+#include "bpu/bpu.h"
+#include "bpu/ras.h"
+#include "cache/cache.h"
+#include "core/ftq.h"
+#include "prefetch/prefetcher.h"
+
+namespace fdip
+{
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Compile-time accounting: the constants the paper's claims rest on.
+// ---------------------------------------------------------------------
+
+static_assert(ftqArchStorageBits(24) == 195 * 8,
+              "Table III: 24-entry FTQ costs 195 bytes");
+static_assert(btbStorageBits(8192, 7) == 56 * 1024 * 8,
+              "Section VI-D: 8K x 7B BTB costs 56 KB");
+static_assert(rasStorageBits(32) == 32 * 48 + 5,
+              "Table IV: 32-deep RAS of 48-bit addresses + 5-bit top");
+
+// A legal budget instantiates; the slack is exact.
+static_assert(StaticBudgetCheck<ftqArchStorageBits(24),
+                                kPaperFtqBudgetBits>::ok);
+static_assert(StaticBudgetCheck<ftqArchStorageBits(24),
+                                kPaperFtqBudgetBits>::slackBits == 0);
+static_assert(StaticBudgetCheck<ftqArchStorageBits(2),
+                                kPaperFtqBudgetBits>::slackBits ==
+              kPaperFtqBudgetBits - 2 * 65);
+// (An over-budget instantiation, e.g. StaticBudgetCheck<
+//  ftqArchStorageBits(25), kPaperFtqBudgetBits>, fails to compile.)
+
+TEST(Budget, ConstexprValuesMatchInstances)
+{
+    // The constexpr formulas and the structures' own storageBits()
+    // methods must agree, or the compile-time gate drifts from the
+    // simulated hardware.
+    const Ftq ftq(24);
+    EXPECT_EQ(ftq.storageBits(), ftqArchStorageBits(24));
+    EXPECT_EQ(ftq.archStorageBytes(), 195u);
+
+    const Btb btb(BtbConfig{});
+    EXPECT_EQ(btb.storageBits(), btbStorageBits(BtbConfig{}));
+    EXPECT_EQ(btb.storageBits(), kPaperBtbBudgetBits);
+
+    const Ras ras(32);
+    EXPECT_EQ(ras.storageBits(), rasStorageBits(32));
+    EXPECT_EQ(ras.storageBits(), kPaperRasBudgetBits);
+
+    // Non-power-of-two RAS depth needs a ceil-width pointer.
+    const Ras ras12(12);
+    EXPECT_EQ(ras12.storageBits(), 12u * 48 + 4);
+}
+
+TEST(Budget, CacheStorageCountsTagsAndValidBits)
+{
+    CacheConfig cfg;
+    cfg.sizeBytes = 32 * 1024;
+    cfg.ways = 8;
+    cfg.lineBytes = 64;
+    // 512 lines / 8 ways = 64 sets; 48-bit PAs with 6 offset + 6 set
+    // bits leave 36 tag bits: 512 lines x (512 data + 36 tag + 1 valid).
+    EXPECT_EQ(Cache::storageBitsFor(cfg), 512u * (512 + 36 + 1));
+    const Cache cache(cfg);
+    EXPECT_EQ(cache.storageBits(), Cache::storageBitsFor(cfg));
+}
+
+// ---------------------------------------------------------------------
+// BudgetReport verdicts.
+// ---------------------------------------------------------------------
+
+TEST(Budget, ReportFlagsOnlyEnforcedOverruns)
+{
+    BudgetReport r("test");
+    r.add("fits", 100, 200);
+    r.add("informational", 1u << 30); // No limit: never a violation.
+    EXPECT_TRUE(r.ok());
+    EXPECT_TRUE(r.violations().empty());
+    EXPECT_EQ(r.totalBits(), 100u + (1u << 30));
+
+    r.add("overflows", 300, 200);
+    EXPECT_FALSE(r.ok());
+    ASSERT_EQ(r.violations().size(), 1u);
+    EXPECT_EQ(r.violations()[0], "overflows");
+}
+
+TEST(Budget, ReportToStringCarriesVerdict)
+{
+    BudgetReport ok_report("fits");
+    ok_report.add("FTQ", 100, 200);
+    EXPECT_NE(ok_report.toString().find("OK"), std::string::npos);
+
+    BudgetReport bad_report("overruns");
+    bad_report.add("FTQ", 300, 200);
+    EXPECT_NE(bad_report.toString().find("OVER BUDGET"),
+              std::string::npos);
+    EXPECT_NE(bad_report.toString().find("OVER"), std::string::npos);
+}
+
+TEST(Budget, StorageBudgetAccountant)
+{
+    StorageBudget budget("frontend");
+    budget.add("FTQ", ftqArchStorageBits(24), kPaperFtqBudgetBits);
+    budget.add("BTB", kPaperBtbBudgetBits, kPaperBtbBudgetBits);
+    EXPECT_TRUE(budget.ok());
+    EXPECT_EQ(budget.totalBits(),
+              kPaperFtqBudgetBits + kPaperBtbBudgetBits);
+    EXPECT_EQ(budget.report().items().size(), 2u);
+
+    budget.add("rogue table", kPaperBtbBudgetBits + 1, kPaperBtbBudgetBits);
+    EXPECT_FALSE(budget.ok());
+}
+
+// ---------------------------------------------------------------------
+// Named-configuration legality (the acceptance criterion).
+// ---------------------------------------------------------------------
+
+TEST(Budget, PaperBaselineConfigIsWithinBudget)
+{
+    const BudgetReport r = coreStorageReport(paperBaselineConfig());
+    EXPECT_TRUE(r.ok()) << r.toString();
+}
+
+TEST(Budget, NoFdpConfigIsWithinBudget)
+{
+    const BudgetReport r = coreStorageReport(noFdpConfig());
+    EXPECT_TRUE(r.ok()) << r.toString();
+}
+
+TEST(Budget, CheckNamedConfigsPasses)
+{
+    const BudgetReport r = checkNamedConfigs();
+    EXPECT_TRUE(r.ok()) << r.toString();
+}
+
+TEST(Budget, OversizedFtqIsRejected)
+{
+    CoreConfig cfg = paperBaselineConfig();
+    cfg.ftqEntries = 25; // One entry past the Table III budget.
+    const BudgetReport r = coreStorageReport(cfg);
+    EXPECT_FALSE(r.ok());
+    ASSERT_EQ(r.violations().size(), 1u);
+    EXPECT_EQ(r.violations()[0], "FTQ(arch)");
+}
+
+TEST(Budget, OversizedBtbIsRejected)
+{
+    CoreConfig cfg = paperBaselineConfig();
+    cfg.bpu.btb.numEntries = 16384; // 112 KB against the 56 KB budget.
+    const BudgetReport r = coreStorageReport(cfg);
+    EXPECT_FALSE(r.ok());
+    ASSERT_EQ(r.violations().size(), 1u);
+    EXPECT_EQ(r.violations()[0], "BTB");
+}
+
+TEST(Budget, OversizedRasIsRejected)
+{
+    CoreConfig cfg = paperBaselineConfig();
+    cfg.bpu.rasDepth = 64;
+    const BudgetReport r = coreStorageReport(cfg);
+    EXPECT_FALSE(r.ok());
+    ASSERT_EQ(r.violations().size(), 1u);
+    EXPECT_EQ(r.violations()[0], "RAS");
+}
+
+TEST(Budget, CustomLimitsOverrideThePaperDefaults)
+{
+    CoreConfig cfg = paperBaselineConfig();
+    cfg.ftqEntries = 48;
+    EXPECT_FALSE(coreStorageReport(cfg).ok());
+
+    StorageLimits generous;
+    generous.ftqBits = ftqArchStorageBits(48);
+    EXPECT_TRUE(coreStorageReport(cfg, generous).ok());
+}
+
+TEST(Budget, PrefetcherAccountedAgainstIpc1Budget)
+{
+    const NullPrefetcher none;
+    const BudgetReport r =
+        coreStorageReport(paperBaselineConfig(), none);
+    EXPECT_TRUE(r.ok()) << r.toString();
+
+    bool found = false;
+    for (const auto &item : r.items()) {
+        if (item.name == "prefetcher(none)") {
+            found = true;
+            EXPECT_EQ(item.bits, 0u);
+            EXPECT_EQ(item.limitBits, kIpc1PrefetcherBudgetBits);
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Budget, TwoLevelBtbChargesTheL1Filter)
+{
+    CoreConfig cfg = paperBaselineConfig();
+    cfg.bpu.btbHierarchy.enabled = true;
+    const BudgetReport r = coreStorageReport(cfg);
+    bool found = false;
+    for (const auto &item : r.items())
+        found = found || item.name == "L1-BTB";
+    EXPECT_TRUE(found);
+}
+
+} // namespace
+} // namespace fdip

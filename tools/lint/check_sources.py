@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Source-level lint for the simulator (no external dependencies).
+
+Rules enforced over src/ (and, where noted, tests/):
+
+  1. no-libc-rand     rand()/srand() are banned; all randomness must go
+                      through util/rng.h so runs are reproducible.
+  2. no-raw-new       raw `new` is banned outside util/rng.h-style
+                      allowlists; use std::make_unique / containers.
+  3. no-c-cast        C-style casts that can silently narrow are
+                      banned; use static_cast and friends.
+  4. header-hygiene   every header must have a FDIP_..._H_ include
+                      guard matching its path.
+  5. self-contained   every header in src/ must compile on its own
+                      (a generated TU per header, g++ -fsyntax-only).
+
+Exit status: 0 when clean, 1 with findings listed on stderr.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+SRC = REPO / "src"
+
+# Files allowed to use primitives the rest of the tree must not.
+RAND_ALLOWLIST = {"src/util/rng.h", "src/util/rng.cc"}
+NEW_ALLOWLIST: set[str] = set()
+
+RE_LIBC_RAND = re.compile(r"(?<![\w:.])s?rand\s*\(")
+RE_RAW_NEW = re.compile(r"(?<![\w_])new\s+[A-Za-z_:][\w:<>, ]*[({[]")
+RE_C_CAST = re.compile(
+    r"(?<![\w_>)])\(\s*(?:unsigned\s+)?"
+    r"(?:std::)?(?:uint8_t|uint16_t|uint32_t|int8_t|int16_t|int32_t|"
+    r"short|char)\s*\)\s*[\w(*&]"
+)
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks comments and string/char literals, preserving line count."""
+    out: list[str] = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if text.startswith("//", i):
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            i = j
+        elif text.startswith("/*", i):
+            j = text.find("*/", i + 2)
+            j = n - 2 if j < 0 else j
+            out.append("\n" * text.count("\n", i, j + 2))
+            i = j + 2
+        elif c in "\"'":
+            j = i + 1
+            while j < n and text[j] != c:
+                j += 2 if text[j] == "\\" else 1
+            out.append(" ")
+            i = j + 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def rel(path: Path) -> str:
+    return path.relative_to(REPO).as_posix()
+
+
+def expected_guard(path: Path) -> str:
+    parts = path.relative_to(SRC).parts
+    return "FDIP_" + "_".join(p.upper().replace(".", "_").replace("-", "_")
+                              for p in parts) + "_"
+
+
+def lint_content(findings: list[str]) -> None:
+    files = sorted(SRC.rglob("*.h")) + sorted(SRC.rglob("*.cc"))
+    for path in files:
+        name = rel(path)
+        text = strip_comments_and_strings(path.read_text())
+        for lineno, line in enumerate(text.splitlines(), 1):
+            if name not in RAND_ALLOWLIST and RE_LIBC_RAND.search(line):
+                findings.append(
+                    f"{name}:{lineno}: libc rand()/srand() is banned; "
+                    f"use util/rng.h (deterministic, seedable)")
+            if name not in NEW_ALLOWLIST and RE_RAW_NEW.search(line):
+                findings.append(
+                    f"{name}:{lineno}: raw `new` is banned; use "
+                    f"std::make_unique or a container")
+            if RE_C_CAST.search(line):
+                findings.append(
+                    f"{name}:{lineno}: C-style narrowing cast; use "
+                    f"static_cast")
+
+
+def lint_guards(findings: list[str]) -> None:
+    for path in sorted(SRC.rglob("*.h")):
+        text = path.read_text()
+        guard = expected_guard(path)
+        if f"#ifndef {guard}" not in text or f"#define {guard}" not in text:
+            findings.append(
+                f"{rel(path)}: missing or misnamed include guard "
+                f"(expected {guard})")
+
+
+def lint_self_contained(findings: list[str], jobs: int) -> None:
+    headers = sorted(SRC.rglob("*.h"))
+    with tempfile.TemporaryDirectory() as tmp:
+        procs: list[tuple[Path, subprocess.Popen]] = []
+
+        def drain(limit: int) -> None:
+            while len(procs) > limit:
+                hdr, proc = procs.pop(0)
+                _, err = proc.communicate()
+                if proc.returncode != 0:
+                    tail = "\n    ".join(
+                        err.decode(errors="replace").splitlines()[:6])
+                    findings.append(
+                        f"{rel(hdr)}: header is not self-contained:\n"
+                        f"    {tail}")
+
+        for idx, hdr in enumerate(headers):
+            tu = Path(tmp) / f"tu_{idx}.cc"
+            tu.write_text(f'#include "{rel(hdr)[len("src/"):]}"\n')
+            cmd = ["g++", "-std=c++20", "-fsyntax-only",
+                   f"-I{SRC}", str(tu)]
+            procs.append(
+                (hdr, subprocess.Popen(cmd, stdout=subprocess.PIPE,
+                                       stderr=subprocess.PIPE)))
+            drain(jobs)
+        drain(0)
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--skip-syntax", action="store_true",
+                    help="skip the (slower) self-contained-header pass")
+    ap.add_argument("-j", "--jobs", type=int, default=8,
+                    help="parallel compiler invocations (default 8)")
+    args = ap.parse_args()
+
+    findings: list[str] = []
+    lint_content(findings)
+    lint_guards(findings)
+    if not args.skip_syntax:
+        lint_self_contained(findings, max(1, args.jobs))
+
+    if findings:
+        print(f"check_sources: {len(findings)} finding(s)", file=sys.stderr)
+        for f in findings:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("check_sources: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
