@@ -1,23 +1,28 @@
 /**
  * @file
  * Shared scaffolding for the per-figure bench binaries: suite
- * construction, labeled runs, and table output with the paper's
- * reported values alongside the measured ones.
+ * construction, labeled campaign runs, and table output with the
+ * paper's reported values alongside the measured ones.
  *
  * Every bench honours:
  *   FDIP_SIM_INSTRS  dynamic instructions per trace (default per bench)
  *   FDIP_SUITE=small reduced 3-workload suite
+ *   FDIP_JOBS        parallel worker threads (default: all cores;
+ *                    1 = exact serial execution). Results are
+ *                    bit-identical for any value.
  */
 
 #ifndef FDIP_BENCH_BENCH_COMMON_H_
 #define FDIP_BENCH_BENCH_COMMON_H_
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "prefetch/factory.h"
 #include "sim/experiment.h"
+#include "sim/parallel.h"
 #include "util/table.h"
 
 namespace fdip::bench
@@ -55,6 +60,39 @@ banner(const char *experiment, const char *description)
     std::printf("%s\n", experiment);
     std::printf("%s\n", description);
     std::printf("=============================================================\n");
+}
+
+/**
+ * Runs a campaign and prints engine telemetry: worker count, elapsed
+ * wall-clock vs. the summed per-run core time (their ratio is the
+ * effective parallel speedup), and simulated-instruction throughput.
+ */
+inline std::vector<SuiteResult>
+runTimed(const Campaign &campaign, std::size_t suite_size)
+{
+    const unsigned jobs = jobsFromEnv();
+    const auto t0 = std::chrono::steady_clock::now();
+    auto results = campaign.run(jobs);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double elapsed = std::chrono::duration<double>(t1 - t0).count();
+
+    double core_seconds = 0.0;
+    double insts = 0.0;
+    for (const auto &r : results) {
+        for (const auto &run : r.runs) {
+            core_seconds += run.stats.hostWallSeconds;
+            insts += static_cast<double>(run.stats.committedInsts);
+        }
+    }
+    std::fprintf(stderr,
+                 "engine: %zu runs (%zu configs x %zu workloads), "
+                 "jobs=%u, %.2fs elapsed, %.2fs core time "
+                 "(%.2fx), %.2f Minst/s\n",
+                 campaign.size() * suite_size, campaign.size(), suite_size,
+                 jobs, elapsed, core_seconds,
+                 elapsed > 0 ? core_seconds / elapsed : 0.0,
+                 elapsed > 0 ? insts / elapsed / 1e6 : 0.0);
+    return results;
 }
 
 } // namespace fdip::bench

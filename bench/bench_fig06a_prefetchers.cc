@@ -6,6 +6,9 @@
  *   NL1 10.6%, EIP-27KB 32.4% (without FDP); FDP alone 41.0%;
  *   FDP + perfect BTB +3.4%; FDP + EIP-128KB +4.3%;
  *   FDP + Perfect +5.4%; FDP + perfect BTB + perfect prefetch 46.9%.
+ *
+ * All configurations are batched into one campaign so the
+ * (config, workload) pairs run in parallel under FDIP_JOBS.
  */
 
 #include "bench/bench_common.h"
@@ -20,10 +23,6 @@ main()
            "Speedup over the no-FDP, no-prefetch baseline (geomean).");
 
     const auto workloads = suite(600000);
-    const SuiteResult base = runSuite("baseline", noFdpConfig(),
-                                      workloads, noPrefetcher());
-
-    TextTable t({"configuration", "speedup", "MPKI", "paper"});
 
     struct Pf
     {
@@ -40,63 +39,63 @@ main()
         {"EIP-128KB", "eip-128", "~+33%", "FDP+4.3%"},
     };
 
+    struct Row
+    {
+        std::size_t idx;
+        std::string name;
+        const char *paper;
+    };
+
+    Campaign c(workloads);
+    const std::size_t base =
+        c.add("baseline", noFdpConfig(), noPrefetcher());
+
+    std::vector<Row> rows;
     for (const Pf &pf : pfs) {
-        const SuiteResult r = runSuite(pf.label, noFdpConfig(), workloads,
-                                       prefetcher(pf.name));
-        t.addRow({std::string(pf.label) + " (no FDP)",
-                  speedupStr(r.speedupOver(base)),
-                  TextTable::num(r.meanMpki()), pf.paperNoFdp});
+        rows.push_back({c.add(pf.label, noFdpConfig(), prefetcher(pf.name)),
+                        std::string(pf.label) + " (no FDP)", pf.paperNoFdp});
     }
     {
         CoreConfig cfg = noFdpConfig();
         cfg.perfectPrefetch = true;
-        const SuiteResult r =
-            runSuite("perfect", cfg, workloads, noPrefetcher());
-        t.addRow({"Perfect prefetch (no FDP)",
-                  speedupStr(r.speedupOver(base)),
-                  TextTable::num(r.meanMpki()), "+30.6%"});
+        rows.push_back({c.add("perfect", cfg, noPrefetcher()),
+                        "Perfect prefetch (no FDP)", "+30.6%"});
     }
-
-    const SuiteResult fdp = runSuite("FDP", paperBaselineConfig(),
-                                     workloads, noPrefetcher());
-    t.addRow({"FDP alone", speedupStr(fdp.speedupOver(base)),
-              TextTable::num(fdp.meanMpki()), "+41.0%"});
-
+    rows.push_back({c.add("FDP", paperBaselineConfig(), noPrefetcher()),
+                    "FDP alone", "+41.0%"});
     for (const Pf &pf : pfs) {
-        const SuiteResult r = runSuite(pf.label, paperBaselineConfig(),
-                                       workloads, prefetcher(pf.name));
-        t.addRow({std::string("FDP + ") + pf.label,
-                  speedupStr(r.speedupOver(base)),
-                  TextTable::num(r.meanMpki()), pf.paperFdp});
+        rows.push_back({c.add(std::string("FDP+") + pf.label,
+                              paperBaselineConfig(), prefetcher(pf.name)),
+                        std::string("FDP + ") + pf.label, pf.paperFdp});
     }
     {
         CoreConfig cfg = paperBaselineConfig();
         cfg.perfectPrefetch = true;
-        const SuiteResult r =
-            runSuite("FDP+perfect", cfg, workloads, noPrefetcher());
-        t.addRow({"FDP + perfect prefetch",
-                  speedupStr(r.speedupOver(base)),
-                  TextTable::num(r.meanMpki()), "FDP+5.4%"});
+        rows.push_back({c.add("FDP+perfect", cfg, noPrefetcher()),
+                        "FDP + perfect prefetch", "FDP+5.4%"});
     }
     {
         CoreConfig cfg = paperBaselineConfig();
         cfg.bpu.perfectBtb = true;
-        const SuiteResult r =
-            runSuite("FDP+perfBTB", cfg, workloads, noPrefetcher());
-        t.addRow({"FDP + perfect BTB", speedupStr(r.speedupOver(base)),
-                  TextTable::num(r.meanMpki()), "FDP+3.4%"});
+        rows.push_back({c.add("FDP+perfBTB", cfg, noPrefetcher()),
+                        "FDP + perfect BTB", "FDP+3.4%"});
     }
     {
         CoreConfig cfg = paperBaselineConfig();
         cfg.bpu.perfectBtb = true;
         cfg.perfectPrefetch = true;
-        const SuiteResult r =
-            runSuite("FDP+perfBTB+perfPf", cfg, workloads, noPrefetcher());
-        t.addRow({"FDP + perfect BTB + perfect prefetch",
-                  speedupStr(r.speedupOver(base)),
-                  TextTable::num(r.meanMpki()), "+46.9%"});
+        rows.push_back({c.add("FDP+perfBTB+perfPf", cfg, noPrefetcher()),
+                        "FDP + perfect BTB + perfect prefetch", "+46.9%"});
     }
 
+    const auto results = runTimed(c, workloads.size());
+
+    TextTable t({"configuration", "speedup", "MPKI", "paper"});
+    for (const Row &row : rows) {
+        const SuiteResult &r = results[row.idx];
+        t.addRow({row.name, speedupStr(r.speedupOver(results[base])),
+                  TextTable::num(r.meanMpki()), row.paper});
+    }
     t.print();
     return 0;
 }

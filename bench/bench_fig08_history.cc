@@ -10,6 +10,9 @@
  * Paper: THR ~= Ideal; GHR2 is 23.7% below Ideal (flush cost); GHR0
  * has 19.5% more mispredictions and 1.5% lower performance than Ideal;
  * PFC helps every configuration.
+ *
+ * All 13 configurations (baseline + 6 policies x PFC on/off) are one
+ * campaign, parallelized under FDIP_JOBS.
  */
 
 #include "bench/bench_common.h"
@@ -24,8 +27,6 @@ main()
            "Speedup over the no-FDP baseline; MPKI; fixup flushes/KI.");
 
     const auto workloads = suite(500000);
-    const SuiteResult base = runSuite("base", noFdpConfig(), workloads,
-                                      noPrefetcher());
 
     struct Policy
     {
@@ -41,26 +42,40 @@ main()
         {HistoryScheme::kGhr3, "better than GHR2, BTB pressure"},
     };
 
-    for (bool pfc : {true, false}) {
-        std::printf("\n--- PFC %s ---\n", pfc ? "ON" : "OFF");
-        TextTable t({"policy", "speedup", "MPKI", "fixups/KI", "paper"});
-        for (const Policy &p : policies) {
+    Campaign c(workloads);
+    const std::size_t base = c.add("base", noFdpConfig(), noPrefetcher());
+
+    // indices[pfc on=0/off=1][policy]
+    std::size_t indices[2][6];
+    for (int p = 0; p < 2; ++p) {
+        const bool pfc = p == 0;
+        for (std::size_t i = 0; i < 6; ++i) {
             CoreConfig cfg = paperBaselineConfig();
-            cfg.historyScheme = p.scheme;
+            cfg.historyScheme = policies[i].scheme;
             cfg.pfcEnabled = pfc;
-            const SuiteResult r = runSuite(historySchemeName(p.scheme),
-                                           cfg, workloads, noPrefetcher());
+            indices[p][i] = c.add(historySchemeName(policies[i].scheme),
+                                  cfg, noPrefetcher());
+        }
+    }
+
+    const auto results = runTimed(c, workloads.size());
+
+    for (int p = 0; p < 2; ++p) {
+        std::printf("\n--- PFC %s ---\n", p == 0 ? "ON" : "OFF");
+        TextTable t({"policy", "speedup", "MPKI", "fixups/KI", "paper"});
+        for (std::size_t i = 0; i < 6; ++i) {
+            const SuiteResult &r = results[indices[p][i]];
             double fixups = 0;
             double insts = 0;
             for (const auto &run : r.runs) {
                 fixups += static_cast<double>(run.stats.ghrFixups);
                 insts += static_cast<double>(run.stats.committedInsts);
             }
-            t.addRow({historySchemeName(p.scheme),
-                      speedupStr(r.speedupOver(base)),
+            t.addRow({historySchemeName(policies[i].scheme),
+                      speedupStr(r.speedupOver(results[base])),
                       TextTable::num(r.meanMpki()),
                       TextTable::num(1000.0 * fixups / insts),
-                      p.paperNote});
+                      policies[i].paperNote});
         }
         t.print();
     }

@@ -8,6 +8,9 @@
  * Paper: (1) 41.0% vs (2) 40.6%; (1) has 12% fewer mispredictions;
  * (2) has 13.5% fewer starvation cycles but ~3.5x more I-cache tag
  * accesses.
+ *
+ * The baseline and all three configurations run as one campaign under
+ * FDIP_JOBS.
  */
 
 #include "bench/bench_common.h"
@@ -22,8 +25,6 @@ main()
            "All configurations run FDP with PFC enabled.");
 
     const auto workloads = suite(600000);
-    const SuiteResult base = runSuite("base", noFdpConfig(), workloads,
-                                      noPrefetcher());
 
     struct Config
     {
@@ -38,17 +39,27 @@ main()
         {"4K BTB (reference)", 4096, "none", "lower"},
     };
 
+    Campaign c(workloads);
+    const std::size_t base = c.add("base", noFdpConfig(), noPrefetcher());
+    std::vector<std::size_t> indices;
+    for (const Config &cc : configs) {
+        CoreConfig cfg = paperBaselineConfig();
+        cfg.bpu.btb.numEntries = cc.btbEntries;
+        indices.push_back(c.add(cc.label, cfg, prefetcher(cc.pf)));
+    }
+
+    const auto results = runTimed(c, workloads.size());
+
     TextTable t({"configuration", "speedup", "MPKI", "starvation/KI",
                  "tag accesses/KI", "paper"});
-    for (const Config &c : configs) {
-        CoreConfig cfg = paperBaselineConfig();
-        cfg.bpu.btb.numEntries = c.btbEntries;
-        const SuiteResult r =
-            runSuite(c.label, cfg, workloads, prefetcher(c.pf));
-        t.addRow({c.label, speedupStr(r.speedupOver(base)),
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+        const SuiteResult &r = results[indices[i]];
+        t.addRow({configs[i].label,
+                  speedupStr(r.speedupOver(results[base])),
                   TextTable::num(r.meanMpki()),
                   TextTable::num(r.meanStarvationPerKi(), 1),
-                  TextTable::num(r.meanTagAccessesPerKi(), 1), c.paper});
+                  TextTable::num(r.meanTagAccessesPerKi(), 1),
+                  configs[i].paper});
     }
     t.print();
     std::printf("\nPaper checks: 8K-BTB ~12%% fewer mispredicts; EIP "

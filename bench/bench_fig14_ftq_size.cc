@@ -6,6 +6,8 @@
  * is marginal beyond; with a 2-entry FTQ, 76% of misses are fully or
  * partially exposed, and a 24-entry FTQ removes 90.6% of those exposed
  * misses.
+ *
+ * The whole FTQ sweep is one campaign, parallelized under FDIP_JOBS.
  */
 
 #include "bench/bench_common.h"
@@ -20,18 +22,27 @@ main()
            "Speedup normalized to the 2-entry FTQ (no FDP).");
 
     const auto workloads = suite(500000);
-    const SuiteResult base = runSuite("ftq2", noFdpConfig(), workloads,
-                                      noPrefetcher());
+    const unsigned sizes[] = {2u, 4u, 8u, 12u, 16u, 24u, 32u};
+
+    Campaign c(workloads);
+    const std::size_t base = c.add("ftq2", noFdpConfig(), noPrefetcher());
+    std::vector<std::size_t> indices;
+    for (unsigned entries : sizes) {
+        CoreConfig cfg = paperBaselineConfig();
+        cfg.ftqEntries = entries;
+        indices.push_back(c.add("ftq-" + std::to_string(entries), cfg,
+                                noPrefetcher()));
+    }
+
+    const auto results = runTimed(c, workloads.size());
 
     TextTable t({"FTQ entries", "speedup", "fully exposed", "partial",
                  "covered", "exposed frac", "paper"});
 
     double exposed_at_2 = 0;
-    for (unsigned entries : {2u, 4u, 8u, 12u, 16u, 24u, 32u}) {
-        CoreConfig cfg = paperBaselineConfig();
-        cfg.ftqEntries = entries;
-        const SuiteResult r =
-            runSuite("ftq", cfg, workloads, noPrefetcher());
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+        const unsigned entries = sizes[i];
+        const SuiteResult &r = results[indices[i]];
 
         double fully = 0;
         double partial = 0;
@@ -52,7 +63,7 @@ main()
                             : entries == 24 ? "marginal gain"
                                             : "-";
         t.addRow({std::to_string(entries),
-                  speedupStr(r.speedupOver(base)),
+                  speedupStr(r.speedupOver(results[base])),
                   TextTable::num(fully, 0), TextTable::num(partial, 0),
                   TextTable::num(covered, 0),
                   total > 0 ? TextTable::pct(exposed / total) : "-",

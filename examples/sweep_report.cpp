@@ -1,8 +1,9 @@
 /**
  * @file
  * Design-space sweep with machine-readable output: runs the FTQ-size
- * sweep of Fig. 14 over a reduced suite and writes JSON + CSV reports
- * for external plotting.
+ * sweep of Fig. 14 over a reduced suite through the parallel campaign
+ * engine (FDIP_JOBS workers) and writes JSON + CSV reports for
+ * external plotting.
  *
  * Usage: sweep_report [out_prefix]   (default /tmp/fdipsim_sweep)
  */
@@ -10,7 +11,7 @@
 #include <cstdio>
 #include <string>
 
-#include "sim/experiment.h"
+#include "sim/parallel.h"
 #include "sim/report.h"
 
 int
@@ -23,15 +24,17 @@ main(int argc, char **argv)
 
     const auto suite = buildStandardSuite(300000, /*small=*/true);
 
-    std::vector<SuiteResult> results;
+    Campaign campaign(suite);
     for (unsigned ftq : {2u, 4u, 8u, 12u, 24u, 32u}) {
         CoreConfig cfg = paperBaselineConfig();
         cfg.ftqEntries = ftq;
-        results.push_back(runSuite("ftq-" + std::to_string(ftq), cfg,
-                                   suite, noPrefetcher()));
-        std::printf("ftq=%-3u geomean IPC %.3f  mean MPKI %.2f\n", ftq,
-                    results.back().geomeanIpc(),
-                    results.back().meanMpki());
+        campaign.add("ftq-" + std::to_string(ftq), cfg, noPrefetcher());
+    }
+
+    const std::vector<SuiteResult> results = campaign.run();
+    for (const SuiteResult &r : results) {
+        std::printf("%-8s geomean IPC %.3f  mean MPKI %.2f\n",
+                    r.label.c_str(), r.geomeanIpc(), r.meanMpki());
     }
 
     const std::string json = prefix + ".json";

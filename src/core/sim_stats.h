@@ -10,6 +10,7 @@
 #define FDIP_CORE_SIM_STATS_H_
 
 #include <cstdint>
+#include <tuple>
 
 namespace fdip
 {
@@ -70,6 +71,52 @@ struct SimStats
     std::uint64_t btbLookups = 0;
     std::uint64_t btbHits = 0;
     /// @}
+
+    /// @{ Host-side telemetry. Measured on the machine running the
+    /// simulator, NOT part of the simulated architectural state: two
+    /// runs of the same (config, trace) are the same experiment even
+    /// when their wall-clock differs, so these fields are excluded
+    /// from architecturallyEqual().
+    double hostWallSeconds = 0.0; ///< Wall-clock time of Core::run().
+
+    /** Simulated (committed) instructions per host wall-clock second. */
+    double
+    hostInstrsPerSecond() const
+    {
+        return hostWallSeconds <= 0.0
+                   ? 0.0
+                   : static_cast<double>(committedInsts) / hostWallSeconds;
+    }
+    /// @}
+
+    /** Every architectural counter, as one comparable/hashable tuple.
+     *  Keep in sync when adding counters; host telemetry stays out. */
+    auto
+    architecturalState() const
+    {
+        return std::tie(cycles, committedInsts, condBranches, takenBranches,
+                        indirectBranches, returns, mispredicts,
+                        mispredictsCondDir, mispredictsBtbMissTaken,
+                        mispredictsTarget, mispredictsPfcMisfire, pfcFires,
+                        pfcCorrect, pfcWrong, ghrFixups, starvationCycles,
+                        deliveredInsts, wrongPathDelivered, l1iDemandAccesses,
+                        l1iDemandMisses, l1iTagAccesses, prefetchesIssued,
+                        prefetchesRedundant, prefetchesUseful, itlbMisses,
+                        missFullyExposed, missPartiallyExposed, missCovered,
+                        btbLookups, btbHits);
+    }
+
+    /**
+     * True when every architectural counter matches @p o bit for bit.
+     * This is the determinism contract the parallel experiment engine
+     * is tested against: serial and parallel execution must agree here
+     * exactly, not approximately.
+     */
+    bool
+    architecturallyEqual(const SimStats &o) const
+    {
+        return architecturalState() == o.architecturalState();
+    }
 
     /// @{ Derived metrics.
     double

@@ -1,5 +1,7 @@
 #include "sim/experiment.h"
 
+#include <chrono>
+
 #include "util/log.h"
 #include "util/stats.h"
 
@@ -65,6 +67,23 @@ SuiteResult::speedupOver(const SuiteResult &base) const
     return geometricMean(v);
 }
 
+RunResult
+runOne(const CoreConfig &cfg, const SuiteEntry &entry,
+       const PrefetcherFactory &make_prefetcher, double warmup_fraction)
+{
+    Core core(cfg, entry.trace, make_prefetcher(entry.trace));
+    const auto warmup = static_cast<std::uint64_t>(
+        static_cast<double>(entry.trace.size()) * warmup_fraction);
+    RunResult run;
+    run.workload = entry.name;
+    const auto t0 = std::chrono::steady_clock::now();
+    run.stats = core.run(warmup);
+    const auto t1 = std::chrono::steady_clock::now();
+    run.stats.hostWallSeconds =
+        std::chrono::duration<double>(t1 - t0).count();
+    return run;
+}
+
 SuiteResult
 runSuite(const std::string &label, CoreConfig cfg,
          const std::vector<SuiteEntry> &suite,
@@ -74,15 +93,9 @@ runSuite(const std::string &label, CoreConfig cfg,
     SuiteResult result;
     result.label = label;
     result.runs.reserve(suite.size());
-    for (const auto &entry : suite) {
-        Core core(cfg, entry.trace, make_prefetcher(entry.trace));
-        const auto warmup = static_cast<std::uint64_t>(
-            static_cast<double>(entry.trace.size()) * warmup_fraction);
-        RunResult run;
-        run.workload = entry.name;
-        run.stats = core.run(warmup);
-        result.runs.push_back(std::move(run));
-    }
+    for (const auto &entry : suite)
+        result.runs.push_back(
+            runOne(cfg, entry, make_prefetcher, warmup_fraction));
     return result;
 }
 

@@ -56,6 +56,17 @@ struct SuiteResult
 };
 
 /**
+ * Runs one (config, workload) pair: the unit of work shared by the
+ * serial and parallel experiment engines. @p cfg must already have had
+ * applyHistoryScheme() called; the trace is borrowed read-only, so many
+ * concurrent runs may share one decoded trace. Fills host wall-clock
+ * telemetry (SimStats::hostWallSeconds) as a side effect.
+ */
+RunResult runOne(const CoreConfig &cfg, const SuiteEntry &entry,
+                 const PrefetcherFactory &make_prefetcher,
+                 double warmup_fraction);
+
+/**
  * Runs @p cfg over every trace in @p suite.
  *
  * @param label          display label.

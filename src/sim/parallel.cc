@@ -1,0 +1,173 @@
+#include "sim/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "util/log.h"
+
+namespace fdip
+{
+
+namespace
+{
+
+/**
+ * One (config, workload) pair awaiting execution, plus the slot its
+ * result lands in. Slots are preallocated so workers never contend on
+ * a results container and completion order cannot perturb output
+ * order.
+ */
+struct WorkItem
+{
+    const CampaignEntry *entry;
+    const SuiteEntry *workload;
+    RunResult *slot;
+};
+
+/**
+ * Executes @p items over @p jobs workers. Work is claimed through one
+ * atomic cursor (no per-item locks); each item writes only its own
+ * preallocated slot. The first exception thrown by any run is captured
+ * and rethrown on the calling thread after every worker has joined, so
+ * an FDIP_CHECK violation inside a worker surfaces exactly like it
+ * does serially.
+ */
+void
+drainPool(const std::vector<WorkItem> &items, double warmup_fraction,
+          unsigned jobs)
+{
+    std::atomic<std::size_t> cursor{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+
+    auto worker = [&]() {
+        for (;;) {
+            if (failed.load(std::memory_order_relaxed))
+                return;
+            const std::size_t i =
+                cursor.fetch_add(1, std::memory_order_relaxed);
+            if (i >= items.size())
+                return;
+            const WorkItem &item = items[i];
+            try {
+                *item.slot =
+                    runOne(item.entry->cfg, *item.workload,
+                           item.entry->makePrefetcher, warmup_fraction);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error)
+                    first_error = std::current_exception();
+                failed.store(true, std::memory_order_relaxed);
+                return;
+            }
+        }
+    };
+
+    if (jobs <= 1 || items.size() <= 1) {
+        // Exact serial fallback: same claim loop, calling thread only.
+        worker();
+    } else {
+        const unsigned n =
+            static_cast<unsigned>(std::min<std::size_t>(jobs, items.size()));
+        std::vector<std::thread> threads;
+        threads.reserve(n);
+        for (unsigned t = 0; t < n; ++t)
+            threads.emplace_back(worker);
+        for (auto &th : threads)
+            th.join();
+    }
+
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+} // namespace
+
+unsigned
+jobsFromEnv(unsigned fallback)
+{
+    if (fallback == 0)
+        fallback = std::max(1u, std::thread::hardware_concurrency());
+    const char *v = std::getenv("FDIP_JOBS");
+    if (v == nullptr || *v == '\0')
+        return fallback;
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long n = std::strtoul(v, &end, 10);
+    if (errno != 0 || end == v || *end != '\0' || *v == '-' || n == 0 ||
+        n > kMaxJobs) {
+        fdip_warn("FDIP_JOBS='%s' is not a valid worker count "
+                  "(want 1..%u); using %u",
+                  v, kMaxJobs, fallback);
+        return fallback;
+    }
+    return static_cast<unsigned>(n);
+}
+
+std::vector<SuiteResult>
+runCampaign(const std::vector<CampaignEntry> &entries,
+            const std::vector<SuiteEntry> &suite, double warmup_fraction,
+            unsigned jobs)
+{
+    // Resolve configs and the worker count up front, on the calling
+    // thread: applyHistoryScheme() mutates the config and getenv() is
+    // not something workers should race on.
+    std::vector<CampaignEntry> resolved = entries;
+    for (auto &e : resolved)
+        e.cfg.applyHistoryScheme();
+    if (jobs == 0)
+        jobs = jobsFromEnv();
+
+    std::vector<SuiteResult> results(resolved.size());
+    for (std::size_t c = 0; c < resolved.size(); ++c) {
+        results[c].label = resolved[c].label;
+        results[c].runs.resize(suite.size());
+    }
+
+    std::vector<WorkItem> items;
+    items.reserve(resolved.size() * suite.size());
+    for (std::size_t c = 0; c < resolved.size(); ++c) {
+        for (std::size_t w = 0; w < suite.size(); ++w) {
+            items.push_back(WorkItem{&resolved[c], &suite[w],
+                                     &results[c].runs[w]});
+        }
+    }
+
+    drainPool(items, warmup_fraction, jobs);
+    return results;
+}
+
+SuiteResult
+runSuiteParallel(const std::string &label, CoreConfig cfg,
+                 const std::vector<SuiteEntry> &suite,
+                 const PrefetcherFactory &make_prefetcher,
+                 double warmup_fraction, unsigned jobs)
+{
+    std::vector<CampaignEntry> one;
+    one.push_back(CampaignEntry{label, std::move(cfg), make_prefetcher});
+    auto results = runCampaign(one, suite, warmup_fraction, jobs);
+    return std::move(results.front());
+}
+
+std::size_t
+Campaign::add(std::string label, CoreConfig cfg,
+              PrefetcherFactory make_prefetcher)
+{
+    entries_.push_back(CampaignEntry{std::move(label), std::move(cfg),
+                                     std::move(make_prefetcher)});
+    return entries_.size() - 1;
+}
+
+std::vector<SuiteResult>
+Campaign::run(unsigned jobs) const
+{
+    return runCampaign(entries_, suite_, warmupFraction_, jobs);
+}
+
+} // namespace fdip

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * The parallel experiment engine: fans (config, workload) pairs out
+ * over a pool of worker threads while keeping results bit-identical to
+ * the serial harness.
+ *
+ * Determinism contract
+ * --------------------
+ * Every run is an independent unit of work: a fresh Core and a fresh
+ * prefetcher over an immutable, shared Trace. Workers never share
+ * mutable simulator state, so per-run SimStats are bit-identical to
+ * `runSuite` regardless of the worker count or scheduling order, and
+ * results are collected back into their original suite order before
+ * any aggregate (geomean IPC, speedups) is computed. The test suite
+ * (tests/sim_parallel_test.cc) asserts this equivalence for
+ * jobs = 1, 2, 8; any new engine must land with the same kind of
+ * serial-equivalence test.
+ *
+ * Worker count resolution: an explicit `jobs` argument wins; `jobs = 0`
+ * defers to the FDIP_JOBS environment variable; when that is unset (or
+ * invalid, with a warning) the hardware concurrency is used. `jobs = 1`
+ * executes on the calling thread with no pool at all — the exact serial
+ * fallback.
+ */
+
+#ifndef FDIP_SIM_PARALLEL_H_
+#define FDIP_SIM_PARALLEL_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.h"
+
+namespace fdip
+{
+
+/**
+ * Resolves the worker count for the parallel engine.
+ *
+ * @param fallback value to use when FDIP_JOBS is unset or invalid;
+ *                 0 means std::thread::hardware_concurrency() (itself
+ *                 clamped to at least 1).
+ *
+ * FDIP_JOBS must be a plain positive decimal integer no larger than
+ * kMaxJobs; `0`, garbage, negative, or huge values fall back to
+ * @p fallback with a warning rather than crashing or oversubscribing.
+ */
+unsigned jobsFromEnv(unsigned fallback = 0);
+
+/** Upper bound accepted from FDIP_JOBS before falling back. */
+inline constexpr unsigned kMaxJobs = 1024;
+
+/**
+ * Parallel drop-in for runSuite(): same signature plus a worker count.
+ * Per-run SimStats and the run order are bit-identical to the serial
+ * path for any @p jobs.
+ *
+ * @param jobs worker threads; 0 resolves via jobsFromEnv().
+ */
+SuiteResult runSuiteParallel(const std::string &label, CoreConfig cfg,
+                             const std::vector<SuiteEntry> &suite,
+                             const PrefetcherFactory &make_prefetcher,
+                             double warmup_fraction = 0.2,
+                             unsigned jobs = 0);
+
+/** One labeled configuration inside a campaign. */
+struct CampaignEntry
+{
+    std::string label;
+    CoreConfig cfg;
+    PrefetcherFactory makePrefetcher;
+};
+
+/**
+ * Runs every labeled config over the whole suite, fanning all
+ * (config, workload) pairs out over one shared pool — the shape every
+ * bench binary needs (many configs, one suite). Results are returned
+ * in `entries` order, each with runs in suite order, bit-identical to
+ * calling runSuite() per entry.
+ *
+ * @param jobs worker threads; 0 resolves via jobsFromEnv().
+ */
+std::vector<SuiteResult>
+runCampaign(const std::vector<CampaignEntry> &entries,
+            const std::vector<SuiteEntry> &suite,
+            double warmup_fraction = 0.2, unsigned jobs = 0);
+
+/**
+ * Builder over runCampaign(): accumulate labeled configs against one
+ * suite, run them all at once, look results up by index or label.
+ *
+ *   Campaign c(workloads);
+ *   const auto base = c.add("baseline", noFdpConfig(), noPrefetcher());
+ *   const auto fdp  = c.add("FDP", paperBaselineConfig(), noPrefetcher());
+ *   const auto res  = c.run();             // honors FDIP_JOBS
+ *   res[fdp].speedupOver(res[base]);
+ *
+ * The suite is borrowed and must outlive the campaign; traces are
+ * shared read-only across all runs and workers.
+ */
+class Campaign
+{
+  public:
+    explicit Campaign(const std::vector<SuiteEntry> &suite,
+                      double warmup_fraction = 0.2)
+        : suite_(suite), warmupFraction_(warmup_fraction)
+    {
+    }
+
+    /** Adds a labeled config; returns its index into run()'s result. */
+    std::size_t add(std::string label, CoreConfig cfg,
+                    PrefetcherFactory make_prefetcher);
+
+    std::size_t size() const { return entries_.size(); }
+
+    /** Runs all configs; results in add() order. 0 = jobsFromEnv(). */
+    std::vector<SuiteResult> run(unsigned jobs = 0) const;
+
+  private:
+    const std::vector<SuiteEntry> &suite_;
+    double warmupFraction_;
+    std::vector<CampaignEntry> entries_;
+};
+
+} // namespace fdip
+
+#endif // FDIP_SIM_PARALLEL_H_

@@ -1,7 +1,10 @@
 #include "trace/suite.h"
 
+#include <cerrno>
 #include <cstdlib>
 #include <cstring>
+
+#include "util/log.h"
 
 namespace fdip
 {
@@ -40,15 +43,29 @@ suiteInstsFromEnv(std::size_t default_insts)
     const char *v = std::getenv("FDIP_SIM_INSTRS");
     if (v == nullptr || *v == '\0')
         return default_insts;
-    const long long n = std::atoll(v);
-    return n > 1000 ? static_cast<std::size_t>(n) : default_insts;
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long n = std::strtoull(v, &end, 10);
+    if (errno != 0 || end == v || *end != '\0' || *v == '-' || n <= 1000) {
+        fdip_warn("FDIP_SIM_INSTRS='%s' is not a valid instruction count "
+                  "(want a plain integer > 1000); using %zu",
+                  v, default_insts);
+        return default_insts;
+    }
+    return static_cast<std::size_t>(n);
 }
 
 bool
 suiteSmallFromEnv()
 {
     const char *v = std::getenv("FDIP_SUITE");
-    return v != nullptr && std::strcmp(v, "small") == 0;
+    if (v == nullptr || *v == '\0')
+        return false;
+    if (std::strcmp(v, "small") == 0)
+        return true;
+    if (std::strcmp(v, "full") != 0)
+        fdip_warn("FDIP_SUITE='%s' is not 'small' or 'full'; using full", v);
+    return false;
 }
 
 } // namespace fdip

@@ -3,11 +3,31 @@
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 namespace fdip
 {
 namespace log_detail
 {
+
+namespace
+{
+
+/**
+ * Serializes log emission across threads. The logging functions are
+ * the only process-global mutable state reachable from Core::run (the
+ * simulator itself keeps all state per-Core), so this lock is what
+ * keeps the parallel experiment engine's diagnostics readable: one
+ * warn/inform line at a time, never interleaved mid-line.
+ */
+std::mutex &
+logMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+} // namespace
 
 std::string
 format(const char *fmt, ...)
@@ -30,26 +50,36 @@ format(const char *fmt, ...)
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    {
+        std::lock_guard<std::mutex> lock(logMutex());
+        std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file,
+                     line);
+    }
     std::abort();
 }
 
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    {
+        std::lock_guard<std::mutex> lock(logMutex());
+        std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file,
+                     line);
+    }
     std::exit(1);
 }
 
 void
 warnImpl(const std::string &msg)
 {
+    std::lock_guard<std::mutex> lock(logMutex());
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
 void
 informImpl(const std::string &msg)
 {
+    std::lock_guard<std::mutex> lock(logMutex());
     std::fprintf(stdout, "info: %s\n", msg.c_str());
 }
 

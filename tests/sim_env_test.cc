@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Environment-override handling for the bench/experiment layer:
+ * FDIP_SIM_INSTRS, FDIP_SUITE, and FDIP_JOBS. Invalid values (0,
+ * garbage, negative, huge) must fall back to the default with a
+ * warning — never crash, hang, or silently misconfigure a campaign.
+ */
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.h"
+#include "sim/parallel.h"
+
+namespace fdip
+{
+namespace
+{
+
+/** Restores the three env vars to "unset" around each test. */
+class EnvTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        ::unsetenv("FDIP_SIM_INSTRS");
+        ::unsetenv("FDIP_SUITE");
+        ::unsetenv("FDIP_JOBS");
+    }
+    void
+    TearDown() override
+    {
+        SetUp();
+    }
+};
+
+TEST_F(EnvTest, JobsDefaultsToHardwareConcurrencyWhenUnset)
+{
+    EXPECT_GE(jobsFromEnv(), 1u);
+    EXPECT_EQ(jobsFromEnv(5), 5u);
+}
+
+TEST_F(EnvTest, JobsParsesValidCounts)
+{
+    for (unsigned v : {1u, 2u, 8u, 64u, kMaxJobs}) {
+        ::setenv("FDIP_JOBS", std::to_string(v).c_str(), 1);
+        EXPECT_EQ(jobsFromEnv(7), v);
+    }
+}
+
+TEST_F(EnvTest, JobsInvalidValuesFallBack)
+{
+    for (const char *bad : {"0", "garbage", "-2", "2x", "", " ", "1.5",
+                            "99999999999999999999", "4097"}) {
+        ::setenv("FDIP_JOBS", bad, 1);
+        EXPECT_EQ(jobsFromEnv(7), 7u) << "FDIP_JOBS='" << bad << "'";
+    }
+    ::setenv("FDIP_JOBS", std::to_string(kMaxJobs + 1).c_str(), 1);
+    EXPECT_EQ(jobsFromEnv(7), 7u);
+}
+
+TEST_F(EnvTest, SimInstrsParsesValidCounts)
+{
+    ::setenv("FDIP_SIM_INSTRS", "123456", 1);
+    EXPECT_EQ(suiteInstsFromEnv(999), 123456u);
+    ::setenv("FDIP_SIM_INSTRS", "2000000", 1);
+    EXPECT_EQ(suiteInstsFromEnv(999), 2000000u);
+}
+
+TEST_F(EnvTest, SimInstrsInvalidValuesFallBack)
+{
+    // 1000 is the documented floor: trace shorter than warmup is junk.
+    for (const char *bad : {"garbage", "0", "-5", "1000", "12monkeys",
+                            "99999999999999999999999"}) {
+        ::setenv("FDIP_SIM_INSTRS", bad, 1);
+        EXPECT_EQ(suiteInstsFromEnv(999), 999u)
+            << "FDIP_SIM_INSTRS='" << bad << "'";
+    }
+    ::unsetenv("FDIP_SIM_INSTRS");
+    EXPECT_EQ(suiteInstsFromEnv(999), 999u);
+}
+
+TEST_F(EnvTest, SuiteSelectionParses)
+{
+    EXPECT_FALSE(suiteSmallFromEnv());
+    ::setenv("FDIP_SUITE", "small", 1);
+    EXPECT_TRUE(suiteSmallFromEnv());
+    ::setenv("FDIP_SUITE", "full", 1);
+    EXPECT_FALSE(suiteSmallFromEnv());
+    // Unrecognized values warn and fall back to the full suite.
+    ::setenv("FDIP_SUITE", "SMALL", 1);
+    EXPECT_FALSE(suiteSmallFromEnv());
+    ::setenv("FDIP_SUITE", "tiny", 1);
+    EXPECT_FALSE(suiteSmallFromEnv());
+}
+
+TEST_F(EnvTest, BenchSuiteHonorsInstrsAndSmall)
+{
+    ::setenv("FDIP_SIM_INSTRS", "2000", 1);
+    ::setenv("FDIP_SUITE", "small", 1);
+    const auto small = benchSuite(5000);
+    ASSERT_EQ(small.size(), 3u);
+    for (const auto &e : small)
+        EXPECT_EQ(e.trace.size(), 2000u) << e.name;
+    EXPECT_EQ(small[0].name, "srv-a");
+    EXPECT_EQ(small[1].name, "clt-a");
+    EXPECT_EQ(small[2].name, "spec-a");
+}
+
+TEST_F(EnvTest, BenchSuiteDefaultsToFullSuite)
+{
+    ::setenv("FDIP_SIM_INSTRS", "2000", 1);
+    const auto full = benchSuite(5000);
+    EXPECT_EQ(full.size(), 9u);
+}
+
+TEST_F(EnvTest, BenchSuiteInvalidInstrsUsesBenchDefault)
+{
+    ::setenv("FDIP_SIM_INSTRS", "nonsense", 1);
+    ::setenv("FDIP_SUITE", "small", 1);
+    const auto suite = benchSuite(2000);
+    ASSERT_EQ(suite.size(), 3u);
+    for (const auto &e : suite)
+        EXPECT_EQ(e.trace.size(), 2000u) << e.name;
+}
+
+} // namespace
+} // namespace fdip

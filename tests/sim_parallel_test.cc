@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Golden determinism tests for the parallel experiment engine: for any
+ * worker count, per-run SimStats must be bit-identical to the serial
+ * harness and results must come back in suite order. This is the
+ * serial-equivalence test the determinism policy (docs/ANALYSIS.md)
+ * requires of every experiment engine.
+ */
+
+#include "sim/parallel.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "prefetch/factory.h"
+
+namespace fdip
+{
+namespace
+{
+
+std::vector<SuiteEntry>
+tinySuite(std::size_t workloads = 3, std::size_t insts = 40000)
+{
+    std::vector<SuiteEntry> suite;
+    for (std::size_t i = 0; i < workloads; ++i) {
+        WorkloadSpec s = specCpuSpec("tiny", 9001 + i);
+        s.numFunctions = 48;
+        auto wl = std::make_shared<Workload>(buildWorkload(s));
+        SuiteEntry e;
+        e.name = "tiny-" + std::to_string(9001 + i);
+        e.trace = generateTrace(wl, insts);
+        suite.push_back(std::move(e));
+    }
+    return suite;
+}
+
+/** Asserts @p par is run-for-run bit-identical to @p serial. */
+void
+expectBitIdentical(const SuiteResult &serial, const SuiteResult &par)
+{
+    ASSERT_EQ(serial.runs.size(), par.runs.size());
+    for (std::size_t i = 0; i < serial.runs.size(); ++i) {
+        EXPECT_EQ(serial.runs[i].workload, par.runs[i].workload);
+        EXPECT_TRUE(serial.runs[i].stats.architecturallyEqual(
+            par.runs[i].stats))
+            << "stats diverged on run " << i << " ("
+            << serial.runs[i].workload << ")";
+    }
+    EXPECT_DOUBLE_EQ(serial.geomeanIpc(), par.geomeanIpc());
+    EXPECT_DOUBLE_EQ(serial.meanMpki(), par.meanMpki());
+}
+
+TEST(Parallel, GoldenBitIdenticalToSerialAcrossConfigs)
+{
+    const auto suite = tinySuite();
+
+    CoreConfig ghr2 = paperBaselineConfig();
+    ghr2.historyScheme = HistoryScheme::kGhr2;
+
+    const CoreConfig configs[] = {paperBaselineConfig(), noFdpConfig(),
+                                  ghr2};
+    for (const CoreConfig &cfg : configs) {
+        const SuiteResult serial =
+            runSuite("golden", cfg, suite, noPrefetcher());
+        for (unsigned jobs : {1u, 2u, 8u}) {
+            const SuiteResult par = runSuiteParallel(
+                "golden", cfg, suite, noPrefetcher(), 0.2, jobs);
+            EXPECT_EQ(par.label, "golden");
+            expectBitIdentical(serial, par);
+        }
+    }
+}
+
+TEST(Parallel, GoldenBitIdenticalWithStatefulPrefetcher)
+{
+    const auto suite = tinySuite(2);
+    const PrefetcherFactory eip = [](const Trace &) {
+        return makePrefetcher("eip-27");
+    };
+    const SuiteResult serial =
+        runSuite("eip", paperBaselineConfig(), suite, eip);
+    for (unsigned jobs : {1u, 2u, 8u}) {
+        expectBitIdentical(serial,
+                           runSuiteParallel("eip", paperBaselineConfig(),
+                                            suite, eip, 0.2, jobs));
+    }
+}
+
+TEST(Parallel, GoldenBitIdenticalOnStandardSyntheticSuite)
+{
+    const auto suite = buildStandardSuite(20000, /*small=*/true);
+    const SuiteResult serial =
+        runSuite("std", paperBaselineConfig(), suite, noPrefetcher());
+    expectBitIdentical(serial,
+                       runSuiteParallel("std", paperBaselineConfig(),
+                                        suite, noPrefetcher(), 0.2, 2));
+}
+
+TEST(Parallel, ResultsComeBackInSuiteOrder)
+{
+    const auto suite = tinySuite(5, 15000);
+    const SuiteResult par = runSuiteParallel(
+        "order", paperBaselineConfig(), suite, noPrefetcher(), 0.2, 8);
+    ASSERT_EQ(par.runs.size(), suite.size());
+    for (std::size_t i = 0; i < suite.size(); ++i)
+        EXPECT_EQ(par.runs[i].workload, suite[i].name);
+}
+
+TEST(Parallel, EmptySuiteReturnsEmptyResult)
+{
+    const std::vector<SuiteEntry> empty;
+    for (unsigned jobs : {1u, 8u}) {
+        const SuiteResult par = runSuiteParallel(
+            "empty", paperBaselineConfig(), empty, noPrefetcher(), 0.2,
+            jobs);
+        EXPECT_EQ(par.label, "empty");
+        EXPECT_TRUE(par.runs.empty());
+    }
+}
+
+TEST(Parallel, MoreJobsThanWorkStillExact)
+{
+    const auto suite = tinySuite(2, 15000);
+    const SuiteResult serial =
+        runSuite("tiny", paperBaselineConfig(), suite, noPrefetcher());
+    expectBitIdentical(serial,
+                       runSuiteParallel("tiny", paperBaselineConfig(),
+                                        suite, noPrefetcher(), 0.2, 8));
+}
+
+TEST(Parallel, CampaignMatchesPerConfigSerialRuns)
+{
+    const auto suite = tinySuite(2, 20000);
+
+    CoreConfig ghr3 = paperBaselineConfig();
+    ghr3.historyScheme = HistoryScheme::kGhr3;
+
+    Campaign c(suite);
+    const std::size_t a = c.add("fdp", paperBaselineConfig(),
+                                noPrefetcher());
+    const std::size_t b = c.add("nofdp", noFdpConfig(), noPrefetcher());
+    const std::size_t d = c.add("ghr3", ghr3, noPrefetcher());
+    ASSERT_EQ(c.size(), 3u);
+
+    const auto results = c.run(4);
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_EQ(results[a].label, "fdp");
+    EXPECT_EQ(results[b].label, "nofdp");
+    EXPECT_EQ(results[d].label, "ghr3");
+
+    expectBitIdentical(
+        runSuite("fdp", paperBaselineConfig(), suite, noPrefetcher()),
+        results[a]);
+    expectBitIdentical(
+        runSuite("nofdp", noFdpConfig(), suite, noPrefetcher()),
+        results[b]);
+    expectBitIdentical(runSuite("ghr3", ghr3, suite, noPrefetcher()),
+                       results[d]);
+}
+
+TEST(Parallel, CampaignHonorsFdipJobsEnv)
+{
+    const auto suite = tinySuite(2, 15000);
+    Campaign c(suite);
+    c.add("fdp", paperBaselineConfig(), noPrefetcher());
+
+    ::setenv("FDIP_JOBS", "2", 1);
+    const auto par = c.run(/*jobs=*/0);
+    ::unsetenv("FDIP_JOBS");
+
+    expectBitIdentical(
+        runSuite("fdp", paperBaselineConfig(), suite, noPrefetcher()),
+        par[0]);
+}
+
+TEST(Parallel, WorkerExceptionPropagatesToCaller)
+{
+    const auto suite = tinySuite(3, 15000);
+    const PrefetcherFactory boom =
+        [](const Trace &) -> std::unique_ptr<InstPrefetcher> {
+        throw std::runtime_error("boom");
+    };
+    for (unsigned jobs : {1u, 4u}) {
+        EXPECT_THROW(runSuiteParallel("boom", paperBaselineConfig(),
+                                      suite, boom, 0.2, jobs),
+                     std::runtime_error);
+    }
+}
+
+TEST(Parallel, HostTelemetryIsFilledButExcludedFromEquality)
+{
+    const auto suite = tinySuite(1, 15000);
+    const SuiteResult r = runSuiteParallel(
+        "tel", paperBaselineConfig(), suite, noPrefetcher(), 0.2, 1);
+    ASSERT_EQ(r.runs.size(), 1u);
+    EXPECT_GT(r.runs[0].stats.hostWallSeconds, 0.0);
+    EXPECT_GT(r.runs[0].stats.hostInstrsPerSecond(), 0.0);
+
+    SimStats a = r.runs[0].stats;
+    SimStats b = a;
+    b.hostWallSeconds = a.hostWallSeconds * 2 + 1;
+    EXPECT_TRUE(a.architecturallyEqual(b));
+    b.committedInsts += 1;
+    EXPECT_FALSE(a.architecturallyEqual(b));
+}
+
+} // namespace
+} // namespace fdip
