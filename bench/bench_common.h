@@ -17,6 +17,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -63,12 +64,56 @@ banner(const char *experiment, const char *description)
 }
 
 /**
+ * Writes a machine-readable bench summary to BENCH_<name>.json: one
+ * entry per configuration (label + geomean IPC) plus host throughput,
+ * so CI and plotting scripts can diff bench output without scraping
+ * the human-readable tables. FDIP_BENCH_JSON_DIR overrides the output
+ * directory (default: current directory); FDIP_BENCH_JSON=0 disables.
+ */
+inline void
+writeBenchJson(const char *bench_name,
+               const std::vector<SuiteResult> &results, unsigned jobs,
+               double elapsed_seconds, double host_insts_per_second)
+{
+    const char *toggle = std::getenv("FDIP_BENCH_JSON");
+    if (toggle != nullptr && std::string(toggle) == "0")
+        return;
+    std::string path = "BENCH_" + std::string(bench_name) + ".json";
+    if (const char *dir = std::getenv("FDIP_BENCH_JSON_DIR")) {
+        if (*dir != '\0')
+            path = std::string(dir) + "/" + path;
+    }
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+        return;
+    }
+    std::fprintf(f,
+                 "{\n  \"bench\": \"%s\",\n  \"jobs\": %u,\n"
+                 "  \"elapsedSeconds\": %.3f,\n"
+                 "  \"hostInstrsPerSecond\": %.0f,\n  \"results\": [\n",
+                 bench_name, jobs, elapsed_seconds,
+                 host_insts_per_second);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        std::fprintf(f, "    {\"label\": \"%s\", \"geomeanIpc\": %.6f}%s\n",
+                     results[i].label.c_str(), results[i].geomeanIpc(),
+                     i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::fprintf(stderr, "bench: wrote %s\n", path.c_str());
+}
+
+/**
  * Runs a campaign and prints engine telemetry: worker count, elapsed
  * wall-clock vs. the summed per-run core time (their ratio is the
  * effective parallel speedup), and simulated-instruction throughput.
+ * When @p bench_name is given, also writes BENCH_<name>.json (see
+ * writeBenchJson).
  */
 inline std::vector<SuiteResult>
-runTimed(const Campaign &campaign, std::size_t suite_size)
+runTimed(const Campaign &campaign, std::size_t suite_size,
+         const char *bench_name = nullptr)
 {
     const unsigned jobs = jobsFromEnv();
     const auto t0 = std::chrono::steady_clock::now();
@@ -92,6 +137,10 @@ runTimed(const Campaign &campaign, std::size_t suite_size)
                  jobs, elapsed, core_seconds,
                  elapsed > 0 ? core_seconds / elapsed : 0.0,
                  elapsed > 0 ? insts / elapsed / 1e6 : 0.0);
+    if (bench_name != nullptr) {
+        writeBenchJson(bench_name, results, jobs, elapsed,
+                       elapsed > 0 ? insts / elapsed : 0.0);
+    }
     return results;
 }
 

@@ -88,7 +88,7 @@ main()
                         "FDP + perfect BTB + perfect prefetch", "+46.9%"});
     }
 
-    const auto results = runTimed(c, workloads.size());
+    const auto results = runTimed(c, workloads.size(), "fig06a_prefetchers");
 
     TextTable t({"configuration", "speedup", "MPKI", "paper"});
     for (const Row &row : rows) {

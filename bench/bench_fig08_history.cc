@@ -58,7 +58,7 @@ main()
         }
     }
 
-    const auto results = runTimed(c, workloads.size());
+    const auto results = runTimed(c, workloads.size(), "fig08_history");
 
     for (int p = 0; p < 2; ++p) {
         std::printf("\n--- PFC %s ---\n", p == 0 ? "ON" : "OFF");

@@ -48,7 +48,7 @@ main()
         indices.push_back(c.add(cc.label, cfg, prefetcher(cc.pf)));
     }
 
-    const auto results = runTimed(c, workloads.size());
+    const auto results = runTimed(c, workloads.size(), "fig09_iso_budget");
 
     TextTable t({"configuration", "speedup", "MPKI", "starvation/KI",
                  "tag accesses/KI", "paper"});

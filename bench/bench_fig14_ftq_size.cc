@@ -34,7 +34,7 @@ main()
                                 noPrefetcher()));
     }
 
-    const auto results = runTimed(c, workloads.size());
+    const auto results = runTimed(c, workloads.size(), "fig14_ftq_size");
 
     TextTable t({"FTQ entries", "speedup", "fully exposed", "partial",
                  "covered", "exposed frac", "paper"});

@@ -157,4 +157,20 @@ Bpu::storageBits() const
     return bits;
 }
 
+void
+Bpu::registerStats(StatRegistry &reg, const std::string &prefix) const
+{
+    btb_->registerStats(reg, prefix + ".btb");
+    if (btbHier_)
+        btbHier_->registerStats(reg, prefix + ".btb_hier");
+    ras_.registerStats(reg, prefix + ".ras");
+    reg.addCounter(prefix + ".storage_bits",
+                   [this] { return storageBits(); },
+                   "predictors + history + BTB hierarchy + RAS");
+    reg.addCounter(prefix + ".direction_storage_bits",
+                   [this] { return directionStorageBits(); });
+    reg.addCounter(prefix + ".indirect_storage_bits",
+                   [this] { return indirectStorageBits(); });
+}
+
 } // namespace fdip

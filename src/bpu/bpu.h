@@ -117,6 +117,11 @@ class Bpu
     /** Everything: predictors, history, BTB hierarchy, RAS. */
     std::uint64_t storageBits() const;
 
+    /** Registers the BPU's stats tree under @p prefix: the BTB (and
+     *  L1-BTB filter when configured), the RAS, and the modeled
+     *  storage breakdown. */
+    void registerStats(StatRegistry &reg, const std::string &prefix) const;
+
   private:
     BpuConfig cfg_;
     BranchHistory history_;

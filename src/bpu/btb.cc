@@ -109,4 +109,24 @@ Btb::invalidate(Addr pc)
         e->valid = false;
 }
 
+void
+Btb::registerStats(StatRegistry &reg, const std::string &prefix) const
+{
+    reg.addCounter(prefix + ".lookups", [this] { return lookups_; });
+    reg.addCounter(prefix + ".hits", [this] { return hits_; });
+    reg.addCounter(prefix + ".allocations",
+                   [this] { return allocations_; });
+    reg.addCounter(prefix + ".evictions", [this] { return evictions_; });
+    reg.addCounter(prefix + ".storage_bits",
+                   [this] { return storageBits(); });
+    reg.addDerived(prefix + ".hit_rate",
+                   [this] {
+                       return lookups_ == 0
+                                  ? 0.0
+                                  : static_cast<double>(hits_) /
+                                        static_cast<double>(lookups_);
+                   },
+                   "hits / lookups");
+}
+
 } // namespace fdip

@@ -13,8 +13,10 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
+#include "obs/stat_registry.h"
 #include "trace/inst.h"
 #include "util/types.h"
 
@@ -85,6 +87,9 @@ class Btb
     std::uint64_t hits() const { return hits_; }
     std::uint64_t allocations() const { return allocations_; }
     std::uint64_t evictions() const { return evictions_; }
+
+    /** Registers BTB counters under @p prefix ("bpu.btb.hits", ...). */
+    void registerStats(StatRegistry &reg, const std::string &prefix) const;
     /// @}
 
   private:

@@ -50,4 +50,16 @@ BtbHierarchy::insert(Addr pc, InstClass kind, Addr target, bool taken)
         l1_.insert(pc, kind, target, taken);
 }
 
+void
+BtbHierarchy::registerStats(StatRegistry &reg,
+                            const std::string &prefix) const
+{
+    reg.addCounter(prefix + ".l1_hits", [this] { return l1Hits_; },
+                   "lookups answered by the zero-bubble L1 BTB");
+    reg.addCounter(prefix + ".l2_promotions",
+                   [this] { return l2Promotions_; },
+                   "L1-miss/L2-hit promotions (paid the re-steer bubble)");
+    l1_.registerStats(reg, prefix + ".l1");
+}
+
 } // namespace fdip

@@ -57,6 +57,9 @@ class BtbHierarchy
     /// @{ Statistics.
     std::uint64_t l1Hits() const { return l1Hits_; }
     std::uint64_t l2Promotions() const { return l2Promotions_; }
+
+    /** Registers L1-filter counters under @p prefix. */
+    void registerStats(StatRegistry &reg, const std::string &prefix) const;
     /// @}
 
   private:

@@ -90,4 +90,17 @@ Ras::storageBits() const
     return std::uint64_t{depth_v} * 48 + ptr_bits;
 }
 
+void
+Ras::registerStats(StatRegistry &reg, const std::string &prefix) const
+{
+    reg.addCounter(prefix + ".underflows", [this] { return underflows_; },
+                   "pops that found no live entry (wrong-path over-pops)");
+    reg.addCounter(prefix + ".live_entries",
+                   [this] { return std::uint64_t{live_}; });
+    reg.addCounter(prefix + ".depth",
+                   [this] { return std::uint64_t{depth()}; });
+    reg.addCounter(prefix + ".storage_bits",
+                   [this] { return storageBits(); });
+}
+
 } // namespace fdip

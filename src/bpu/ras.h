@@ -20,9 +20,11 @@
 #define FDIP_BPU_RAS_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "check/invariant.h"
+#include "obs/stat_registry.h"
 #include "util/types.h"
 
 namespace fdip
@@ -91,6 +93,9 @@ class Ras
 
     /** Modeled storage in bits: depth x 48-bit entries + top pointer. */
     std::uint64_t storageBits() const;
+
+    /** Registers RAS counters under @p prefix ("bpu.ras.underflows"). */
+    void registerStats(StatRegistry &reg, const std::string &prefix) const;
 
   private:
     std::vector<Addr> stack_;

@@ -176,4 +176,26 @@ Cache::resetStats()
     evictions_ = 0;
 }
 
+void
+Cache::registerStats(StatRegistry &reg, const std::string &prefix) const
+{
+    reg.addCounter(prefix + ".tag_accesses",
+                   [this] { return tagAccesses_; },
+                   "tag-array probes (demand + prefetch)");
+    reg.addCounter(prefix + ".hits", [this] { return hits_; });
+    reg.addCounter(prefix + ".misses", [this] { return misses_; });
+    reg.addCounter(prefix + ".evictions", [this] { return evictions_; });
+    reg.addCounter(prefix + ".storage_bits",
+                   [this] { return storageBits(); },
+                   "modeled storage (data + tags + valid)");
+    reg.addDerived(prefix + ".miss_rate",
+                   [this] {
+                       return tagAccesses_ == 0
+                                  ? 0.0
+                                  : static_cast<double>(misses_) /
+                                        static_cast<double>(tagAccesses_);
+                   },
+                   "misses / tag accesses");
+}
+
 } // namespace fdip

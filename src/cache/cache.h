@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/stat_registry.h"
 #include "util/rng.h"
 #include "util/types.h"
 
@@ -103,6 +104,10 @@ class Cache
     std::uint64_t misses() const { return misses_; }
     std::uint64_t evictions() const { return evictions_; }
     void resetStats();
+
+    /** Registers this cache's counters under @p prefix (e.g.
+     *  "frontend.l1i" -> "frontend.l1i.hits"). */
+    void registerStats(StatRegistry &reg, const std::string &prefix) const;
     /// @}
 
   private:

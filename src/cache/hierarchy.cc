@@ -99,4 +99,21 @@ MemoryHierarchy::resetStats()
     llc_.resetStats();
 }
 
+void
+MemoryHierarchy::registerStats(StatRegistry &reg,
+                               const std::string &prefix) const
+{
+    reg.addCounter(prefix + ".inst_requests",
+                   [this] { return instRequests_; },
+                   "instruction-line fetches below the L1I");
+    reg.addCounter(prefix + ".inst_requests_merged",
+                   [this] { return instMerged_; },
+                   "fetches merged into an in-flight request");
+    reg.addCounter(prefix + ".dram_accesses",
+                   [this] { return dramAccesses_; });
+    l1d_.registerStats(reg, prefix + ".l1d");
+    l2_.registerStats(reg, prefix + ".l2");
+    llc_.registerStats(reg, prefix + ".llc");
+}
+
 } // namespace fdip

@@ -83,6 +83,10 @@ class MemoryHierarchy
     std::uint64_t instRequestsMerged() const { return instMerged_; }
     std::uint64_t dramAccesses() const { return dramAccesses_; }
     void resetStats();
+
+    /** Registers hierarchy counters (and the per-level caches) under
+     *  @p prefix ("mem" -> "mem.dram_accesses", "mem.l2.hits", ...). */
+    void registerStats(StatRegistry &reg, const std::string &prefix) const;
     /// @}
 
   private:

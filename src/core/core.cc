@@ -42,6 +42,18 @@ Core::run(std::uint64_t warmup_insts)
     std::uint64_t last_commit = 0;
     Cycle last_progress = 0;
 
+    // Heartbeat bookkeeping: a sample fires when the post-warmup commit
+    // count crosses the next interval multiple. Deltas come from the
+    // live stats_ fields (which the frontend/backend increment in
+    // place); committedInsts/cycles are derived here because stats_
+    // only materializes them at the end of the run.
+    const std::uint64_t hb = cfg_.obs.heartbeatInterval;
+    std::uint64_t next_hb = hb;
+    SimStats hb_prev;
+    std::uint64_t hb_prev_instrs = 0;
+    std::uint64_t hb_prev_cycles = 0;
+    heartbeats_.clear();
+
     while (backend_.committed() < total) {
         frontend_.tick(now);
         backend_.tick(now);
@@ -56,6 +68,32 @@ Core::run(std::uint64_t warmup_insts)
             warmup_insts = kept_commits;
             btb_lookups0 = bpu_.btb().lookups();
             btb_hits0 = bpu_.btb().hits();
+        }
+
+        if (hb != 0 && warm) {
+            const std::uint64_t done = backend_.committed() - warmup_insts;
+            if (done >= next_hb) {
+                HeartbeatSample s;
+                s.instrs = done;
+                s.cycles = now - warm_start_cycle + 1;
+                s.dInstrs = done - hb_prev_instrs;
+                s.dCycles = s.cycles - hb_prev_cycles;
+                s.mispredicts = stats_.mispredicts - hb_prev.mispredicts;
+                s.starvationCycles =
+                    stats_.starvationCycles - hb_prev.starvationCycles;
+                s.l1iDemandMisses =
+                    stats_.l1iDemandMisses - hb_prev.l1iDemandMisses;
+                s.pfcFires = stats_.pfcFires - hb_prev.pfcFires;
+                s.prefetchesIssued =
+                    stats_.prefetchesIssued - hb_prev.prefetchesIssued;
+                s.prefetchesUseful =
+                    stats_.prefetchesUseful - hb_prev.prefetchesUseful;
+                heartbeats_.push_back(s);
+                hb_prev = stats_;
+                hb_prev_instrs = done;
+                hb_prev_cycles = s.cycles;
+                next_hb = done - done % hb + hb;
+            }
         }
 
         if (backend_.committed() != last_commit) {
@@ -77,6 +115,67 @@ Core::run(std::uint64_t warmup_insts)
     stats_.btbLookups = bpu_.btb().lookups() - btb_lookups0;
     stats_.btbHits = bpu_.btb().hits() - btb_hits0;
     return stats_;
+}
+
+void
+Core::registerStats(StatRegistry &reg) const
+{
+    const SimStats &s = stats_;
+    const auto add = [&reg, &s](const char *name,
+                                std::uint64_t SimStats::*field) {
+        reg.addCounter(std::string("core.") + name,
+                       [&s, field] { return s.*field; });
+    };
+    add("cycles", &SimStats::cycles);
+    add("committed_insts", &SimStats::committedInsts);
+    add("cond_branches", &SimStats::condBranches);
+    add("taken_branches", &SimStats::takenBranches);
+    add("indirect_branches", &SimStats::indirectBranches);
+    add("returns", &SimStats::returns);
+    add("mispredicts", &SimStats::mispredicts);
+    add("mispredicts_cond_dir", &SimStats::mispredictsCondDir);
+    add("mispredicts_btb_miss_taken", &SimStats::mispredictsBtbMissTaken);
+    add("mispredicts_target", &SimStats::mispredictsTarget);
+    add("mispredicts_pfc_misfire", &SimStats::mispredictsPfcMisfire);
+    add("pfc_fires", &SimStats::pfcFires);
+    add("pfc_correct", &SimStats::pfcCorrect);
+    add("pfc_wrong", &SimStats::pfcWrong);
+    add("ghr_fixups", &SimStats::ghrFixups);
+    add("starvation_cycles", &SimStats::starvationCycles);
+    add("delivered_insts", &SimStats::deliveredInsts);
+    add("wrong_path_delivered", &SimStats::wrongPathDelivered);
+    add("l1i_demand_accesses", &SimStats::l1iDemandAccesses);
+    add("l1i_demand_misses", &SimStats::l1iDemandMisses);
+    add("l1i_tag_accesses", &SimStats::l1iTagAccesses);
+    add("prefetches_issued", &SimStats::prefetchesIssued);
+    add("prefetches_redundant", &SimStats::prefetchesRedundant);
+    add("prefetches_useful", &SimStats::prefetchesUseful);
+    add("itlb_misses", &SimStats::itlbMisses);
+    add("miss_fully_exposed", &SimStats::missFullyExposed);
+    add("miss_partially_exposed", &SimStats::missPartiallyExposed);
+    add("miss_covered", &SimStats::missCovered);
+    add("btb_lookups", &SimStats::btbLookups);
+    add("btb_hits", &SimStats::btbHits);
+
+    reg.addDerived("core.ipc", [&s] { return s.ipc(); });
+    reg.addDerived("core.branch_mpki", [&s] { return s.branchMpki(); });
+    reg.addDerived("core.starvation_per_ki",
+                   [&s] { return s.starvationPerKi(); });
+    reg.addDerived("core.tag_accesses_per_ki",
+                   [&s] { return s.tagAccessesPerKi(); });
+    reg.addDerived("core.l1i_mpki", [&s] { return s.l1iMpki(); });
+    reg.addDerived("core.prefetch_accuracy",
+                   [&s] { return s.prefetchAccuracy(); });
+    reg.addDerived("core.prefetch_coverage",
+                   [&s] { return s.prefetchCoverage(); });
+    reg.addDerived("core.prefetch_redundant_rate",
+                   [&s] { return s.prefetchRedundantRate(); });
+
+    frontend_.registerStats(reg, "frontend");
+    bpu_.registerStats(reg, "bpu");
+    mem_.registerStats(reg, "mem");
+    prefetcher_->registerStats(reg,
+                               std::string("pf.") + prefetcher_->name());
 }
 
 } // namespace fdip

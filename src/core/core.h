@@ -8,6 +8,7 @@
 #define FDIP_CORE_CORE_H_
 
 #include <memory>
+#include <vector>
 
 #include "bpu/bpu.h"
 #include "cache/hierarchy.h"
@@ -15,6 +16,9 @@
 #include "core/core_config.h"
 #include "core/frontend.h"
 #include "core/sim_stats.h"
+#include "obs/heartbeat.h"
+#include "obs/stat_registry.h"
+#include "obs/trace_events.h"
 #include "prefetch/prefetcher.h"
 #include "trace/trace_gen.h"
 
@@ -51,6 +55,27 @@ class Core
     Frontend &frontend() { return frontend_; }
     MemoryHierarchy &memory() { return mem_; }
 
+    /**
+     * Heartbeat time series recorded by run() when
+     * cfg.obs.heartbeatInterval is non-zero: one sample each time the
+     * post-warmup committed-instruction count crosses a multiple of the
+     * interval (at most one per cycle — the commit width can step past
+     * several multiples at once).
+     */
+    const std::vector<HeartbeatSample> &heartbeats() const
+    {
+        return heartbeats_;
+    }
+
+    /** Attaches (or detaches, nullptr) a Chrome-trace sink; events are
+     *  emitted by the frontend while run() executes. */
+    void attachTrace(TraceWriter *w) { frontend_.attachTrace(w); }
+
+    /** Registers the whole core's stats tree: "core.*" (the SimStats
+     *  counters and derived metrics), "frontend.*", "bpu.*", "mem.*",
+     *  and "pf.<prefetcher>.*". */
+    void registerStats(StatRegistry &reg) const;
+
   private:
     CoreConfig cfg_;
     const Trace &trace_;
@@ -60,6 +85,7 @@ class Core
     std::unique_ptr<InstPrefetcher> prefetcher_;
     Backend backend_;
     Frontend frontend_;
+    std::vector<HeartbeatSample> heartbeats_;
 };
 
 } // namespace fdip

@@ -12,6 +12,7 @@
 #include "bpu/bpu.h"
 #include "cache/cache.h"
 #include "cache/hierarchy.h"
+#include "obs/obs_config.h"
 #include "util/types.h"
 
 namespace fdip
@@ -91,6 +92,11 @@ struct CoreConfig
      *  cost of buffer capacity. */
     bool usePrefetchBuffer = false;
     unsigned prefetchBufferLines = 32;
+    /// @}
+
+    /// @{ Observability (heartbeat / tracing / stat collection). Never
+    /// affects simulated state: bit-identical stats either way.
+    ObsConfig obs;
     /// @}
 
     /**

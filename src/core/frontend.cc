@@ -41,6 +41,8 @@ Frontend::Frontend(const CoreConfig &cfg, const Trace &trace, Bpu &bpu,
       ftq_(cfg.ftqEntries),
       l1i_(cfg.l1i),
       itlb_(itlbConfig(cfg.itlbEntries)),
+      ftqOccupancy_(cfg.ftqEntries + 1, 1),
+      fillLatency_(64, 8),
       predPc_(trace.workload->entryPc)
 {
     if constexpr (kInvariantChecksEnabled)
@@ -81,8 +83,34 @@ Frontend::tick(Cycle now)
     drainPrefetchQueue(now);
     predictCycle(now);
 
+    ftqOccupancy_.add(ftq_.size());
+    if (tracer_.on() && ftq_.size() != lastTracedOccupancy_) {
+        lastTracedOccupancy_ = ftq_.size();
+        tracer_.writer()->counter("ftq", now, "occupancy",
+                                  lastTracedOccupancy_);
+    }
+
     if constexpr (kInvariantChecksEnabled)
         checkTickInvariants(now);
+}
+
+void
+Frontend::registerStats(StatRegistry &reg, const std::string &prefix) const
+{
+    ftq_.registerStats(reg, prefix + ".ftq");
+    reg.addHistogram(prefix + ".ftq.occupancy", &ftqOccupancy_,
+                     "FTQ occupancy sampled every cycle");
+    reg.addHistogram(prefix + ".fill_latency", &fillLatency_,
+                     "issue-to-fill latency of demand-touched L1I fills");
+    l1i_.registerStats(reg, prefix + ".l1i");
+    itlb_.registerStats(reg, prefix + ".itlb");
+    if (prefetchBuffer_)
+        prefetchBuffer_->registerStats(reg, prefix + ".pfb");
+    reg.addCounter(prefix + ".prefetch_tracking_entries",
+                   [this] {
+                       return std::uint64_t{prefetchTrackingEntries()};
+                   },
+                   "lines tracked for usefulness accounting");
 }
 
 void
@@ -186,6 +214,12 @@ Frontend::predictCycle(Cycle now)
             }
             ++off;
         }
+        FDIP_TRACE_EVENT(tracer_,
+                         instant("ftq_enqueue", "ftq", kTraceTidPredict,
+                                 now,
+                                 {{"addr", e.startAddr},
+                                  {"seq", e.seq},
+                                  {"insts", e.numInsts()}}));
         ftq_.push(std::move(e));
     }
 }
@@ -471,6 +505,13 @@ Frontend::processFills(Cycle now)
             }
         }
 
+        if (f.demandTouched)
+            fillLatency_.add(now - f.issued);
+        FDIP_TRACE_EVENT(tracer_,
+                         asyncEnd(f.isPrefetch ? "prefetch_fill"
+                                               : "demand_fill",
+                                  "mem", f.line, now));
+
         prefetcher_.onFillComplete(f.line, f.isPrefetch, now);
         fills_[i] = fills_.back();
         fills_.pop_back();
@@ -547,6 +588,11 @@ Frontend::probeEntry(FtqEntry &entry, std::size_t pos, Cycle now)
             if (!f.demandTouched) {
                 f.demandTouched = true;
                 f.wasHeadStart = pos == 0;
+                FDIP_TRACE_EVENT(
+                    tracer_,
+                    instant("demand_merge", "mem", kTraceTidMemory, now,
+                            {{"line", f.line},
+                             {"into_prefetch", f.isPrefetch ? 1u : 0u}}));
             }
             return;
         }
@@ -560,11 +606,16 @@ Frontend::probeEntry(FtqEntry &entry, std::size_t pos, Cycle now)
     InflightFill f;
     f.line = entry.lineAddr;
     f.ready = r.ready;
+    f.issued = now;
     f.isPrefetch = false;
     f.demandTouched = true;
     f.wasHeadStart = pos == 0;
     fills_.push_back(f);
     entry.state = FtqState::kFilling;
+    FDIP_TRACE_EVENT(tracer_,
+                     asyncBegin("demand_fill", "mem", entry.lineAddr, now,
+                                {{"line", entry.lineAddr},
+                                 {"head_start", pos == 0 ? 1u : 0u}}));
 }
 
 void
@@ -636,6 +687,11 @@ Frontend::deliverFromHead(Cycle now)
         }
 
         if (h.nextDeliverOffset > h.termOffset) {
+            FDIP_TRACE_EVENT(tracer_,
+                             instant("ftq_dequeue", "ftq", kTraceTidFetch,
+                                     now,
+                                     {{"addr", h.startAddr},
+                                      {"seq", h.seq}}));
             ftq_.popHead();
         } else {
             break;
@@ -739,6 +795,10 @@ Frontend::triggerPfc(FtqEntry &entry, std::uint8_t offset,
         bpu_.ras().push(pc + kInstBytes);
     pushHistoryEvent(pc, target, true);
 
+    FDIP_TRACE_EVENT(tracer_,
+                     instant("pfc_fire", "pfc", kTraceTidFetch, now,
+                             {{"pc", pc}, {"target", target}}));
+
     // Truncate this entry at the PFC branch and flush younger entries.
     entry.termOffset = offset;
     entry.predictedTaken = true;
@@ -828,6 +888,10 @@ Frontend::triggerGhrFixup(FtqEntry &entry, std::uint8_t offset, Cycle now)
     const StaticInst &si = image_.instAt(pc);
     const bool hint = entry.hintAt(offset);
 
+    FDIP_TRACE_EVENT(tracer_,
+                     instant("ghr_fixup", "pfc", kTraceTidFetch, now,
+                             {{"pc", pc}, {"hint", hint ? 1u : 0u}}));
+
     // Restore to the prefix, add the missing branch's direction bit.
     rewindToPrefix(entry, offset);
     pushHistoryEvent(pc, si.target, hint);
@@ -896,6 +960,13 @@ Frontend::onResolve(std::uint64_t token, std::uint64_t seq, Cycle now)
       default: break;
     }
 
+    FDIP_TRACE_EVENT(tracer_,
+                     instant("pipeline_flush", "flush", kTraceTidFetch,
+                             now,
+                             {{"cause", p.cause},
+                              {"trace_idx", p.traceIdx},
+                              {"redirect", p.correctNext}}));
+
     backend_.flushYoungerThan(seq);
     // In-flight fills are NOT cancelled: the lines still arrive and
     // install (realistic wrong-path pollution).
@@ -955,8 +1026,16 @@ Frontend::drainPrefetchQueue(Cycle now)
         InflightFill f;
         f.line = line;
         f.ready = r.ready;
+        f.issued = now;
         f.isPrefetch = true;
         fills_.push_back(f);
+        FDIP_TRACE_EVENT(tracer_,
+                         instant("prefetch_issue", "prefetch",
+                                 kTraceTidPrefetch, now,
+                                 {{"line", line}}));
+        FDIP_TRACE_EVENT(tracer_,
+                         asyncBegin("prefetch_fill", "mem", line, now,
+                                    {{"line", line}}));
     }
 }
 

@@ -30,6 +30,8 @@
 #include "core/core_config.h"
 #include "core/ftq.h"
 #include "core/sim_stats.h"
+#include "obs/stat_registry.h"
+#include "obs/trace_events.h"
 #include "prefetch/prefetcher.h"
 #include "trace/trace_gen.h"
 #include "util/types.h"
@@ -66,6 +68,14 @@ class Frontend
     {
         return linePrefetched_.size();
     }
+
+    /** Attaches (or detaches, nullptr) the run's trace sink. */
+    void attachTrace(TraceWriter *w) { tracer_.attach(w); }
+
+    /** Registers the frontend's stats tree under @p prefix: the FTQ
+     *  (plus its occupancy histogram), L1I, ITLB, optional prefetch
+     *  buffer, and the demand-fill latency histogram. */
+    void registerStats(StatRegistry &reg, const std::string &prefix) const;
 
   private:
     /** Outcome of scanning one instruction in the predict stage. */
@@ -145,6 +155,7 @@ class Frontend
     {
         Addr line = kNoAddr;
         Cycle ready = 0;
+        Cycle issued = 0; ///< Issue cycle (latency histogram / tracing).
         bool isPrefetch = false;
         bool demandTouched = false; ///< A demand probe needs this line.
         bool wasHeadStart = false;  ///< Demand touch happened at FTQ head.
@@ -170,6 +181,15 @@ class Frontend
     Cache itlb_;
     std::unique_ptr<Cache> prefetchBuffer_; ///< Optional (original FDP).
     std::vector<InflightFill> fills_;
+    /// @}
+
+    /// @{ Observability. Histograms are sampled unconditionally (they
+    /// are cheap and read-only); trace events go through tracer_ and
+    /// cost one branch when no writer is attached.
+    Tracer tracer_;
+    StatHistogram ftqOccupancy_;  ///< Per-tick FTQ occupancy.
+    StatHistogram fillLatency_;   ///< Demand-touched fill latencies.
+    std::size_t lastTracedOccupancy_ = static_cast<std::size_t>(-1);
     /// @}
 
     /// @{ Prediction stream state.

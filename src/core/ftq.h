@@ -14,10 +14,12 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 
 #include "bpu/history.h"
 #include "bpu/ras.h"
 #include "check/invariant.h"
+#include "obs/stat_registry.h"
 #include "trace/inst.h"
 #include "util/circular_queue.h"
 #include "util/types.h"
@@ -176,6 +178,23 @@ class Ftq
     storageBits() const
     {
         return q_.capacity() * FtqEntry::kArchBitsPerEntry;
+    }
+
+    /** Registers FTQ stats under @p prefix ("frontend.ftq.capacity");
+     *  the occupancy *histogram* is sampled and registered by the
+     *  owning Frontend. */
+    void
+    registerStats(StatRegistry &reg, const std::string &prefix) const
+    {
+        reg.addCounter(prefix + ".capacity",
+                       [this] { return std::uint64_t{q_.capacity()}; },
+                       "configured FTQ entries");
+        reg.addCounter(prefix + ".size",
+                       [this] { return std::uint64_t{q_.size()}; },
+                       "current occupancy");
+        reg.addCounter(prefix + ".storage_bits",
+                       [this] { return storageBits(); },
+                       "architectural storage (Table III)");
     }
 
   private:

@@ -9,8 +9,10 @@
 #ifndef FDIP_CORE_SIM_STATS_H_
 #define FDIP_CORE_SIM_STATS_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <tuple>
+#include <utility>
 
 namespace fdip
 {
@@ -18,6 +20,15 @@ namespace fdip
 /** Statistics for one simulation run (collected post-warmup). */
 struct SimStats
 {
+    /**
+     * Number of architectural (determinism-relevant) counters. This is
+     * the documented arity of architecturalState(): the static
+     * assertions below force anyone adding a counter to update the
+     * tuple, this constant, and (by reading this comment) the parallel
+     * determinism contract together.
+     */
+    static constexpr std::size_t kArchitecturalCounters = 30;
+
     /// @{ Progress.
     std::uint64_t cycles = 0;
     std::uint64_t committedInsts = 0;
@@ -166,8 +177,53 @@ struct SimStats
                    : 1000.0 * static_cast<double>(l1iDemandMisses) /
                          static_cast<double>(committedInsts);
     }
+
+    /** Fraction of issued prefetches later hit by a demand access. */
+    double
+    prefetchAccuracy() const
+    {
+        return prefetchesIssued == 0
+                   ? 0.0
+                   : static_cast<double>(prefetchesUseful) /
+                         static_cast<double>(prefetchesIssued);
+    }
+
+    /** Fraction of would-be demand misses the prefetcher covered:
+     *  useful / (useful + remaining demand misses). */
+    double
+    prefetchCoverage() const
+    {
+        const std::uint64_t base = prefetchesUseful + l1iDemandMisses;
+        return base == 0 ? 0.0
+                         : static_cast<double>(prefetchesUseful) /
+                               static_cast<double>(base);
+    }
+
+    /** Fraction of issued prefetches dropped as already resident or
+     *  in flight. */
+    double
+    prefetchRedundantRate() const
+    {
+        return prefetchesIssued == 0
+                   ? 0.0
+                   : static_cast<double>(prefetchesRedundant) /
+                         static_cast<double>(prefetchesIssued);
+    }
     /// @}
 };
+
+static_assert(
+    std::tuple_size_v<decltype(std::declval<const SimStats &>()
+                                   .architecturalState())> ==
+        SimStats::kArchitecturalCounters,
+    "architecturalState() and kArchitecturalCounters disagree: a counter "
+    "was added to one but not the other");
+
+static_assert(sizeof(SimStats) == SimStats::kArchitecturalCounters *
+                                          sizeof(std::uint64_t) +
+                                      sizeof(double),
+              "SimStats layout changed: update kArchitecturalCounters, "
+              "architecturalState(), and this assertion together");
 
 } // namespace fdip
 

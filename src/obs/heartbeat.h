@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Interval heartbeat telemetry: every N committed (post-warmup)
+ * instructions the core snapshots its statistics and records one
+ * sample carrying both the cumulative position and the delta-derived
+ * interval metrics (IPC, MPKI, starvation/KI, L1I MPKI, PFC fires).
+ * The per-run time series is what phase plots, warmup-transient
+ * analysis, and exposed-miss breakdowns are built from.
+ *
+ * Sampling never mutates simulated state, so runs are bit-identical
+ * with the heartbeat on or off.
+ */
+
+#ifndef FDIP_OBS_HEARTBEAT_H_
+#define FDIP_OBS_HEARTBEAT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace fdip
+{
+
+/**
+ * One heartbeat sample. `instrs`/`cycles` are cumulative since the end
+ * of warmup; every other field describes only the interval since the
+ * previous sample.
+ */
+struct HeartbeatSample
+{
+    /// @{ Cumulative position (post-warmup).
+    std::uint64_t instrs = 0;
+    std::uint64_t cycles = 0;
+    /// @}
+
+    /// @{ Interval deltas.
+    std::uint64_t dInstrs = 0;
+    std::uint64_t dCycles = 0;
+    std::uint64_t mispredicts = 0;
+    std::uint64_t starvationCycles = 0;
+    std::uint64_t l1iDemandMisses = 0;
+    std::uint64_t pfcFires = 0;
+    std::uint64_t prefetchesIssued = 0;
+    std::uint64_t prefetchesUseful = 0;
+    /// @}
+
+    /// @{ Interval-derived metrics.
+    double ipc() const;
+    double branchMpki() const;
+    double starvationPerKi() const;
+    double l1iMpki() const;
+    /// @}
+};
+
+/**
+ * Appends @p s to @p out as one JSON object (no trailing newline).
+ * Shared by the suite-report embedding and the JSONL writer so both
+ * emit the same schema.
+ */
+void appendHeartbeatJson(std::string &out, const HeartbeatSample &s);
+
+/**
+ * Heartbeat interval from the FDIP_HEARTBEAT environment variable:
+ * committed instructions between samples. Unset/empty means disabled
+ * (0); garbage, zero, or negative values warn and disable.
+ */
+std::uint64_t heartbeatIntervalFromEnv();
+
+} // namespace fdip
+
+#endif // FDIP_OBS_HEARTBEAT_H_

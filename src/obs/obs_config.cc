@@ -1,0 +1,64 @@
+#include "obs/obs_config.h"
+
+#include <cstdlib>
+
+#include "obs/heartbeat.h"
+
+namespace fdip
+{
+
+namespace
+{
+
+/** Makes @p s safe to embed in a filename. */
+std::string
+sanitizePathPart(const std::string &s)
+{
+    std::string out = s;
+    for (char &c : out) {
+        if (c == '/' || c == '\\' || c == ' ')
+            c = '_';
+    }
+    return out;
+}
+
+} // namespace
+
+ObsConfig
+resolveObsEnv(ObsConfig base)
+{
+    if (base.heartbeatInterval == 0)
+        base.heartbeatInterval = heartbeatIntervalFromEnv();
+    if (base.tracePath.empty()) {
+        const char *v = std::getenv("FDIP_TRACE");
+        if (v != nullptr && *v != '\0')
+            base.tracePath = v;
+    }
+    return base;
+}
+
+std::string
+tracePathForRun(const ObsConfig &obs, const std::string &workload)
+{
+    if (obs.tracePath.empty() || obs.traceExactPath)
+        return obs.tracePath;
+
+    std::string infix;
+    if (!obs.traceLabel.empty())
+        infix += "." + sanitizePathPart(obs.traceLabel);
+    if (!workload.empty())
+        infix += "." + sanitizePathPart(workload);
+    if (infix.empty())
+        return obs.tracePath;
+
+    const std::size_t slash = obs.tracePath.find_last_of('/');
+    const std::size_t dot = obs.tracePath.find_last_of('.');
+    if (dot == std::string::npos ||
+        (slash != std::string::npos && dot < slash)) {
+        return obs.tracePath + infix;
+    }
+    return obs.tracePath.substr(0, dot) + infix +
+           obs.tracePath.substr(dot);
+}
+
+} // namespace fdip

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Per-run observability options, carried inside CoreConfig so they
+ * flow through the serial and parallel experiment engines unchanged.
+ * None of these affect simulated state: any combination produces
+ * bit-identical SimStats.
+ */
+
+#ifndef FDIP_OBS_OBS_CONFIG_H_
+#define FDIP_OBS_OBS_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace fdip
+{
+
+/** Observability knobs for one run. */
+struct ObsConfig
+{
+    /** Committed instructions between heartbeat samples; 0 = off. */
+    std::uint64_t heartbeatInterval = 0;
+
+    /**
+     * Base path for the Chrome-trace file; empty = off. Unless
+     * traceExactPath is set, the run's label/workload are woven into
+     * the filename so campaign runs do not clobber each other.
+     */
+    std::string tracePath;
+
+    /** Campaign label woven into trace filenames (set by the engine). */
+    std::string traceLabel;
+
+    /** Use tracePath verbatim (single-run drivers). */
+    bool traceExactPath = false;
+
+    /** Build a StatRegistry over the core after the run and keep its
+     *  snapshot in the RunResult (for --dump-stats style reports). */
+    bool collectStats = false;
+};
+
+/**
+ * Fills unset fields from the environment: FDIP_HEARTBEAT (interval)
+ * and FDIP_TRACE (trace path). Explicitly-set fields win. Called once
+ * per suite/campaign on the coordinating thread, never from workers.
+ */
+ObsConfig resolveObsEnv(ObsConfig base);
+
+/**
+ * The trace path for one run: @p base with label/workload woven in
+ * before the extension ("out.json" -> "out.FDP.srv-a.json"), path
+ * separators in the parts replaced. Exact-path configs return @p base
+ * unchanged.
+ */
+std::string tracePathForRun(const ObsConfig &obs,
+                            const std::string &workload);
+
+} // namespace fdip
+
+#endif // FDIP_OBS_OBS_CONFIG_H_

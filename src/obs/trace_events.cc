@@ -1,0 +1,124 @@
+#include "obs/trace_events.h"
+
+#include "util/log.h"
+
+namespace fdip
+{
+
+TraceWriter::TraceWriter(const std::string &path)
+    : path_(path), file_(std::fopen(path.c_str(), "w"))
+{
+    if (!file_) {
+        fdip_warn("cannot open trace file '%s'; tracing disabled",
+                  path.c_str());
+        return;
+    }
+    std::fprintf(file_.get(),
+                 "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [");
+    threadName(kTraceTidPredict, "predict/FTQ");
+    threadName(kTraceTidFetch, "fetch");
+    threadName(kTraceTidPrefetch, "prefetch");
+    threadName(kTraceTidMemory, "memory");
+}
+
+TraceWriter::~TraceWriter()
+{
+    close();
+}
+
+void
+TraceWriter::close()
+{
+    if (!file_)
+        return;
+    std::fprintf(file_.get(), "\n]}\n");
+    file_.reset();
+}
+
+void
+TraceWriter::emit(char ph, const char *name, const char *category,
+                  unsigned tid, std::uint64_t ts_cycles, bool with_id,
+                  std::uint64_t id, std::initializer_list<Arg> args)
+{
+    if (!file_)
+        return;
+    std::FILE *f = file_.get();
+    std::fprintf(f, "%s\n{\"ph\": \"%c\", \"name\": \"%s\", ",
+                 first_ ? "" : ",", ph, name);
+    first_ = false;
+    if (category != nullptr)
+        std::fprintf(f, "\"cat\": \"%s\", ", category);
+    if (with_id)
+        std::fprintf(f, "\"id\": \"%llx\", ",
+                     static_cast<unsigned long long>(id));
+    std::fprintf(f, "\"pid\": 1, \"tid\": %u, \"ts\": %llu", tid,
+                 static_cast<unsigned long long>(ts_cycles));
+    if (args.size() > 0) {
+        std::fprintf(f, ", \"args\": {");
+        bool first_arg = true;
+        for (const Arg &a : args) {
+            std::fprintf(f, "%s\"%s\": %llu", first_arg ? "" : ", ",
+                         a.key, static_cast<unsigned long long>(a.value));
+            first_arg = false;
+        }
+        std::fprintf(f, "}");
+    }
+    std::fprintf(f, "}");
+    ++events_;
+}
+
+void
+TraceWriter::instant(const char *name, const char *category, unsigned tid,
+                     std::uint64_t ts_cycles,
+                     std::initializer_list<Arg> args)
+{
+    emit('i', name, category, tid, ts_cycles, false, 0, args);
+}
+
+void
+TraceWriter::asyncBegin(const char *name, const char *category,
+                        std::uint64_t id, std::uint64_t ts_cycles,
+                        std::initializer_list<Arg> args)
+{
+    emit('b', name, category, kTraceTidMemory, ts_cycles, true, id, args);
+}
+
+void
+TraceWriter::asyncEnd(const char *name, const char *category,
+                      std::uint64_t id, std::uint64_t ts_cycles)
+{
+    emit('e', name, category, kTraceTidMemory, ts_cycles, true, id, {});
+}
+
+void
+TraceWriter::counter(const char *name, std::uint64_t ts_cycles,
+                     const char *series, std::uint64_t value)
+{
+    if (!file_)
+        return;
+    std::FILE *f = file_.get();
+    std::fprintf(f,
+                 "%s\n{\"ph\": \"C\", \"name\": \"%s\", \"pid\": 1, "
+                 "\"tid\": %u, \"ts\": %llu, \"args\": {\"%s\": %llu}}",
+                 first_ ? "" : ",", name, kTraceTidPredict,
+                 static_cast<unsigned long long>(ts_cycles), series,
+                 static_cast<unsigned long long>(value));
+    first_ = false;
+    ++events_;
+}
+
+void
+TraceWriter::threadName(unsigned tid, const char *name)
+{
+    if (!file_)
+        return;
+    std::fprintf(file_.get(),
+                 "%s\n{\"ph\": \"M\", \"name\": \"thread_name\", "
+                 "\"pid\": 1, \"tid\": %u, "
+                 "\"args\": {\"name\": \"%s\"}}",
+                 first_ ? "" : ",", tid, name);
+    first_ = false;
+    ++events_;
+}
+
+} // namespace fdip

@@ -13,6 +13,7 @@
 #include <deque>
 #include <string>
 
+#include "obs/stat_registry.h"
 #include "trace/inst.h"
 #include "util/types.h"
 
@@ -84,6 +85,24 @@ class InstPrefetcher
         (void)kind;
         (void)target;
         (void)taken;
+    }
+
+    /**
+     * Registers this prefetcher's stats under @p prefix (the core uses
+     * "pf.<name>"). The base registers the universal stats; designs
+     * with extra counters override, call the base, and add theirs.
+     */
+    virtual void
+    registerStats(StatRegistry &reg, const std::string &prefix) const
+    {
+        reg.addCounter(prefix + ".storage_bits",
+                       [this] { return storageBits(); },
+                       "modeled metadata storage");
+        reg.addCounter(prefix + ".pending",
+                       [this] {
+                           return std::uint64_t{pendingPrefetches()};
+                       },
+                       "candidates queued, not yet drained");
     }
 
     /** Pops the next prefetch candidate; kNoAddr when empty. */

@@ -57,6 +57,16 @@ class Sn4lDisPrefetcher : public InstPrefetcher
     /** BTB installs performed by the BTB-prefetch component. */
     std::uint64_t btbPrefetchInstalls() const { return btbInstalls_; }
 
+    void
+    registerStats(StatRegistry &reg,
+                  const std::string &prefix) const override
+    {
+        InstPrefetcher::registerStats(reg, prefix);
+        reg.addCounter(prefix + ".btb_installs",
+                       [this] { return btbInstalls_; },
+                       "branches installed by BTB prefetching");
+    }
+
   private:
     struct DisEntry
     {

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "obs/obs_config.h"
+#include "obs/trace_events.h"
 #include "util/log.h"
 #include "util/stats.h"
 
@@ -72,6 +74,17 @@ runOne(const CoreConfig &cfg, const SuiteEntry &entry,
        const PrefetcherFactory &make_prefetcher, double warmup_fraction)
 {
     Core core(cfg, entry.trace, make_prefetcher(entry.trace));
+
+    // Per-run trace sink: one file per (label, workload), opened and
+    // owned here so parallel runs never share a writer.
+    std::unique_ptr<TraceWriter> trace_writer;
+    const std::string trace_path = tracePathForRun(cfg.obs, entry.name);
+    if (!trace_path.empty()) {
+        trace_writer = std::make_unique<TraceWriter>(trace_path);
+        if (trace_writer->ok())
+            core.attachTrace(trace_writer.get());
+    }
+
     const auto warmup = static_cast<std::uint64_t>(
         static_cast<double>(entry.trace.size()) * warmup_fraction);
     RunResult run;
@@ -81,6 +94,13 @@ runOne(const CoreConfig &cfg, const SuiteEntry &entry,
     const auto t1 = std::chrono::steady_clock::now();
     run.stats.hostWallSeconds =
         std::chrono::duration<double>(t1 - t0).count();
+
+    run.heartbeats = core.heartbeats();
+    if (cfg.obs.collectStats) {
+        StatRegistry reg;
+        core.registerStats(reg);
+        run.statDump = reg.snapshot();
+    }
     return run;
 }
 
@@ -90,6 +110,9 @@ runSuite(const std::string &label, CoreConfig cfg,
          const PrefetcherFactory &make_prefetcher, double warmup_fraction)
 {
     cfg.applyHistoryScheme();
+    cfg.obs = resolveObsEnv(cfg.obs);
+    if (cfg.obs.traceLabel.empty())
+        cfg.obs.traceLabel = label;
     SuiteResult result;
     result.label = label;
     result.runs.reserve(suite.size());

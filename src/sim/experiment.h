@@ -16,6 +16,8 @@
 #include "core/core.h"
 #include "core/core_config.h"
 #include "core/sim_stats.h"
+#include "obs/heartbeat.h"
+#include "obs/stat_registry.h"
 #include "prefetch/prefetcher.h"
 #include "trace/suite.h"
 
@@ -34,6 +36,14 @@ struct RunResult
 {
     std::string workload;
     SimStats stats;
+
+    /** Heartbeat time series (empty unless cfg.obs.heartbeatInterval
+     *  was set; see Core::heartbeats()). */
+    std::vector<HeartbeatSample> heartbeats;
+
+    /** Full stat-registry snapshot (empty unless cfg.obs.collectStats
+     *  was set). */
+    std::vector<StatSample> statDump;
 };
 
 /** Result of one configuration across the suite. */

@@ -8,6 +8,7 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/obs_config.h"
 #include "util/log.h"
 
 namespace fdip
@@ -117,10 +118,14 @@ runCampaign(const std::vector<CampaignEntry> &entries,
 {
     // Resolve configs and the worker count up front, on the calling
     // thread: applyHistoryScheme() mutates the config and getenv() is
-    // not something workers should race on.
+    // not something workers should race on (observability env included).
     std::vector<CampaignEntry> resolved = entries;
-    for (auto &e : resolved)
+    for (auto &e : resolved) {
         e.cfg.applyHistoryScheme();
+        e.cfg.obs = resolveObsEnv(e.cfg.obs);
+        if (e.cfg.obs.traceLabel.empty())
+            e.cfg.obs.traceLabel = e.label;
+    }
     if (jobs == 0)
         jobs = jobsFromEnv();
 

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <memory>
 
+#include "obs/heartbeat.h"
+
 namespace fdip
 {
 
@@ -56,12 +58,23 @@ writeSuiteResultsJson(const std::string &path,
                 "      {\"workload\": \"%s\", \"ipc\": %.6f, "
                 "\"mpki\": %.4f, \"starvationPerKi\": %.3f, "
                 "\"tagAccessesPerKi\": %.3f, \"l1iMpki\": %.4f, "
-                "\"pfcFires\": %llu, \"ghrFixups\": %llu}%s\n",
+                "\"pfcFires\": %llu, \"ghrFixups\": %llu",
                 escape(run.workload).c_str(), s.ipc(), s.branchMpki(),
                 s.starvationPerKi(), s.tagAccessesPerKi(), s.l1iMpki(),
                 static_cast<unsigned long long>(s.pfcFires),
-                static_cast<unsigned long long>(s.ghrFixups),
-                j + 1 < r.runs.size() ? "," : "");
+                static_cast<unsigned long long>(s.ghrFixups));
+            if (!run.heartbeats.empty()) {
+                std::fprintf(f.get(), ", \"heartbeats\": [");
+                for (std::size_t k = 0; k < run.heartbeats.size(); ++k) {
+                    std::string hb;
+                    appendHeartbeatJson(hb, run.heartbeats[k]);
+                    std::fprintf(f.get(), "%s%s",
+                                 k == 0 ? "" : ", ", hb.c_str());
+                }
+                std::fprintf(f.get(), "]");
+            }
+            std::fprintf(f.get(), "}%s\n",
+                         j + 1 < r.runs.size() ? "," : "");
         }
         std::fprintf(f.get(), "    ]}%s\n",
                      i + 1 < results.size() ? "," : "");
@@ -79,19 +92,85 @@ writeSuiteResultsCsv(const std::string &path,
         return false;
     std::fprintf(f.get(),
                  "label,workload,ipc,mpki,starvation_per_ki,"
-                 "tag_accesses_per_ki,l1i_mpki,pfc_fires,ghr_fixups\n");
+                 "tag_accesses_per_ki,l1i_mpki,pfc_fires,ghr_fixups,"
+                 "prefetch_accuracy,prefetch_coverage,"
+                 "prefetch_redundant_rate\n");
     for (const SuiteResult &r : results) {
         for (const RunResult &run : r.runs) {
             const SimStats &s = run.stats;
             std::fprintf(
-                f.get(), "%s,%s,%.6f,%.4f,%.3f,%.3f,%.4f,%llu,%llu\n",
+                f.get(),
+                "%s,%s,%.6f,%.4f,%.3f,%.3f,%.4f,%llu,%llu,"
+                "%.4f,%.4f,%.4f\n",
                 r.label.c_str(), run.workload.c_str(), s.ipc(),
                 s.branchMpki(), s.starvationPerKi(),
                 s.tagAccessesPerKi(), s.l1iMpki(),
                 static_cast<unsigned long long>(s.pfcFires),
-                static_cast<unsigned long long>(s.ghrFixups));
+                static_cast<unsigned long long>(s.ghrFixups),
+                s.prefetchAccuracy(), s.prefetchCoverage(),
+                s.prefetchRedundantRate());
         }
     }
+    return true;
+}
+
+bool
+writeHeartbeatsJsonl(const std::string &path,
+                     const std::vector<SuiteResult> &results)
+{
+    FileHandle f(std::fopen(path.c_str(), "w"));
+    if (!f)
+        return false;
+    for (const SuiteResult &r : results) {
+        for (const RunResult &run : r.runs) {
+            for (const HeartbeatSample &s : run.heartbeats) {
+                std::string hb;
+                appendHeartbeatJson(hb, s);
+                std::fprintf(f.get(),
+                             "{\"label\": \"%s\", \"workload\": \"%s\", "
+                             "\"heartbeat\": %s}\n",
+                             escape(r.label).c_str(),
+                             escape(run.workload).c_str(), hb.c_str());
+            }
+        }
+    }
+    return true;
+}
+
+bool
+writeStatDumpsJson(const std::string &path,
+                   const std::vector<SuiteResult> &results)
+{
+    FileHandle f(std::fopen(path.c_str(), "w"));
+    if (!f)
+        return false;
+    std::fprintf(f.get(), "{\n  \"results\": [\n");
+    bool first_run = true;
+    for (const SuiteResult &r : results) {
+        for (const RunResult &run : r.runs) {
+            std::fprintf(f.get(),
+                         "%s    {\"label\": \"%s\", \"workload\": "
+                         "\"%s\", \"stats\": {",
+                         first_run ? "" : ",\n", escape(r.label).c_str(),
+                         escape(run.workload).c_str());
+            first_run = false;
+            for (std::size_t i = 0; i < run.statDump.size(); ++i) {
+                const StatSample &s = run.statDump[i];
+                if (s.kind == StatKind::kCounter)
+                    std::fprintf(f.get(), "%s\"%s\": %llu",
+                                 i == 0 ? "" : ", ",
+                                 escape(s.name).c_str(),
+                                 static_cast<unsigned long long>(
+                                     s.intValue));
+                else
+                    std::fprintf(f.get(), "%s\"%s\": %.6f",
+                                 i == 0 ? "" : ", ",
+                                 escape(s.name).c_str(), s.value);
+            }
+            std::fprintf(f.get(), "}}");
+        }
+    }
+    std::fprintf(f.get(), "\n  ]\n}\n");
     return true;
 }
 

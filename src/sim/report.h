@@ -21,10 +21,14 @@ namespace fdip
  * {
  *   "results": [
  *     {"label": "...", "geomeanIpc": ..., "meanMpki": ...,
- *      "runs": [{"workload": "...", "ipc": ..., ...}, ...]},
+ *      "runs": [{"workload": "...", "ipc": ..., ...,
+ *                "heartbeats": [{...}, ...]}, ...]},
  *     ...
  *   ]
  * }
+ *
+ * A run's "heartbeats" array is present only when the run recorded
+ * heartbeat samples (FDIP_HEARTBEAT / CoreConfig::obs).
  *
  * @return false on I/O failure.
  */
@@ -34,12 +38,35 @@ bool writeSuiteResultsJson(const std::string &path,
 /**
  * Writes per-workload metrics as CSV with a header row:
  * label,workload,ipc,mpki,starvation_per_ki,tag_accesses_per_ki,
- * l1i_mpki,pfc_fires,ghr_fixups.
+ * l1i_mpki,pfc_fires,ghr_fixups,prefetch_accuracy,prefetch_coverage,
+ * prefetch_redundant_rate.
  *
  * @return false on I/O failure.
  */
 bool writeSuiteResultsCsv(const std::string &path,
                           const std::vector<SuiteResult> &results);
+
+/**
+ * Writes every heartbeat sample across @p results as JSON Lines: one
+ * object per line, {"label": "...", "workload": "...", "heartbeat":
+ * {...}}, in suite order. Runs without samples contribute no lines.
+ *
+ * @return false on I/O failure.
+ */
+bool writeHeartbeatsJsonl(const std::string &path,
+                          const std::vector<SuiteResult> &results);
+
+/**
+ * Writes the stat-registry snapshots captured per run (RunResult::
+ * statDump, populated when ObsConfig::collectStats is set) as one JSON
+ * document: {"results": [{"label": "...", "workload": "...",
+ * "stats": {"name": value, ...}}, ...]}. Counters emit as integers,
+ * derived values and histogram aggregates as doubles.
+ *
+ * @return false on I/O failure.
+ */
+bool writeStatDumpsJson(const std::string &path,
+                        const std::vector<SuiteResult> &results);
 
 } // namespace fdip
 

@@ -87,9 +87,12 @@ class Histogram
 
 /**
  * A registry of named counters, so modules can export statistics without
- * hard-coding a schema. Lookup creates counters on demand.
+ * hard-coding a schema. Lookup creates counters on demand. For the
+ * simulator-wide hierarchical registry (getter-backed counters, derived
+ * formulas, histograms) see obs/stat_registry.h; this class remains for
+ * lightweight ad-hoc counting in tools and tests.
  */
-class StatRegistry
+class CounterRegistry
 {
   public:
     /** Returns (creating if needed) the counter with the given name. */

@@ -1,0 +1,86 @@
+/** @file
+ * Contract tests for SimStats: the documented architectural-counter
+ * arity must match the std::tie tuple that determinism comparisons,
+ * per-field registration, and the heartbeat deltas are all built on.
+ * Adding a counter without updating kArchitecturalCounters (and the
+ * registration/comparison sites) fails here at compile time.
+ */
+
+#include "core/sim_stats.h"
+
+#include <tuple>
+#include <type_traits>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+namespace fdip
+{
+namespace
+{
+
+using ArchTuple =
+    decltype(std::declval<const SimStats &>().architecturalState());
+
+static_assert(std::tuple_size_v<ArchTuple> ==
+                  SimStats::kArchitecturalCounters,
+              "architecturalState() arity != kArchitecturalCounters");
+
+// Every element of the tuple is a uint64 counter reference — no field
+// can silently join as a different type and break bitwise comparison.
+static_assert(
+    std::is_same_v<std::tuple_element_t<0, ArchTuple>,
+                   const std::uint64_t &>,
+    "architecturalState() must expose const uint64 references");
+static_assert(
+    std::is_same_v<
+        std::tuple_element_t<SimStats::kArchitecturalCounters - 1,
+                             ArchTuple>,
+        const std::uint64_t &>,
+    "architecturalState() must expose const uint64 references");
+
+TEST(SimStatsContract, ArityMatchesDocumentedConstant)
+{
+    EXPECT_EQ(std::tuple_size_v<ArchTuple>,
+              SimStats::kArchitecturalCounters);
+    // The struct is exactly the counters plus host wall-clock; a new
+    // field that isn't wired into architecturalState() changes this.
+    EXPECT_EQ(sizeof(SimStats),
+              SimStats::kArchitecturalCounters * sizeof(std::uint64_t) +
+                  sizeof(double));
+}
+
+TEST(SimStatsContract, EqualityTracksEveryCounter)
+{
+    SimStats a;
+    a.cycles = 100;
+    a.committedInsts = 250;
+    SimStats b = a;
+    EXPECT_TRUE(a.architecturallyEqual(b));
+
+    // Host wall-clock is telemetry, not architecture.
+    b.hostWallSeconds = 99.0;
+    EXPECT_TRUE(a.architecturallyEqual(b));
+
+    b.btbHits = 1;
+    EXPECT_FALSE(a.architecturallyEqual(b));
+}
+
+TEST(SimStatsContract, DerivedPrefetchMetrics)
+{
+    SimStats s;
+    EXPECT_DOUBLE_EQ(s.prefetchAccuracy(), 0.0);
+    EXPECT_DOUBLE_EQ(s.prefetchCoverage(), 0.0);
+    EXPECT_DOUBLE_EQ(s.prefetchRedundantRate(), 0.0);
+
+    s.prefetchesIssued = 100;
+    s.prefetchesUseful = 40;
+    s.prefetchesRedundant = 25;
+    s.l1iDemandMisses = 60;
+    EXPECT_DOUBLE_EQ(s.prefetchAccuracy(), 0.4);
+    EXPECT_DOUBLE_EQ(s.prefetchCoverage(), 0.4);
+    EXPECT_DOUBLE_EQ(s.prefetchRedundantRate(), 0.25);
+}
+
+} // namespace
+} // namespace fdip

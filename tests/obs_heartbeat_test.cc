@@ -1,0 +1,208 @@
+/** @file Tests for interval heartbeat telemetry. */
+
+#include "obs/heartbeat.h"
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/core.h"
+#include "obs/obs_config.h"
+#include "prefetch/factory.h"
+#include "sim/experiment.h"
+
+namespace fdip
+{
+namespace
+{
+
+Trace
+tinyTrace(std::size_t insts, std::uint64_t seed = 909)
+{
+    WorkloadSpec s = serverSpec("hb", seed);
+    s.numFunctions = 64;
+    auto wl = std::make_shared<Workload>(buildWorkload(s));
+    return generateTrace(wl, insts);
+}
+
+std::vector<HeartbeatSample>
+runWithHeartbeat(const Trace &trace, std::uint64_t interval,
+                 std::uint64_t warmup = 0)
+{
+    CoreConfig cfg = paperBaselineConfig();
+    cfg.applyHistoryScheme();
+    cfg.obs.heartbeatInterval = interval;
+    Core core(cfg, trace, makePrefetcher("none"));
+    (void)core.run(warmup);
+    return core.heartbeats();
+}
+
+TEST(Heartbeat, DisabledRecordsNothing)
+{
+    const Trace trace = tinyTrace(10000);
+    EXPECT_TRUE(runWithHeartbeat(trace, 0).empty());
+}
+
+TEST(Heartbeat, ExactlyOneIntervalYieldsOneSample)
+{
+    // With no warmup the post-warmup instruction count is exactly the
+    // trace length, so interval == length must fire exactly once, on
+    // the loop iteration that commits the final instruction.
+    const Trace trace = tinyTrace(10000);
+    const auto hbs = runWithHeartbeat(trace, trace.size());
+    ASSERT_EQ(hbs.size(), 1u);
+    EXPECT_EQ(hbs[0].instrs, trace.size());
+    EXPECT_EQ(hbs[0].dInstrs, trace.size());
+    EXPECT_GT(hbs[0].cycles, 0u);
+    EXPECT_GT(hbs[0].ipc(), 0.0);
+}
+
+TEST(Heartbeat, OneInstructionShortYieldsNoSample)
+{
+    const Trace trace = tinyTrace(10000);
+    EXPECT_TRUE(runWithHeartbeat(trace, trace.size() + 1).empty());
+}
+
+TEST(Heartbeat, RunShorterThanOneIntervalYieldsNoSample)
+{
+    const Trace trace = tinyTrace(5000);
+    EXPECT_TRUE(runWithHeartbeat(trace, 1000000).empty());
+}
+
+TEST(Heartbeat, SeriesIsConsistent)
+{
+    const Trace trace = tinyTrace(30000);
+    const std::uint64_t interval = 4000;
+    const auto hbs = runWithHeartbeat(trace, interval);
+    ASSERT_GE(hbs.size(), 6u);
+
+    std::uint64_t sum_instrs = 0;
+    std::uint64_t sum_cycles = 0;
+    std::uint64_t prev_instrs = 0;
+    for (const auto &s : hbs) {
+        // Each sample crosses into a strictly later interval. (Commit
+        // width means a sample can land a few instructions past the
+        // multiple, so compare interval indices, not raw distances.)
+        EXPECT_GT(s.instrs / interval, prev_instrs / interval);
+        prev_instrs = s.instrs;
+        sum_instrs += s.dInstrs;
+        sum_cycles += s.dCycles;
+        // Deltas re-derive the cumulative position.
+        EXPECT_EQ(sum_instrs, s.instrs);
+        EXPECT_EQ(sum_cycles, s.cycles);
+        EXPECT_GT(s.dInstrs, 0u);
+        EXPECT_GT(s.dCycles, 0u);
+    }
+}
+
+TEST(Heartbeat, WarmupCommitsDoNotSample)
+{
+    // Warmup is 5000 of 12000 instructions; with interval 10000 the
+    // post-warmup count (~7000) never reaches one interval.
+    const Trace trace = tinyTrace(12000);
+    EXPECT_TRUE(runWithHeartbeat(trace, 10000, 5000).empty());
+}
+
+TEST(Heartbeat, SamplingIsObservationOnly)
+{
+    const Trace trace = tinyTrace(20000);
+    CoreConfig cfg = paperBaselineConfig();
+    cfg.applyHistoryScheme();
+
+    Core plain(cfg, trace, makePrefetcher("eip-27"));
+    const SimStats without = plain.run(2000);
+
+    cfg.obs.heartbeatInterval = 500;
+    Core sampled(cfg, trace, makePrefetcher("eip-27"));
+    const SimStats with = sampled.run(2000);
+
+    EXPECT_TRUE(without.architecturallyEqual(with))
+        << "heartbeat sampling perturbed simulated state";
+    EXPECT_GT(sampled.heartbeats().size(), 10u);
+}
+
+TEST(Heartbeat, FlowsThroughRunSuite)
+{
+    std::vector<SuiteEntry> suite;
+    SuiteEntry e;
+    e.name = "hb";
+    e.trace = tinyTrace(10000);
+    suite.push_back(std::move(e));
+
+    CoreConfig cfg = paperBaselineConfig();
+    cfg.obs.heartbeatInterval = 2000;
+    const SuiteResult r =
+        runSuite("cfg", cfg, suite, noPrefetcher(), /*warmup=*/0.0);
+    ASSERT_EQ(r.runs.size(), 1u);
+    EXPECT_EQ(r.runs[0].heartbeats.size(), 5u);
+}
+
+TEST(Heartbeat, JsonHasStableSchema)
+{
+    HeartbeatSample s;
+    s.instrs = 1000;
+    s.cycles = 2000;
+    s.dInstrs = 1000;
+    s.dCycles = 2000;
+    s.mispredicts = 10;
+    std::string out;
+    appendHeartbeatJson(out, s);
+    EXPECT_NE(out.find("\"instrs\": 1000"), std::string::npos);
+    EXPECT_NE(out.find("\"ipc\": 0.5"), std::string::npos);
+    EXPECT_NE(out.find("\"mpki\": 10"), std::string::npos);
+    EXPECT_EQ(out.front(), '{');
+    EXPECT_EQ(out.back(), '}');
+}
+
+TEST(Heartbeat, EnvParsing)
+{
+    ::unsetenv("FDIP_HEARTBEAT");
+    EXPECT_EQ(heartbeatIntervalFromEnv(), 0u);
+    ::setenv("FDIP_HEARTBEAT", "25000", 1);
+    EXPECT_EQ(heartbeatIntervalFromEnv(), 25000u);
+    ::setenv("FDIP_HEARTBEAT", "bogus", 1);
+    EXPECT_EQ(heartbeatIntervalFromEnv(), 0u);
+    ::setenv("FDIP_HEARTBEAT", "-5", 1);
+    EXPECT_EQ(heartbeatIntervalFromEnv(), 0u);
+    ::unsetenv("FDIP_HEARTBEAT");
+}
+
+TEST(Heartbeat, ResolveObsEnvPrefersExplicitValues)
+{
+    ::setenv("FDIP_HEARTBEAT", "111", 1);
+    ::setenv("FDIP_TRACE", "/tmp/env.json", 1);
+
+    ObsConfig unset;
+    const ObsConfig from_env = resolveObsEnv(unset);
+    EXPECT_EQ(from_env.heartbeatInterval, 111u);
+    EXPECT_EQ(from_env.tracePath, "/tmp/env.json");
+
+    ObsConfig explicit_cfg;
+    explicit_cfg.heartbeatInterval = 222;
+    explicit_cfg.tracePath = "/tmp/cli.json";
+    const ObsConfig kept = resolveObsEnv(explicit_cfg);
+    EXPECT_EQ(kept.heartbeatInterval, 222u);
+    EXPECT_EQ(kept.tracePath, "/tmp/cli.json");
+
+    ::unsetenv("FDIP_HEARTBEAT");
+    ::unsetenv("FDIP_TRACE");
+}
+
+TEST(Heartbeat, TracePathWeaving)
+{
+    ObsConfig obs;
+    obs.tracePath = "out/run.json";
+    obs.traceLabel = "FDP 8K";
+    EXPECT_EQ(tracePathForRun(obs, "srv-a"), "out/run.FDP_8K.srv-a.json");
+
+    obs.traceExactPath = true;
+    EXPECT_EQ(tracePathForRun(obs, "srv-a"), "out/run.json");
+
+    ObsConfig off;
+    EXPECT_EQ(tracePathForRun(off, "srv-a"), "");
+}
+
+} // namespace
+} // namespace fdip

@@ -1,0 +1,185 @@
+/** @file Tests for the hierarchical statistics registry. */
+
+#include "obs/stat_registry.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/core.h"
+#include "prefetch/factory.h"
+
+namespace fdip
+{
+namespace
+{
+
+TEST(StatRegistry, RegisterAndLookup)
+{
+    StatRegistry reg;
+    std::uint64_t hits = 0;
+    reg.addCounter("bpu.btb.hits", [&hits] { return hits; },
+                   "BTB lookups that hit");
+    reg.addDerived("bpu.btb.hit_rate", [&hits] {
+        return static_cast<double>(hits) / 10.0;
+    });
+
+    EXPECT_TRUE(reg.contains("bpu.btb.hits"));
+    EXPECT_FALSE(reg.contains("bpu.btb.misses"));
+    EXPECT_EQ(reg.size(), 2u);
+    EXPECT_EQ(reg.kindOf("bpu.btb.hits"), StatKind::kCounter);
+    EXPECT_EQ(reg.kindOf("bpu.btb.hit_rate"), StatKind::kDerived);
+    EXPECT_EQ(reg.description("bpu.btb.hits"), "BTB lookups that hit");
+
+    // Getter-backed: reads see the live value, not a snapshot.
+    EXPECT_EQ(reg.counterValue("bpu.btb.hits"), 0u);
+    hits = 7;
+    EXPECT_EQ(reg.counterValue("bpu.btb.hits"), 7u);
+    EXPECT_DOUBLE_EQ(reg.value("bpu.btb.hit_rate"), 0.7);
+}
+
+TEST(StatRegistry, DuplicateNameIsFatal)
+{
+    StatRegistry reg;
+    reg.addCounter("x.y", [] { return 0u; });
+    EXPECT_EXIT({ reg.addCounter("x.y", [] { return 1u; }); },
+                ::testing::ExitedWithCode(1), "x.y");
+}
+
+TEST(StatRegistry, UnknownNameIsFatal)
+{
+    StatRegistry reg;
+    EXPECT_EXIT({ (void)reg.counterValue("nope"); },
+                ::testing::ExitedWithCode(1), "nope");
+    EXPECT_EXIT({ (void)reg.kindOf("nope"); },
+                ::testing::ExitedWithCode(1), "nope");
+}
+
+TEST(StatRegistry, CounterValueOnDerivedIsFatal)
+{
+    StatRegistry reg;
+    reg.addDerived("d", [] { return 1.0; });
+    EXPECT_EXIT({ (void)reg.counterValue("d"); },
+                ::testing::ExitedWithCode(1), "");
+}
+
+TEST(StatRegistry, PrefixQuery)
+{
+    StatRegistry reg;
+    reg.addCounter("bpu.btb.hits", [] { return 0u; });
+    reg.addCounter("bpu.btb.lookups", [] { return 0u; });
+    reg.addCounter("bpu.btb2.hits", [] { return 0u; });
+    reg.addCounter("frontend.ftq.size", [] { return 0u; });
+
+    const auto names = reg.namesWithPrefix("bpu.btb");
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0], "bpu.btb.hits");
+    EXPECT_EQ(names[1], "bpu.btb.lookups");
+    EXPECT_EQ(reg.namesWithPrefix("frontend").size(), 1u);
+    EXPECT_TRUE(reg.namesWithPrefix("nothing").empty());
+    EXPECT_EQ(reg.names().size(), 4u);
+}
+
+TEST(StatRegistry, HistogramClampsAndAggregates)
+{
+    StatHistogram h(4, 10); // Buckets [0,10) [10,20) [20,30) [30,inf).
+    h.add(0);
+    h.add(9);
+    h.add(10);
+    h.add(35);
+    h.add(1000); // Clamped into the last bucket.
+
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 1000u);
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(2), 0u);
+    EXPECT_EQ(h.bucketCount(3), 2u);
+    EXPECT_DOUBLE_EQ(h.mean(), (0.0 + 9 + 10 + 35 + 1000) / 5.0);
+
+    StatRegistry reg;
+    reg.addHistogram("fe.lat", &h);
+    EXPECT_EQ(reg.kindOf("fe.lat"), StatKind::kHistogram);
+    EXPECT_DOUBLE_EQ(reg.value("fe.lat"), h.mean());
+
+    // Snapshot flattens histograms into pseudo-entries.
+    const auto snap = reg.snapshot();
+    bool saw_count = false;
+    for (const auto &s : snap) {
+        if (s.name == "fe.lat.count") {
+            saw_count = true;
+            EXPECT_EQ(s.intValue, 5u);
+        }
+    }
+    EXPECT_TRUE(saw_count);
+}
+
+TEST(StatRegistry, CoreRegistersFullHierarchy)
+{
+    WorkloadSpec spec = serverSpec("obs", 11);
+    spec.numFunctions = 64;
+    auto wl = std::make_shared<Workload>(buildWorkload(spec));
+    const Trace trace = generateTrace(wl, 20000);
+
+    CoreConfig cfg = paperBaselineConfig();
+    cfg.applyHistoryScheme();
+    Core core(cfg, trace, makePrefetcher("eip-27"));
+    const SimStats stats = core.run(2000);
+
+    StatRegistry reg;
+    core.registerStats(reg);
+
+    // Every subsystem shows up under its dotted prefix.
+    for (const char *name :
+         {"core.cycles", "core.committed_insts", "core.ipc",
+          "frontend.ftq.capacity", "frontend.ftq.occupancy",
+          "frontend.l1i.hits", "frontend.l1i.misses", "frontend.itlb.hits",
+          "bpu.btb.hits", "bpu.btb.lookups", "bpu.ras.depth",
+          "bpu.storage_bits", "mem.l2.hits", "mem.dram_accesses",
+          "pf.EIP-27KB.storage_bits"}) {
+        EXPECT_TRUE(reg.contains(name)) << name;
+    }
+    EXPECT_EQ(reg.kindOf("frontend.ftq.occupancy"), StatKind::kHistogram);
+
+    // Registry reads agree with the returned SimStats.
+    EXPECT_EQ(reg.counterValue("core.cycles"), stats.cycles);
+    EXPECT_EQ(reg.counterValue("core.committed_insts"),
+              stats.committedInsts);
+    EXPECT_DOUBLE_EQ(reg.value("core.ipc"), stats.ipc());
+    // The FTQ occupancy histogram saw every post-reset tick.
+    EXPECT_GT(reg.value("frontend.ftq.occupancy"), 0.0);
+
+    // Snapshot materializes everything.
+    EXPECT_EQ(reg.snapshot().size(), reg.size() + 2 * 3); // 2 histograms.
+}
+
+TEST(StatRegistry, WriteJsonBalanced)
+{
+    StatRegistry reg;
+    reg.addCounter("a.b", [] { return 42u; });
+    reg.addDerived("a.c", [] { return 0.5; });
+    const std::string path =
+        std::string(::testing::TempDir()) + "/stats.json";
+    ASSERT_TRUE(reg.writeJson(path));
+
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    std::string body;
+    char buf[256];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        body.append(buf, n);
+    std::fclose(f);
+    std::remove(path.c_str());
+
+    EXPECT_NE(body.find("\"a.b\": 42"), std::string::npos);
+    EXPECT_EQ(std::count(body.begin(), body.end(), '{'),
+              std::count(body.begin(), body.end(), '}'));
+}
+
+} // namespace
+} // namespace fdip

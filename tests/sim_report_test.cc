@@ -74,6 +74,96 @@ TEST(Report, CsvHasHeaderAndRows)
     std::remove(path.c_str());
 }
 
+TEST(Report, CsvCarriesPrefetchQualityColumns)
+{
+    auto results = fakeResults();
+    SimStats &s = results[0].runs[0].stats;
+    s.prefetchesIssued = 200;
+    s.prefetchesUseful = 150;
+    s.prefetchesRedundant = 20;
+    s.l1iDemandMisses = 50;
+
+    const std::string path =
+        std::string(::testing::TempDir()) + "/pfq.csv";
+    ASSERT_TRUE(writeSuiteResultsCsv(path, results));
+    const std::string body = slurp(path);
+    EXPECT_NE(body.find(",prefetch_accuracy,prefetch_coverage,"
+                        "prefetch_redundant_rate"),
+              std::string::npos);
+    // accuracy 150/200, coverage 150/200, redundant 20/200.
+    EXPECT_NE(body.find("0.7500,0.7500,0.1000"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(Report, JsonEmbedsHeartbeats)
+{
+    auto results = fakeResults();
+    HeartbeatSample hb;
+    hb.instrs = 500;
+    hb.cycles = 800;
+    hb.dInstrs = 500;
+    hb.dCycles = 800;
+    results[0].runs[0].heartbeats = {hb, hb};
+
+    const std::string path =
+        std::string(::testing::TempDir()) + "/hb.json";
+    ASSERT_TRUE(writeSuiteResultsJson(path, results));
+    const std::string body = slurp(path);
+    EXPECT_NE(body.find("\"heartbeats\": ["), std::string::npos);
+    EXPECT_NE(body.find("\"instrs\": 500"), std::string::npos);
+    // Runs without samples omit the key entirely.
+    EXPECT_EQ(body.find("\"heartbeats\": []"), std::string::npos);
+    EXPECT_EQ(std::count(body.begin(), body.end(), '{'),
+              std::count(body.begin(), body.end(), '}'));
+    EXPECT_EQ(std::count(body.begin(), body.end(), '['),
+              std::count(body.begin(), body.end(), ']'));
+    std::remove(path.c_str());
+}
+
+TEST(Report, HeartbeatsJsonl)
+{
+    auto results = fakeResults();
+    HeartbeatSample hb;
+    hb.instrs = 123;
+    results[0].runs[1].heartbeats = {hb};
+    results[1].runs[0].heartbeats = {hb, hb};
+
+    const std::string path =
+        std::string(::testing::TempDir()) + "/hb.jsonl";
+    ASSERT_TRUE(writeHeartbeatsJsonl(path, results));
+    const std::string body = slurp(path);
+    // One line per sample; runs without samples contribute nothing.
+    EXPECT_EQ(std::count(body.begin(), body.end(), '\n'), 3);
+    EXPECT_NE(body.find("\"label\": \"fdp\", \"workload\": \"clt-a\""),
+              std::string::npos);
+    EXPECT_NE(body.find("\"label\": \"no-fdp\""), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(Report, StatDumpsJson)
+{
+    auto results = fakeResults();
+    StatSample counter;
+    counter.name = "bpu.btb.hits";
+    counter.kind = StatKind::kCounter;
+    counter.intValue = 77;
+    StatSample derived;
+    derived.name = "core.ipc";
+    derived.kind = StatKind::kDerived;
+    derived.value = 1.25;
+    results[0].runs[0].statDump = {counter, derived};
+
+    const std::string path =
+        std::string(::testing::TempDir()) + "/stats.json";
+    ASSERT_TRUE(writeStatDumpsJson(path, results));
+    const std::string body = slurp(path);
+    EXPECT_NE(body.find("\"bpu.btb.hits\": 77"), std::string::npos);
+    EXPECT_NE(body.find("\"core.ipc\": 1.25"), std::string::npos);
+    EXPECT_EQ(std::count(body.begin(), body.end(), '{'),
+              std::count(body.begin(), body.end(), '}'));
+    std::remove(path.c_str());
+}
+
 TEST(Report, FailsOnBadPath)
 {
     EXPECT_FALSE(writeSuiteResultsJson("/nonexistent/x.json", {}));

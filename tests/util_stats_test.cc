@@ -47,9 +47,9 @@ TEST(Histogram, Mean)
     EXPECT_DOUBLE_EQ(h.mean(), 0.0);
 }
 
-TEST(StatRegistry, CreatesOnDemand)
+TEST(CounterRegistry, CreatesOnDemand)
 {
-    StatRegistry reg;
+    CounterRegistry reg;
     reg.counter("a").inc(3);
     reg.counter("a").inc(2);
     reg.counter("b").inc();

@@ -35,6 +35,8 @@ struct Options
     std::string champsimTrace;
     std::string jsonPath;
     std::string csvPath;
+    std::string heartbeatJsonlPath;
+    std::string dumpStatsPath;
     bool compareBaseline = false;
     CoreConfig cfg = paperBaselineConfig();
 };
@@ -72,7 +74,17 @@ usage()
         "output:\n"
         "  --compare-baseline also run the no-FDP baseline\n"
         "  --json PATH        write a JSON report\n"
-        "  --csv PATH         write a CSV report\n");
+        "  --csv PATH         write a CSV report\n"
+        "\n"
+        "observability (env: FDIP_HEARTBEAT, FDIP_TRACE):\n"
+        "  --heartbeat N      sample telemetry every N committed "
+        "instructions\n"
+        "  --heartbeat-jsonl P write heartbeat samples as JSON Lines\n"
+        "  --trace PATH       write a Chrome trace-event file "
+        "(chrome://tracing, Perfetto); used verbatim for a single "
+        "run, label/workload woven in otherwise\n"
+        "  --dump-stats PATH  write the full stat-registry snapshot "
+        "per run\n");
 }
 
 HistoryScheme
@@ -167,6 +179,16 @@ parseArgs(int argc, char **argv)
             opt.jsonPath = need(i);
         } else if (a == "--csv") {
             opt.csvPath = need(i);
+        } else if (a == "--heartbeat") {
+            opt.cfg.obs.heartbeatInterval =
+                std::strtoull(need(i), nullptr, 10);
+        } else if (a == "--heartbeat-jsonl") {
+            opt.heartbeatJsonlPath = need(i);
+        } else if (a == "--trace") {
+            opt.cfg.obs.tracePath = need(i);
+        } else if (a == "--dump-stats") {
+            opt.dumpStatsPath = need(i);
+            opt.cfg.obs.collectStats = true;
         } else {
             usage();
             fdip_fatal("unknown flag '%s'", a.c_str());
@@ -216,13 +238,20 @@ main(int argc, char **argv)
     Options opt = parseArgs(argc, argv);
     const auto suite = buildInputs(opt);
 
+    // With one run there is nothing to clobber, so honor the trace
+    // path verbatim; campaigns get label/workload woven in.
+    opt.cfg.obs.traceExactPath =
+        suite.size() == 1 && !opt.compareBaseline;
+
     std::vector<SuiteResult> results;
     results.push_back(runSuite(
         "config", opt.cfg, suite,
         [&](const Trace &) { return makePrefetcher(opt.prefetcher); },
         opt.warmupFrac));
     if (opt.compareBaseline) {
-        results.push_back(runSuite("baseline", noFdpConfig(), suite,
+        CoreConfig base = noFdpConfig();
+        base.obs = opt.cfg.obs;
+        results.push_back(runSuite("baseline", base, suite,
                                    noPrefetcher(), opt.warmupFrac));
     }
 
@@ -251,6 +280,14 @@ main(int argc, char **argv)
     if (!opt.csvPath.empty() &&
         !writeSuiteResultsCsv(opt.csvPath, results)) {
         fdip_fatal("cannot write %s", opt.csvPath.c_str());
+    }
+    if (!opt.heartbeatJsonlPath.empty() &&
+        !writeHeartbeatsJsonl(opt.heartbeatJsonlPath, results)) {
+        fdip_fatal("cannot write %s", opt.heartbeatJsonlPath.c_str());
+    }
+    if (!opt.dumpStatsPath.empty() &&
+        !writeStatDumpsJson(opt.dumpStatsPath, results)) {
+        fdip_fatal("cannot write %s", opt.dumpStatsPath.c_str());
     }
     return 0;
 }

@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Validates a Chrome trace-event JSON file produced by the simulator.
+
+Checks, in order:
+  1. The file parses as JSON and has a top-level "traceEvents" list.
+  2. Every event carries the mandatory fields for its phase, with a
+     phase drawn from the set the simulator emits ("i" instant, "b"/"e"
+     async span, "C" counter, "M" metadata).
+  3. Async begin/end events pair up per (name, id) with non-negative
+     span durations and no double-begun or double-ended spans. Spans
+     still open at the end of the file are allowed — the simulation
+     ends with fills legitimately in flight — but are reported.
+  4. Timestamps never go backwards: the writer streams events in
+     simulated-cycle order, so a regression means interleaved writers
+     (a determinism bug) or a corrupted file.
+  5. Optional: --require asserts that specific event names are present,
+     so CI catches a refactor that silently stops emitting a site.
+
+Exit status 0 when the trace is valid, 1 otherwise (2 for usage/IO
+errors), printing every problem found rather than the first.
+
+Usage:
+  check_trace.py TRACE.json [--require name,name,...] [--min-events N]
+"""
+
+import argparse
+import json
+import sys
+
+ALLOWED_PHASES = {"i", "b", "e", "C", "M"}
+
+# Fields every non-metadata event must carry. Metadata ("M") events
+# name lanes before the clock starts, so they have no timestamp.
+REQUIRED_FIELDS = {"ph", "name", "pid", "tid"}
+
+
+def check_trace(path, require_names, min_events):
+    problems = []
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return ["%s: cannot parse: %s" % (path, e)]
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return ["%s: top level must be an object with 'traceEvents'" % path]
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        return ["%s: 'traceEvents' must be a list" % path]
+
+    open_spans = {}
+    closed_spans = 0
+    last_ts = None
+    seen_names = set()
+
+    for i, ev in enumerate(events):
+        where = "event %d" % i
+        if not isinstance(ev, dict):
+            problems.append("%s: not an object" % where)
+            continue
+        missing = REQUIRED_FIELDS - set(ev)
+        if missing:
+            problems.append("%s: missing %s" % (where, sorted(missing)))
+            continue
+        ph = ev["ph"]
+        seen_names.add(ev["name"])
+        if ph not in ALLOWED_PHASES:
+            problems.append("%s: unexpected phase %r" % (where, ph))
+            continue
+        if ph == "M":
+            continue
+
+        if "ts" not in ev:
+            problems.append("%s: %r event has no 'ts'" % (where, ph))
+            continue
+        ts = ev["ts"]
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append("%s: bad timestamp %r" % (where, ts))
+            continue
+        if last_ts is not None and ts < last_ts:
+            problems.append(
+                "%s: timestamp went backwards (%s -> %s); the writer "
+                "streams in cycle order" % (where, last_ts, ts))
+        last_ts = ts
+
+        if ph in ("b", "e"):
+            if "id" not in ev:
+                problems.append("%s: async %r event has no 'id'" %
+                                (where, ph))
+                continue
+            key = (ev["name"], ev["id"])
+            if ph == "b":
+                if key in open_spans:
+                    problems.append("%s: span %r begun twice" %
+                                    (where, key))
+                open_spans[key] = ts
+            else:
+                if key not in open_spans:
+                    problems.append("%s: end without begin for %r" %
+                                    (where, key))
+                    continue
+                if ts < open_spans.pop(key):
+                    problems.append("%s: span %r has negative duration" %
+                                    (where, key))
+                closed_spans += 1
+
+    if len(events) < min_events:
+        problems.append("only %d events (expected >= %d)" %
+                        (len(events), min_events))
+    for name in require_names:
+        if name not in seen_names:
+            problems.append("required event name %r never emitted" % name)
+
+    if not problems:
+        print("%s: OK (%d events, %d async spans closed, %d still in "
+              "flight, %d distinct names)" %
+              (path, len(events), closed_spans, len(open_spans),
+               len(seen_names)))
+    return problems
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Validate a simulator Chrome trace-event file.")
+    ap.add_argument("trace", help="trace JSON file to check")
+    ap.add_argument("--require", default="",
+                    help="comma-separated event names that must appear")
+    ap.add_argument("--min-events", type=int, default=1,
+                    help="minimum number of events (default 1)")
+    args = ap.parse_args()
+
+    require = [n for n in args.require.split(",") if n]
+    problems = check_trace(args.trace, require, args.min_events)
+    for p in problems:
+        print("FAIL %s" % p, file=sys.stderr)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
