@@ -145,15 +145,34 @@ Bpu::indirectStorageBits() const
     return ittage_->storageBits();
 }
 
+std::vector<StorageSchema>
+Bpu::directionStorageSchemas() const
+{
+    std::vector<StorageSchema> schemas;
+    if (tage_)
+        schemas.push_back(tage_->storageSchema());
+    if (gshare_)
+        schemas.push_back(gshare_->storageSchema());
+    if (perceptron_)
+        schemas.push_back(perceptron_->storageSchema());
+    if (loop_)
+        schemas.push_back(loop_->storageSchema());
+    return schemas;
+}
+
+StorageSchema
+Bpu::indirectStorageSchema() const
+{
+    return ittage_->storageSchema();
+}
+
 std::uint64_t
 Bpu::storageBits() const
 {
     std::uint64_t bits = predictorStorageBits() + history_.storageBits() +
                          btb_->storageBits() + ras_.storageBits();
-    if (btbHier_) {
-        bits += std::uint64_t{cfg_.btbHierarchy.l1Entries} *
-                cfg_.btb.bytesPerEntry * 8;
-    }
+    if (btbHier_)
+        bits += btbHier_->l1().storageBits();
     return bits;
 }
 

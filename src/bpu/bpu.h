@@ -11,6 +11,7 @@
 #define FDIP_BPU_BPU_H_
 
 #include <memory>
+#include <vector>
 
 #include "bpu/btb.h"
 #include "bpu/btb_hierarchy.h"
@@ -79,6 +80,9 @@ class Bpu
     Ras &ras() { return ras_; }
     const Ras &ras() const { return ras_; }
 
+    /** The two-level hierarchy, or nullptr when single-level. */
+    const BtbHierarchy *btbHierarchy() const { return btbHier_.get(); }
+
     /**
      * Branch lookup through the (optionally two-level) BTB hierarchy.
      * fromL2 is true when the hit paid the L2 re-steer bubble.
@@ -113,6 +117,13 @@ class Bpu
 
     /** ITTAGE indirect predictor bits only. */
     std::uint64_t indirectStorageBits() const;
+
+    /** Schemas of the instantiated direction components (the active
+     *  TAGE/gshare/perceptron, plus the loop predictor if enabled). */
+    std::vector<StorageSchema> directionStorageSchemas() const;
+
+    /** Exact per-field ITTAGE declaration. */
+    StorageSchema indirectStorageSchema() const;
 
     /** Everything: predictors, history, BTB hierarchy, RAS. */
     std::uint64_t storageBits() const;

@@ -109,6 +109,24 @@ Btb::invalidate(Addr pc)
         e->valid = false;
 }
 
+StorageSchema
+Btb::storageSchema(const std::string &structure) const
+{
+    const std::uint64_t entry_bits = btbEntryBits(cfg_);
+    const std::uint64_t fixed =
+        1 + kBtbKindBits + ceilLog2(cfg_.ways) + kBtbTargetBits;
+    if (fixed > entry_bits)
+        fdip_fatal("BTB bytesPerEntry %u too small for its fixed fields",
+                   cfg_.bytesPerEntry);
+    StorageSchema s(structure);
+    s.add("valid", 1, cfg_.numEntries)
+        .add("kind", kBtbKindBits, cfg_.numEntries)
+        .add("lru", ceilLog2(cfg_.ways), cfg_.numEntries)
+        .add("target", kBtbTargetBits, cfg_.numEntries)
+        .add("tag", entry_bits - fixed, cfg_.numEntries);
+    return s;
+}
+
 void
 Btb::registerStats(StatRegistry &reg, const std::string &prefix) const
 {

@@ -16,8 +16,10 @@
 #include <string>
 #include <vector>
 
+#include "check/schema.h"
 #include "obs/stat_registry.h"
 #include "trace/inst.h"
+#include "util/bits.h"
 #include "util/types.h"
 
 namespace fdip
@@ -34,6 +36,29 @@ struct BtbConfig
     /** Modeled bytes per entry (paper: ~7B per branch, Section VI-D). */
     unsigned bytesPerEntry = 7;
 };
+
+/** Branch-kind field width (InstClass has 5 branch kinds). */
+inline constexpr unsigned kBtbKindBits = 3;
+/** Compressed-target field width (paper VI-D: ~7B entries store
+ *  partial tags and compressed targets, not full 48-bit pairs). */
+inline constexpr unsigned kBtbTargetBits = 34;
+
+/** Per-entry bits; the paper's bytes-per-entry label, exactly. */
+constexpr std::uint64_t
+btbEntryBits(const BtbConfig &cfg)
+{
+    return std::uint64_t{cfg.bytesPerEntry} * 8;
+}
+
+/**
+ * Exact modeled BTB storage. Single source of truth for
+ * Btb::storageBits() and the compile-time pins in check/budget.h.
+ */
+constexpr std::uint64_t
+btbStorageBitsFor(const BtbConfig &cfg)
+{
+    return std::uint64_t{cfg.numEntries} * btbEntryBits(cfg);
+}
 
 /** A BTB hit. */
 struct BtbHit
@@ -79,8 +104,18 @@ class Btb
         return std::uint64_t{cfg_.numEntries} * cfg_.bytesPerEntry;
     }
 
-    /** Modeled storage in bits (budget-accounting interface). */
-    std::uint64_t storageBits() const { return storageBytes() * 8; }
+    /** Modeled storage in bits; equals storageSchema().totalBits(). */
+    std::uint64_t storageBits() const { return btbStorageBitsFor(cfg_); }
+
+    /**
+     * Exact per-field storage declaration. The per-entry budget is
+     * bytesPerEntry x 8 bits, decomposed as valid + kind + per-way LRU
+     * rank + compressed target + partial tag (the tag takes whatever
+     * the other fields leave; 16 bits at the paper's 7B/4-way point).
+     * @p structure names the schema ("BTB" for the main level, the
+     * hierarchy passes "L1-BTB" for its filter).
+     */
+    StorageSchema storageSchema(const std::string &structure = "BTB") const;
 
     /// @{ Statistics.
     std::uint64_t lookups() const { return lookups_; }

@@ -54,6 +54,9 @@ class BtbHierarchy
 
     const BtbHierarchyConfig &config() const { return cfg_; }
 
+    /** The L1 filter BTB (own budget line, separate from the main). */
+    const Btb &l1() const { return l1_; }
+
     /// @{ Statistics.
     std::uint64_t l1Hits() const { return l1Hits_; }
     std::uint64_t l2Promotions() const { return l2Promotions_; }

@@ -37,7 +37,17 @@ Gshare::update(Addr pc, bool taken)
 std::uint64_t
 Gshare::storageBits() const
 {
-    return (std::uint64_t{1} << logEntries_) * 2;
+    // Counter table plus the private direction-history register.
+    return (std::uint64_t{1} << logEntries_) * 2 + historyBits_;
+}
+
+StorageSchema
+Gshare::storageSchema() const
+{
+    StorageSchema s("gshare");
+    s.add("ctr", 2, std::uint64_t{1} << logEntries_)
+        .add("history", historyBits_);
+    return s;
 }
 
 } // namespace fdip

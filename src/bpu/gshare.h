@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "check/schema.h"
 #include "util/sat_counter.h"
 #include "util/types.h"
 
@@ -36,8 +37,11 @@ class Gshare
     /** Trains with the resolved direction and advances the history. */
     void update(Addr pc, bool taken);
 
-    /** Modeled storage in bits. */
+    /** Modeled storage in bits; equals storageSchema().totalBits(). */
     std::uint64_t storageBits() const;
+
+    /** Exact per-field storage declaration. */
+    StorageSchema storageSchema() const;
 
   private:
     std::uint32_t indexOf(Addr pc) const;

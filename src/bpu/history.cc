@@ -1,6 +1,8 @@
 #include "bpu/history.h"
 
 #include <algorithm>
+#include <string>
+#include <utility>
 
 #include "util/bits.h"
 #include "util/log.h"
@@ -109,13 +111,31 @@ BranchHistory::restore(const HistorySnapshot &snap)
 std::uint64_t
 BranchHistory::storageBits() const
 {
-    std::uint64_t window = 64; // The plain recent-bit register.
     std::uint64_t foldedBits = 0;
-    for (const auto &f : folds_) {
-        window = std::max<std::uint64_t>(window, f.origLen);
+    for (const auto &f : folds_)
         foldedBits += f.compLen;
+    return foldedBits;
+}
+
+StorageSchema
+BranchHistory::storageSchema() const
+{
+    // Group registered folds by width, preserving first-seen order so
+    // the certificate is deterministic for a given registration order.
+    std::vector<std::pair<unsigned, std::uint64_t>> widths;
+    for (const auto &f : folds_) {
+        auto it = std::find_if(
+            widths.begin(), widths.end(),
+            [&](const auto &w) { return w.first == f.compLen; });
+        if (it == widths.end())
+            widths.emplace_back(f.compLen, 1);
+        else
+            ++it->second;
     }
-    return window + foldedBits;
+    StorageSchema s("history");
+    for (const auto &[width, count] : widths)
+        s.add("fold[" + std::to_string(width) + "b]", width, count);
+    return s;
 }
 
 } // namespace fdip

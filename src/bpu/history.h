@@ -32,6 +32,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "check/schema.h"
 #include "util/types.h"
 
 namespace fdip
@@ -146,12 +147,20 @@ class BranchHistory
     std::size_t numFolds() const { return folds_.size(); }
 
     /**
-     * Modeled storage in bits: the history window actually consumed
-     * (the longest registered fold window) plus the incrementally
-     * maintained folded images. The 4Kb ring itself is a simulator
-     * convenience and is not charged beyond the consumed window.
+     * Modeled storage in bits: the exact sum of the registered folded
+     * images' widths. The folds are the only history state the
+     * predictors read at prediction time; the 4Kb ring and the plain
+     * recent-bit register are simulator conveniences (the ring replays
+     * out-bits that real hardware keeps inside each fold's shift
+     * window) and are not charged. Equals storageSchema().totalBits().
      */
     std::uint64_t storageBits() const;
+
+    /**
+     * Exact per-field storage declaration: one field per distinct fold
+     * width (in registration order), counting the folds of that width.
+     */
+    StorageSchema storageSchema() const;
 
   private:
     void pushBit(unsigned bit);

@@ -134,11 +134,24 @@ Ittage::update(Addr pc, Addr target, const IttagePrediction &meta)
 std::uint64_t
 Ittage::storageBits() const
 {
-    // tag + valid + 48b target + 2b conf + 1b useful.
-    const std::uint64_t entry_bits = cfg_.tagBits + 1 + 48 + 2 + 1;
-    return cfg_.numTables * (std::uint64_t{1} << cfg_.logEntries) *
-               entry_bits +
-           (std::uint64_t{1} << cfg_.logBaseEntries) * 48;
+    return ittageStorageBits(cfg_);
+}
+
+StorageSchema
+Ittage::storageSchema() const
+{
+    const std::uint64_t tagged =
+        cfg_.numTables * (std::uint64_t{1} << cfg_.logEntries);
+    StorageSchema s("ITTAGE");
+    s.add("tagged.tag", cfg_.tagBits, tagged)
+        .add("tagged.valid", 1, tagged)
+        .add("tagged.target", kSchemaAddrBits, tagged)
+        .add("tagged.conf", kIttageConfBits, tagged)
+        .add("tagged.useful", kIttageUsefulBits, tagged)
+        .add("base.target", kSchemaAddrBits,
+             std::uint64_t{1} << cfg_.logBaseEntries)
+        .add("alloc_lfsr", kIttageAllocRngBits);
+    return s;
 }
 
 } // namespace fdip

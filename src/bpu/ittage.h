@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "bpu/history.h"
+#include "check/schema.h"
 #include "util/rng.h"
 #include "util/sat_counter.h"
 #include "util/types.h"
@@ -29,6 +30,35 @@ struct IttageConfig
     unsigned tagBits = 9;
     unsigned logBaseEntries = 11; ///< Last-target base table.
 };
+
+/** Confidence counter width (construction uses SatCounter(2, 0)). */
+inline constexpr unsigned kIttageConfBits = 2;
+/** Usefulness counter width (construction uses SatCounter(1, 0)). */
+inline constexpr unsigned kIttageUsefulBits = 1;
+/** Allocation-tiebreak LFSR state (modeled by the 64-bit Rng). */
+inline constexpr unsigned kIttageAllocRngBits = 64;
+
+/** Bits of one tagged-table entry: tag + valid + target + conf + u. */
+constexpr std::uint64_t
+ittageTaggedEntryBits(const IttageConfig &cfg)
+{
+    return std::uint64_t{cfg.tagBits} + 1 + kSchemaAddrBits +
+           kIttageConfBits + kIttageUsefulBits;
+}
+
+/**
+ * Exact modeled storage of an Ittage built from @p cfg. Single source
+ * of truth for Ittage::storageBits(), Ittage::storageSchema(), and the
+ * compile-time pin in check/budget.h.
+ */
+constexpr std::uint64_t
+ittageStorageBits(const IttageConfig &cfg)
+{
+    return cfg.numTables * (std::uint64_t{1} << cfg.logEntries) *
+               ittageTaggedEntryBits(cfg) +
+           (std::uint64_t{1} << cfg.logBaseEntries) * kSchemaAddrBits +
+           kIttageAllocRngBits;
+}
 
 /** Prediction metadata threaded to the update. */
 struct IttagePrediction
@@ -60,8 +90,11 @@ class Ittage
     /** Trains with the resolved @p target. */
     void update(Addr pc, Addr target, const IttagePrediction &meta);
 
-    /** Modeled storage in bits. */
+    /** Modeled storage in bits; equals storageSchema().totalBits(). */
     std::uint64_t storageBits() const;
+
+    /** Exact per-field storage declaration. */
+    StorageSchema storageSchema() const;
 
   private:
     struct Entry

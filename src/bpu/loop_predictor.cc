@@ -107,8 +107,27 @@ LoopPredictor::update(Addr pc, bool taken)
 std::uint64_t
 LoopPredictor::storageBits() const
 {
-    // valid + 12b tag + 2x12b counters + 2b confidence.
-    return entries_.size() * (1 + 12 + 24 + 2);
+    return storageSchema().totalBits();
+}
+
+StorageSchema
+LoopPredictor::storageSchema() const
+{
+    // Counter widths follow the config (12b trips for maxTrip = 4095,
+    // 2b confidence for confidenceMax = 3); the tag is mask(12) in
+    // tagOf(); per-entry LRU rank covers the ways of a set.
+    const std::uint64_t n = entries_.size();
+    const unsigned trip_bits = ceilLog2(std::uint64_t{cfg_.maxTrip} + 1);
+    const unsigned conf_bits =
+        ceilLog2(std::uint64_t{cfg_.confidenceMax} + 1);
+    StorageSchema s("loop predictor");
+    s.add("valid", 1, n)
+        .add("tag", 12, n)
+        .add("trip_count", trip_bits, n)
+        .add("current_count", trip_bits, n)
+        .add("confidence", conf_bits, n)
+        .add("lru", ceilLog2(cfg_.ways), n);
+    return s;
 }
 
 } // namespace fdip

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "check/schema.h"
 #include "util/types.h"
 
 namespace fdip
@@ -51,8 +52,11 @@ class LoopPredictor
     /** Trains with the resolved direction. */
     void update(Addr pc, bool taken);
 
-    /** Modeled storage in bits. */
+    /** Modeled storage in bits; equals storageSchema().totalBits(). */
     std::uint64_t storageBits() const;
+
+    /** Exact per-field storage declaration. */
+    StorageSchema storageSchema() const;
 
   private:
     struct Entry

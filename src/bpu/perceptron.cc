@@ -70,7 +70,21 @@ Perceptron::update(Addr pc, bool taken)
 std::uint64_t
 Perceptron::storageBits() const
 {
-    return weights_.size() * cfg_.weightBits;
+    // Weight table (incl. bias column) plus the private history register.
+    return weights_.size() * static_cast<unsigned>(cfg_.weightBits) +
+           cfg_.historyBits;
+}
+
+StorageSchema
+Perceptron::storageSchema() const
+{
+    const std::uint64_t rows = std::uint64_t{1} << cfg_.logEntries;
+    const auto weight_bits = static_cast<unsigned>(cfg_.weightBits);
+    StorageSchema s("perceptron");
+    s.add("bias", weight_bits, rows)
+        .add("weight", weight_bits, rows * cfg_.historyBits)
+        .add("history", cfg_.historyBits);
+    return s;
 }
 
 } // namespace fdip

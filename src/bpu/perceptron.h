@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "check/schema.h"
 #include "util/types.h"
 
 namespace fdip
@@ -39,8 +40,11 @@ class Perceptron
     /** Trains with the resolved direction and shifts the history. */
     void update(Addr pc, bool taken);
 
-    /** Modeled storage in bits. */
+    /** Modeled storage in bits; equals storageSchema().totalBits(). */
     std::uint64_t storageBits() const;
+
+    /** Exact per-field storage declaration. */
+    StorageSchema storageSchema() const;
 
   private:
     std::uint32_t rowOf(Addr pc) const;

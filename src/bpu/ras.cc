@@ -84,10 +84,16 @@ Ras::restore(const RasSnapshot &snap)
 std::uint64_t
 Ras::storageBits() const
 {
-    const unsigned depth_v = depth();
-    const unsigned ptr_bits =
-        floorLog2(depth_v) + (isPowerOf2(depth_v) ? 0u : 1u);
-    return std::uint64_t{depth_v} * 48 + ptr_bits;
+    return rasStorageBitsFor(depth());
+}
+
+StorageSchema
+Ras::storageSchema() const
+{
+    StorageSchema s("RAS");
+    s.add("entry", kSchemaAddrBits, depth())
+        .add("top_ptr", ceilLog2(depth()));
+    return s;
 }
 
 void

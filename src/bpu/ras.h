@@ -24,11 +24,24 @@
 #include <vector>
 
 #include "check/invariant.h"
+#include "check/schema.h"
 #include "obs/stat_registry.h"
+#include "util/bits.h"
 #include "util/types.h"
 
 namespace fdip
 {
+
+/**
+ * Exact RAS storage (paper Table IV: depth x 48-bit entries plus the
+ * top-of-stack pointer). Single source of truth for Ras::storageBits()
+ * and the compile-time pins in check/budget.h.
+ */
+constexpr std::uint64_t
+rasStorageBitsFor(unsigned depth)
+{
+    return std::uint64_t{depth} * kSchemaAddrBits + ceilLog2(depth);
+}
 
 /**
  * Checkpoint of the RAS recovery state. topIndex/topValue model the
@@ -93,6 +106,9 @@ class Ras
 
     /** Modeled storage in bits: depth x 48-bit entries + top pointer. */
     std::uint64_t storageBits() const;
+
+    /** Exact per-field storage declaration. */
+    StorageSchema storageSchema() const;
 
     /** Registers RAS counters under @p prefix ("bpu.ras.underflows"). */
     void registerStats(StatRegistry &reg, const std::string &prefix) const;

@@ -8,29 +8,6 @@
 namespace fdip
 {
 
-TageConfig
-TageConfig::sized(unsigned kilobytes)
-{
-    TageConfig cfg;
-    switch (kilobytes) {
-      case 9:
-        cfg.logEntries = 9;
-        cfg.logBaseEntries = 12;
-        break;
-      case 18:
-        cfg.logEntries = 10;
-        cfg.logBaseEntries = 13;
-        break;
-      case 36:
-        cfg.logEntries = 11;
-        cfg.logBaseEntries = 14;
-        break;
-      default:
-        fdip_fatal("unsupported TAGE size %u KB (use 9/18/36)", kilobytes);
-    }
-    return cfg;
-}
-
 Tage::Tage(const TageConfig &cfg, BranchHistory &hist)
     : cfg_(cfg),
       hist_(hist),
@@ -198,11 +175,24 @@ Tage::update(Addr pc, bool taken, const TagePrediction &meta)
 std::uint64_t
 Tage::storageBits() const
 {
-    const std::uint64_t entry_bits =
-        cfg_.counterBits + cfg_.tagBits + cfg_.usefulBits;
-    return cfg_.numTables * (std::uint64_t{1} << cfg_.logEntries) *
-               entry_bits +
-           (std::uint64_t{1} << cfg_.logBaseEntries) * 2;
+    return tageStorageBits(cfg_);
+}
+
+StorageSchema
+Tage::storageSchema() const
+{
+    const std::uint64_t tagged =
+        cfg_.numTables * (std::uint64_t{1} << cfg_.logEntries);
+    StorageSchema s("TAGE");
+    s.add("tagged.ctr", cfg_.counterBits, tagged)
+        .add("tagged.tag", cfg_.tagBits, tagged)
+        .add("tagged.useful", cfg_.usefulBits, tagged)
+        .add("base.ctr", kTageBaseCtrBits,
+             std::uint64_t{1} << cfg_.logBaseEntries)
+        .add("use_alt_on_na", kTageUseAltOnNaBits)
+        .add("useful_reset_tick", ceilLog2(cfg_.usefulResetPeriod))
+        .add("alloc_lfsr", kTageAllocRngBits);
+    return s;
 }
 
 } // namespace fdip

@@ -13,6 +13,9 @@
 #include <vector>
 
 #include "bpu/history.h"
+#include "check/schema.h"
+#include "util/bits.h"
+#include "util/log.h"
 #include "util/rng.h"
 #include "util/sat_counter.h"
 #include "util/types.h"
@@ -33,9 +36,66 @@ struct TageConfig
     unsigned logBaseEntries = 13; ///< log2 bimodal entries.
     std::uint32_t usefulResetPeriod = 1 << 18; ///< Allocations per u-reset.
 
-    /** Paper-named variants (Fig. 12): 9KB, 18KB (baseline), 36KB. */
-    static TageConfig sized(unsigned kilobytes);
+    /**
+     * Paper-named variants (Fig. 12): 9KB, 18KB (baseline), 36KB.
+     * constexpr so the budget layer can static_assert the exact storage
+     * of each variant; other sizes are a runtime fatal error.
+     */
+    static constexpr TageConfig
+    sized(unsigned kilobytes)
+    {
+        TageConfig cfg;
+        switch (kilobytes) {
+          case 9:
+            cfg.logEntries = 9;
+            cfg.logBaseEntries = 12;
+            break;
+          case 18:
+            cfg.logEntries = 10;
+            cfg.logBaseEntries = 13;
+            break;
+          case 36:
+            cfg.logEntries = 11;
+            cfg.logBaseEntries = 14;
+            break;
+          default:
+            fdip_fatal("unsupported TAGE size %u KB (use 9/18/36)",
+                       kilobytes);
+        }
+        return cfg;
+    }
 };
+
+/** Width of the single "use alt on new alloc" counter. */
+inline constexpr unsigned kTageUseAltOnNaBits = 4;
+/** Allocation-tiebreak LFSR state (modeled by the 64-bit Rng). */
+inline constexpr unsigned kTageAllocRngBits = 64;
+/** Bimodal base counter width (construction uses SatCounter(2, 1)). */
+inline constexpr unsigned kTageBaseCtrBits = 2;
+
+/** Bits of one tagged-table entry under @p cfg. */
+constexpr std::uint64_t
+tageTaggedEntryBits(const TageConfig &cfg)
+{
+    return std::uint64_t{cfg.counterBits} + cfg.tagBits + cfg.usefulBits;
+}
+
+/**
+ * Exact modeled storage of a Tage built from @p cfg: tagged tables,
+ * bimodal base, and the mutable side state (use-alt counter, useful
+ * reset tick, allocation LFSR). Single source of truth for
+ * Tage::storageBits(), Tage::storageSchema(), and the compile-time
+ * pins in check/budget.h.
+ */
+constexpr std::uint64_t
+tageStorageBits(const TageConfig &cfg)
+{
+    return cfg.numTables * (std::uint64_t{1} << cfg.logEntries) *
+               tageTaggedEntryBits(cfg) +
+           (std::uint64_t{1} << cfg.logBaseEntries) * kTageBaseCtrBits +
+           kTageUseAltOnNaBits + ceilLog2(cfg.usefulResetPeriod) +
+           kTageAllocRngBits;
+}
 
 /**
  * Prediction metadata threaded from predict() to update() so training
@@ -76,8 +136,11 @@ class Tage
     /** Trains with the resolved direction using prediction-time @p meta. */
     void update(Addr pc, bool taken, const TagePrediction &meta);
 
-    /** Modeled storage in bits (counters + tags + u + base). */
+    /** Modeled storage in bits; equals storageSchema().totalBits(). */
     std::uint64_t storageBits() const;
+
+    /** Exact per-field storage declaration. */
+    StorageSchema storageSchema() const;
 
     const TageConfig &config() const { return cfg_; }
 

@@ -157,14 +157,26 @@ Cache::reset()
 std::uint64_t
 Cache::storageBitsFor(const CacheConfig &cfg)
 {
+    return storageSchemaFor(cfg).totalBits();
+}
+
+StorageSchema
+Cache::storageSchemaFor(const CacheConfig &cfg)
+{
     const std::uint64_t lines = cfg.sizeBytes / cfg.lineBytes;
     const std::uint64_t sets = lines / cfg.ways;
     const unsigned offsetBits = floorLog2(cfg.lineBytes);
     const unsigned setBits = floorLog2(sets);
-    const unsigned tagBits = 48 - offsetBits - setBits;
-    const std::uint64_t perLineBits =
-        std::uint64_t{cfg.lineBytes} * 8 + tagBits + 1 /* valid */;
-    return lines * perLineBits;
+    const unsigned tagBits = kSchemaAddrBits - offsetBits - setBits;
+    StorageSchema s(cfg.name);
+    s.add("data", std::uint64_t{cfg.lineBytes} * 8, lines)
+        .add("tag", tagBits, lines)
+        .add("valid", 1, lines);
+    if (cfg.replacement == ReplacementPolicy::kLru)
+        s.add("lru", ceilLog2(cfg.ways), lines);
+    else
+        s.add("victim_lfsr", 64); // The replacement Rng's state.
+    return s;
 }
 
 void

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "check/schema.h"
 #include "obs/stat_registry.h"
 #include "util/rng.h"
 #include "util/types.h"
@@ -90,13 +91,20 @@ class Cache
 
     /**
      * Modeled storage in bits for @p cfg: data plus a 48-bit-address
-     * tag array (tag = addr bits above set+offset) and valid bits.
-     * Replacement state is not charged (LRU modeling here is loose).
+     * tag array (tag = addr bits above set+offset), valid bits, and
+     * replacement state (a per-line LRU rank under kLru, the victim
+     * LFSR under kRandom). Equals storageSchemaFor(cfg).totalBits().
      */
     static std::uint64_t storageBitsFor(const CacheConfig &cfg);
 
+    /** Exact per-field storage declaration for @p cfg. */
+    static StorageSchema storageSchemaFor(const CacheConfig &cfg);
+
     /** Modeled storage in bits of this instance. */
     std::uint64_t storageBits() const { return storageBitsFor(cfg_); }
+
+    /** Exact per-field storage declaration of this instance. */
+    StorageSchema storageSchema() const { return storageSchemaFor(cfg_); }
 
     /// @{ Statistics.
     std::uint64_t tagAccesses() const { return tagAccesses_; }

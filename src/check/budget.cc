@@ -69,8 +69,9 @@ namespace
 
 /**
  * Accounts the BPU structures. Instantiates a Bpu so each structure
- * reports its own storageBits() — the same accounting the simulator
- * itself runs with, not a parallel formula that can drift.
+ * reports its own StorageSchema — the same accounting the simulator
+ * itself runs with, not a parallel formula that can drift. Every item
+ * is an exact per-field schema sum.
  */
 void
 addBpuItems(BudgetReport &r, const BpuConfig &cfg,
@@ -78,24 +79,22 @@ addBpuItems(BudgetReport &r, const BpuConfig &cfg,
 {
     const Bpu bpu(cfg);
 
-    r.add("BTB", btbStorageBits(cfg.btb), limits.btbBits);
-    if (cfg.btbHierarchy.enabled) {
-        // The L1 filter BTB rides inside the main BTB's budget
-        // envelope (it is a subset cache of the same entries).
-        r.add("L1-BTB",
-              btbStorageBits(cfg.btbHierarchy.l1Entries,
-                             cfg.btb.bytesPerEntry),
-              limits.btbBits);
+    r.add(bpu.btb().storageSchema("BTB"), limits.btbBits);
+    if (bpu.btbHierarchy() != nullptr) {
+        // The L1 filter BTB has its own budget line: it adds real
+        // storage on top of the main BTB's 56 KB envelope.
+        r.add(bpu.btbHierarchy()->l1().storageSchema("L1-BTB"),
+              limits.l1BtbBits);
     }
 
-    // Direction/indirect predictors are reported informationally: the
-    // paper labels TAGE by nominal size class (9/18/36 KB) while the
-    // modeled tables cost more exactly — see ROADMAP "exact bit
-    // accounting" for what is still nominal.
-    r.add("direction predictor", bpu.directionStorageBits());
-    r.add("ITTAGE", bpu.indirectStorageBits());
-    r.add("history", bpu.history().storageBits());
-    r.add("RAS", rasStorageBits(cfg.rasDepth), limits.rasBits);
+    // Direction/indirect predictors are informational (the paper holds
+    // them fixed across compared points) but exact: each instantiated
+    // component declares its per-field schema, side state included.
+    for (auto &schema : bpu.directionStorageSchemas())
+        r.add(std::move(schema));
+    r.add(bpu.indirectStorageSchema());
+    r.add(bpu.history().storageSchema());
+    r.add(bpu.ras().storageSchema(), limits.rasBits);
 }
 
 } // namespace
@@ -106,19 +105,27 @@ coreStorageReport(const CoreConfig &cfg, const StorageLimits &limits)
     BudgetReport r("core");
 
     // The FDP addition itself: the architectural FTQ (Table III).
-    r.add("FTQ(arch)", ftqArchStorageBits(cfg.ftqEntries), limits.ftqBits);
+    r.add("FTQ(arch)", Ftq(cfg.ftqEntries).storageSchema(),
+          limits.ftqBits);
 
     addBpuItems(r, cfg.bpu, limits);
 
+    // Frontend queues and translation state are informational but
+    // exact: they are identical across compared configurations.
+    r.add(decodeQueueStorageSchema(cfg.decodeQueueEntries));
+    r.add(itlbStorageSchema(cfg.itlbEntries));
+
     // Caches are informational: iso-storage comparisons hold the
-    // memory hierarchy fixed rather than budgeting it.
-    r.add("L1I", Cache::storageBitsFor(cfg.l1i));
-    r.add("L1D", Cache::storageBitsFor(cfg.mem.l1d));
-    r.add("L2", Cache::storageBitsFor(cfg.mem.l2));
-    r.add("LLC", Cache::storageBitsFor(cfg.mem.llc));
+    // memory hierarchy fixed rather than budgeting it. Schemas charge
+    // data, tags, valid bits, and replacement state exactly.
+    r.add("L1I", Cache::storageSchemaFor(cfg.l1i));
+    r.add("L1D", Cache::storageSchemaFor(cfg.mem.l1d));
+    r.add("L2", Cache::storageSchemaFor(cfg.mem.l2));
+    r.add("LLC", Cache::storageSchemaFor(cfg.mem.llc));
     if (cfg.usePrefetchBuffer) {
         r.add("prefetch buffer",
-              std::uint64_t{cfg.prefetchBufferLines} * kCacheLineBytes * 8);
+              Cache::storageSchemaFor(
+                  prefetchBufferConfig(cfg.prefetchBufferLines)));
     }
 
     return r;
@@ -139,6 +146,11 @@ checkNamedConfigs()
 {
     {
         BudgetReport r = coreStorageReport(noFdpConfig());
+        if (!r.ok())
+            return r;
+    }
+    {
+        BudgetReport r = coreStorageReport(twoLevelBtbConfig());
         if (!r.ok())
             return r;
     }

@@ -27,9 +27,15 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bpu/btb.h"
+#include "bpu/ittage.h"
+#include "bpu/ras.h"
+#include "bpu/tage.h"
+#include "check/schema.h"
+#include "core/backend.h"
 #include "core/core_config.h"
 #include "core/ftq.h"
 #include "util/bits.h"
@@ -41,12 +47,19 @@ class InstPrefetcher;
 
 /** Modeled address width (48-bit virtual addresses). */
 inline constexpr unsigned kModelAddrBits = 48;
+static_assert(kModelAddrBits == kSchemaAddrBits,
+              "budget accounting and schemas must share the address width");
 
 /// @{ Paper storage budgets.
 /** Table III: the FTQ's architectural cost — 24 x 65 bits = 195 B. */
 inline constexpr std::uint64_t kPaperFtqBudgetBits = 195 * 8;
 /** Section VI-D: 8K-entry BTB at ~7 B per branch = 56 KB. */
 inline constexpr std::uint64_t kPaperBtbBudgetBits = 8192ull * 7 * 8;
+/** L1 filter BTB of the optional two-level hierarchy: 1K entries at
+ *  the same ~7 B per branch = 7 KB, budgeted on its own line rather
+ *  than inside the main BTB's envelope. */
+inline constexpr std::uint64_t kPaperL1BtbFilterBudgetBits =
+    1024ull * 7 * 8;
 /** IPC-1 rules (Table I): 128 KB of prefetcher metadata. */
 inline constexpr std::uint64_t kIpc1PrefetcherBudgetBits =
     128ull * 1024 * 8;
@@ -80,9 +93,42 @@ btbStorageBits(const BtbConfig &cfg)
 constexpr std::uint64_t
 rasStorageBits(unsigned depth)
 {
-    const unsigned ptr_bits =
-        floorLog2(depth) + (isPowerOf2(depth) ? 0u : 1u);
-    return std::uint64_t{depth} * kModelAddrBits + ptr_bits;
+    return rasStorageBitsFor(depth);
+}
+
+/** 4KB pages: low 12 address bits never enter the ITLB. */
+inline constexpr unsigned kPageOffsetBits = 12;
+
+/** One ITLB entry: VPN tag + PPN + valid (36 + 36 + 1 = 73). */
+constexpr std::uint64_t
+itlbEntryBits()
+{
+    return 2ull * (kModelAddrBits - kPageOffsetBits) + 1;
+}
+
+/**
+ * Exact ITLB cost: @p entries fully-associative translation entries
+ * plus a per-entry LRU rank. (The Cache instance that *times* the ITLB
+ * uses 4KB lines as a modeling device; a TLB stores translations, not
+ * page data, so the budget charges translation entries.)
+ */
+constexpr std::uint64_t
+itlbStorageBits(unsigned entries)
+{
+    return std::uint64_t{entries} * itlbEntryBits() +
+           std::uint64_t{entries} * ceilLog2(entries);
+}
+
+/** Exact per-field ITLB storage declaration. */
+inline StorageSchema
+itlbStorageSchema(unsigned entries)
+{
+    StorageSchema s("ITLB");
+    s.add("vpn", kModelAddrBits - kPageOffsetBits, entries)
+        .add("ppn", kModelAddrBits - kPageOffsetBits, entries)
+        .add("valid", 1, entries)
+        .add("lru", ceilLog2(entries), entries);
+    return s;
 }
 
 /// @}
@@ -101,6 +147,40 @@ static_assert(btbStorageBits(8192, 7) == kPaperBtbBudgetBits,
               "default BTB geometry diverged from Section VI-D");
 static_assert(rasStorageBits(32) == kPaperRasBudgetBits,
               "default RAS depth diverged from Table IV");
+
+// ---------------------------------------------------------------------
+// Exact per-field schema sums: pin every named configuration so drift
+// in any field width or table geometry is a compile error. The TAGE
+// variants carry the paper's nominal Fig. 12 labels (9/18/36 KB of
+// tagged+base tables) — the pinned totals are the *exact* modeled
+// bits: tagged entries (ctr+tag+useful), bimodal base, plus the 86
+// bits of mutable side state (4b use-alt counter, 18b useful-reset
+// tick, 64b allocation LFSR).
+// ---------------------------------------------------------------------
+static_assert(tageTaggedEntryBits(TageConfig{}) == 15,
+              "TAGE tagged entry is 3b ctr + 10b tag + 2b useful");
+static_assert(tageStorageBits(TageConfig::sized(9)) == 100438,
+              "Fig. 12 9KB TAGE: 12x512x15 + 4096x2 + 86 exact bits");
+static_assert(tageStorageBits(TageConfig::sized(18)) == 200790,
+              "Fig. 12 18KB TAGE (baseline): 12x1024x15 + 8192x2 + 86");
+static_assert(tageStorageBits(TageConfig::sized(36)) == 401494,
+              "Fig. 12 36KB TAGE: 12x2048x15 + 16384x2 + 86 exact bits");
+static_assert(ittageTaggedEntryBits(IttageConfig{}) == 61,
+              "ITTAGE tagged entry is 9b tag + valid + 48b target + 3b");
+static_assert(ittageStorageBits(IttageConfig{}) == 285760,
+              "default ITTAGE: 6x512x61 + 2048x48 + 64 exact bits");
+// The BTB's 7B/entry decomposes exactly into its schema fields: valid
+// + 3b kind + 2b LRU rank (4 ways) + 34b compressed target leave a
+// 16b partial tag.
+static_assert(btbEntryBits(BtbConfig{}) ==
+                  1 + kBtbKindBits + ceilLog2(4) + kBtbTargetBits + 16,
+              "7B BTB entry = valid + kind + lru + target + 16b tag");
+static_assert(btbStorageBits(1024, 7) == kPaperL1BtbFilterBudgetBits,
+              "1K-entry L1 filter BTB costs exactly 7 KB");
+static_assert(decodeQueueStorageBits(64) == 5184,
+              "64-entry decode queue: 64 x (48 pc + 32 inst + 1 hint)");
+static_assert(itlbStorageBits(64) == 5056,
+              "64-entry ITLB: 64 x 73 + 64 x 6 LRU exact bits");
 
 /**
  * Compile-time budget gate: instantiating with Bits > LimitBits fails
@@ -124,8 +204,13 @@ struct BudgetItem
     std::string name;
     std::uint64_t bits = 0;
     std::uint64_t limitBits = 0; ///< 0: informational, never enforced.
+    /** Per-field declaration; empty when only a total was reported. */
+    StorageSchema schema;
 
     bool overLimit() const { return limitBits != 0 && bits > limitBits; }
+
+    /** True when the bits are an exact per-field schema sum. */
+    bool exact() const { return !schema.empty(); }
 };
 
 /**
@@ -140,7 +225,29 @@ class BudgetReport
     void
     add(std::string name, std::uint64_t bits, std::uint64_t limit_bits = 0)
     {
-        items_.push_back({std::move(name), bits, limit_bits});
+        items_.push_back({std::move(name), bits, limit_bits, {}});
+    }
+
+    /**
+     * Accounts a structure from its exact per-field schema: the bits
+     * are computed by summation, never passed in, so a schema-carrying
+     * item cannot disagree with its declaration. @p name overrides the
+     * schema's structure name (e.g. "FTQ(arch)" for the FTQ schema).
+     */
+    void
+    add(std::string name, StorageSchema schema, std::uint64_t limit_bits = 0)
+    {
+        const std::uint64_t bits = schema.totalBits();
+        items_.push_back(
+            {std::move(name), bits, limit_bits, std::move(schema)});
+    }
+
+    /** As above, named by the schema's own structure name. */
+    void
+    add(StorageSchema schema, std::uint64_t limit_bits = 0)
+    {
+        std::string name = schema.structure();
+        add(std::move(name), std::move(schema), limit_bits);
     }
 
     const std::string &title() const { return title_; }
@@ -195,6 +302,9 @@ struct StorageLimits
 {
     std::uint64_t ftqBits = kPaperFtqBudgetBits;
     std::uint64_t btbBits = kPaperBtbBudgetBits;
+    /** The L1 filter BTB of the two-level hierarchy has its own
+     *  budget line; it no longer rides inside btbBits. */
+    std::uint64_t l1BtbBits = kPaperL1BtbFilterBudgetBits;
     /** Direction predictor: the configured TAGE size is its own
      *  nominal budget (9/18/36 KB variants of Fig. 12). */
     std::uint64_t prefetcherBits = kIpc1PrefetcherBudgetBits;
@@ -203,10 +313,13 @@ struct StorageLimits
 
 /**
  * Accounts every storage-bearing structure a CoreConfig would
- * instantiate (FTQ, BTB hierarchy, direction/indirect predictors,
- * RAS, history, caches) against @p limits. The L1I/L1D/L2/LLC data
- * arrays are reported informationally: iso-storage comparisons hold
- * them fixed rather than budgeted.
+ * instantiate (FTQ, BTB hierarchy incl. the L1 filter, direction and
+ * indirect predictors, history folds, RAS, decode queue, ITLB, caches
+ * incl. replacement state) against @p limits. Every item carries its
+ * exact per-field StorageSchema; bits are schema sums, not nominal
+ * labels. The L1I/L1D/L2/LLC data arrays, decode queue, ITLB, and
+ * predictors are reported informationally: iso-storage comparisons
+ * hold them fixed rather than budgeted.
  */
 BudgetReport coreStorageReport(const CoreConfig &cfg,
                                const StorageLimits &limits = {});
@@ -221,8 +334,9 @@ BudgetReport coreStorageReport(const CoreConfig &cfg,
 
 /**
  * Verifies the named configurations of core_config.h
- * (paperBaselineConfig, noFdpConfig) against the paper budgets.
- * Returns the first failing report, or the last (passing) one.
+ * (paperBaselineConfig, noFdpConfig, twoLevelBtbConfig) against the
+ * paper budgets. Returns the first failing report, or the last
+ * (passing) one.
  */
 BudgetReport checkNamedConfigs();
 

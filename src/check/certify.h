@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Machine-readable iso-storage budget certificates.
+ *
+ * A certificate is the exportable form of the budget analysis: for
+ * each named configuration it lists every accounted structure with its
+ * exact per-field bit breakdown, the limit it was checked against, and
+ * a verdict. The format is stable JSON (`fdip-budget-certificate-v1`)
+ * so CI can diff a fresh certificate against a checked-in golden and
+ * external tooling can audit the paper's iso-storage claims without
+ * reading the simulator.
+ *
+ * Every emitted entry is an exact schema sum — the certifier refuses
+ * to emit an item that carries no per-field schema, so a certificate
+ * by construction contains zero approximated entries.
+ */
+
+#ifndef FDIP_CHECK_CERTIFY_H_
+#define FDIP_CHECK_CERTIFY_H_
+
+#include <string>
+
+namespace fdip
+{
+
+/**
+ * Renders the budget certificate for the named configurations
+ * (paper-baseline, no-fdp, two-level-btb, tage-9kb, tage-36kb) as a
+ * deterministic JSON document. Identical configurations always produce
+ * byte-identical text.
+ */
+std::string budgetCertificateJson();
+
+/** True when every certified configuration is within its budgets. */
+bool budgetCertificateOk();
+
+/** Writes budgetCertificateJson() to @p path; false on I/O failure. */
+bool writeBudgetCertificate(const std::string &path);
+
+} // namespace fdip
+
+#endif // FDIP_CHECK_CERTIFY_H_

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Exact per-field storage schemas.
+ *
+ * A StorageSchema is a list of {field, width_bits, count} descriptors
+ * declared by every storage-bearing structure (predictor tables, BTB
+ * levels, queues, TLBs, cache arrays incl. replacement state). The
+ * budget layer (check/budget.h) sums these descriptors exactly instead
+ * of multiplying nominal size labels, and the certifier
+ * (check/certify.h) serializes them into the machine-readable budget
+ * certificate. The contract:
+ *
+ *  - a structure's storageBits() MUST equal storageSchema().totalBits()
+ *    (cross-checked in tests/check_schema_test.cc);
+ *  - every field is real modeled state at its exact width — no
+ *    "approximately N KB" entries;
+ *  - simulator bookkeeping that models no hardware (oracle trace
+ *    indices, shadow copies, debug mirrors) is NOT listed.
+ *
+ * Header-only so structure headers in any module can declare schemas
+ * without a link-time dependency on fdip_check.
+ */
+
+#ifndef FDIP_CHECK_SCHEMA_H_
+#define FDIP_CHECK_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fdip
+{
+
+/**
+ * Modeled virtual-address width. Every stored target, tag base, or PC
+ * field in a schema is charged at this width (check/budget.h
+ * static_asserts that its kModelAddrBits agrees).
+ */
+inline constexpr unsigned kSchemaAddrBits = 48;
+
+/** One field of a storage schema: @c count elements of @c widthBits. */
+struct SchemaField
+{
+    std::string field;
+    std::uint64_t widthBits = 0;
+    std::uint64_t count = 0;
+
+    std::uint64_t bits() const { return widthBits * count; }
+};
+
+/**
+ * An exact per-field storage declaration for one structure.
+ */
+class StorageSchema
+{
+  public:
+    StorageSchema() = default;
+    explicit StorageSchema(std::string structure)
+        : structure_(std::move(structure))
+    {
+    }
+
+    /** Appends a field; returns *this so declarations chain. */
+    StorageSchema &
+    add(std::string field, std::uint64_t width_bits, std::uint64_t count = 1)
+    {
+        fields_.push_back({std::move(field), width_bits, count});
+        return *this;
+    }
+
+    const std::string &structure() const { return structure_; }
+    const std::vector<SchemaField> &fields() const { return fields_; }
+    bool empty() const { return fields_.empty(); }
+
+    /** Exact sum over all fields (the structure's storage cost). */
+    std::uint64_t
+    totalBits() const
+    {
+        std::uint64_t total = 0;
+        for (const auto &f : fields_)
+            total += f.bits();
+        return total;
+    }
+
+    /** Human-readable one-line-per-field rendering (debugging aid). */
+    std::string
+    toString() const
+    {
+        std::string out = structure_ + ": " +
+                          std::to_string(totalBits()) + " bits\n";
+        for (const auto &f : fields_) {
+            out += "  " + f.field + ": " + std::to_string(f.widthBits) +
+                   "b x " + std::to_string(f.count) + " = " +
+                   std::to_string(f.bits()) + " bits\n";
+        }
+        return out;
+    }
+
+  private:
+    std::string structure_;
+    std::vector<SchemaField> fields_;
+};
+
+} // namespace fdip
+
+#endif // FDIP_CHECK_SCHEMA_H_

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "cache/hierarchy.h"
+#include "check/schema.h"
 #include "core/core_config.h"
 #include "core/sim_stats.h"
 #include "trace/inst.h"
@@ -23,6 +24,37 @@
 
 namespace fdip
 {
+
+/**
+ * Architectural bits of one decode-queue entry: the fetched PC, the
+ * instruction word awaiting decode, and the direction-hint bit the
+ * frontend attaches (Section IV-A). The rest of DeliveredInst is
+ * simulator bookkeeping (trace indices, delivery cycles) modeling no
+ * hardware.
+ */
+inline constexpr unsigned kDecodeQueueEntryBits =
+    kSchemaAddrBits + kInstBytes * 8 + 1;
+
+/**
+ * Exact modeled decode-queue storage. Single source of truth for the
+ * budget line and the compile-time pin in check/budget.h.
+ */
+constexpr std::uint64_t
+decodeQueueStorageBits(unsigned entries)
+{
+    return std::uint64_t{entries} * kDecodeQueueEntryBits;
+}
+
+/** Exact per-field decode-queue storage declaration. */
+inline StorageSchema
+decodeQueueStorageSchema(unsigned entries)
+{
+    StorageSchema s("decode queue");
+    s.add("pc", kSchemaAddrBits, entries)
+        .add("inst", kInstBytes * 8, entries)
+        .add("dir_hint", 1, entries);
+    return s;
+}
 
 /** One instruction delivered by the frontend to the decode queue. */
 struct DeliveredInst

@@ -71,4 +71,34 @@ noFdpConfig()
     return cfg;
 }
 
+CoreConfig
+twoLevelBtbConfig()
+{
+    CoreConfig cfg = paperBaselineConfig();
+    cfg.bpu.btbHierarchy.enabled = true;
+    return cfg;
+}
+
+CacheConfig
+itlbCacheConfig(unsigned entries)
+{
+    CacheConfig cfg;
+    cfg.name = "ITLB";
+    cfg.lineBytes = 4096;
+    cfg.ways = entries;
+    cfg.sizeBytes = static_cast<std::uint64_t>(entries) * 4096;
+    return cfg;
+}
+
+CacheConfig
+prefetchBufferConfig(unsigned lines)
+{
+    CacheConfig cfg;
+    cfg.name = "PFB";
+    cfg.lineBytes = kCacheLineBytes;
+    cfg.ways = lines; // Fully associative.
+    cfg.sizeBytes = std::uint64_t{lines} * kCacheLineBytes;
+    return cfg;
+}
+
 } // namespace fdip

@@ -116,6 +116,18 @@ CoreConfig paperBaselineConfig();
 /** Baseline with FDP disabled (2-entry / 16-instruction FTQ). */
 CoreConfig noFdpConfig();
 
+/** Baseline with the optional two-level BTB (1K-entry L1 filter). */
+CoreConfig twoLevelBtbConfig();
+
+/** ITLB geometry used by the frontend's timing model: @p entries
+ *  fully-associative translations over 4KB pages. (The budget layer
+ *  charges translation entries, not the 4KB modeling lines.) */
+CacheConfig itlbCacheConfig(unsigned entries);
+
+/** Prefetch-buffer geometry: @p lines fully-associative cache lines
+ *  probed in parallel with the L1I (original-FDP style). */
+CacheConfig prefetchBufferConfig(unsigned lines);
+
 } // namespace fdip
 
 #endif // FDIP_CORE_CORE_CONFIG_H_

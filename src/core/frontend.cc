@@ -10,23 +10,6 @@
 namespace fdip
 {
 
-namespace
-{
-
-/** ITLB geometry: 64 entries over 4KB pages, fully associative. */
-CacheConfig
-itlbConfig(unsigned entries)
-{
-    CacheConfig cfg;
-    cfg.name = "ITLB";
-    cfg.lineBytes = 4096;
-    cfg.ways = entries;
-    cfg.sizeBytes = static_cast<std::uint64_t>(entries) * 4096;
-    return cfg;
-}
-
-} // namespace
-
 Frontend::Frontend(const CoreConfig &cfg, const Trace &trace, Bpu &bpu,
                    Backend &backend, MemoryHierarchy &mem,
                    InstPrefetcher &prefetcher, SimStats &stats)
@@ -40,7 +23,7 @@ Frontend::Frontend(const CoreConfig &cfg, const Trace &trace, Bpu &bpu,
       stats_(stats),
       ftq_(cfg.ftqEntries),
       l1i_(cfg.l1i),
-      itlb_(itlbConfig(cfg.itlbEntries)),
+      itlb_(itlbCacheConfig(cfg.itlbEntries)),
       ftqOccupancy_(cfg.ftqEntries + 1, 1),
       fillLatency_(64, 8),
       predPc_(trace.workload->entryPc)
@@ -49,13 +32,8 @@ Frontend::Frontend(const CoreConfig &cfg, const Trace &trace, Bpu &bpu,
         checkCoreConfig(cfg_);
     fills_.reserve(cfg.l1iMshrs);
     if (cfg_.usePrefetchBuffer) {
-        CacheConfig pb;
-        pb.name = "PFB";
-        pb.lineBytes = kCacheLineBytes;
-        pb.ways = cfg_.prefetchBufferLines; // Fully associative.
-        pb.sizeBytes =
-            std::uint64_t{cfg_.prefetchBufferLines} * kCacheLineBytes;
-        prefetchBuffer_ = std::make_unique<Cache>(pb);
+        prefetchBuffer_ = std::make_unique<Cache>(
+            prefetchBufferConfig(cfg_.prefetchBufferLines));
     }
 }
 

@@ -19,6 +19,7 @@
 #include "bpu/history.h"
 #include "bpu/ras.h"
 #include "check/invariant.h"
+#include "check/schema.h"
 #include "obs/stat_registry.h"
 #include "trace/inst.h"
 #include "util/circular_queue.h"
@@ -178,6 +179,21 @@ class Ftq
     storageBits() const
     {
         return q_.capacity() * FtqEntry::kArchBitsPerEntry;
+    }
+
+    /** Exact per-field declaration of the Table III entry fields. */
+    StorageSchema
+    storageSchema() const
+    {
+        const std::uint64_t n = q_.capacity();
+        StorageSchema s("FTQ");
+        s.add("start_addr", kSchemaAddrBits, n)
+            .add("predicted_taken", 1, n)
+            .add("term_offset", 3, n)
+            .add("icache_way", 3, n)
+            .add("state", 2, n)
+            .add("dir_hints", 8, n);
+        return s;
     }
 
     /** Registers FTQ stats under @p prefix ("frontend.ftq.capacity");

@@ -45,6 +45,16 @@ floorLog2(std::uint64_t v)
     return l;
 }
 
+/**
+ * Bits needed to count @p v distinct states (ceil(log2(v))); the width
+ * of an index or tick counter over v entries. ceilLog2(1) == 0.
+ */
+constexpr unsigned
+ceilLog2(std::uint64_t v)
+{
+    return floorLog2(v) + (isPowerOf2(v) ? 0u : 1u);
+}
+
 /** Rounds @p v down to a multiple of @p align (align must be a pow2). */
 constexpr std::uint64_t
 alignDown(std::uint64_t v, std::uint64_t align)

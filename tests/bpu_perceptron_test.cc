@@ -73,9 +73,12 @@ TEST(Perceptron, StorageMatchesConfig)
 {
     PerceptronConfig cfg;
     Perceptron p(cfg);
+    // Per row: bias + one weight per history bit; plus the private
+    // history register the predictor indexes with.
     EXPECT_EQ(p.storageBits(),
               (std::uint64_t{1} << cfg.logEntries) *
-                  (cfg.historyBits + 1) * cfg.weightBits);
+                      (cfg.historyBits + 1) * cfg.weightBits +
+                  cfg.historyBits);
 }
 
 TEST(Perceptron, WeightsSaturate)

@@ -1,0 +1,91 @@
+/** @file Budget-certificate tests: the JSON document parses, matches
+ *  the checked-in golden byte-for-byte, and certifies the named
+ *  configurations with exact (schema-backed) entries only. */
+
+#include "check/certify.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "check/budget.h"
+
+namespace fdip
+{
+namespace
+{
+
+bool
+havePython()
+{
+    return std::system("python3 -c 'pass' >/dev/null 2>&1") == 0;
+}
+
+bool
+pythonValidatesJson(const std::string &path)
+{
+    const std::string cmd =
+        "python3 -c 'import json,sys; json.load(open(sys.argv[1]))' \"" +
+        path + "\"";
+    return std::system(cmd.c_str()) == 0;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+TEST(Certify, NamedConfigsAreWithinBudget)
+{
+    EXPECT_TRUE(budgetCertificateOk());
+}
+
+TEST(Certify, JsonIsDeterministicAndMentionsEveryKeyStructure)
+{
+    const std::string json = budgetCertificateJson();
+    EXPECT_EQ(json, budgetCertificateJson());
+    EXPECT_NE(json.find("\"fdip-budget-certificate-v1\""),
+              std::string::npos);
+    for (const char *name :
+         {"paper-baseline", "no-fdp", "two-level-btb", "tage-9kb",
+          "tage-36kb", "TAGE", "ITTAGE", "L1-BTB", "decode queue",
+          "ITLB", "FTQ(arch)", "RAS", "history"}) {
+        EXPECT_NE(json.find(std::string("\"") + name + "\""),
+                  std::string::npos)
+            << name;
+    }
+    // Replacement state appears as explicit fields, never folded away.
+    EXPECT_NE(json.find("\"lru\""), std::string::npos);
+}
+
+TEST(Certify, WrittenFileIsValidJson)
+{
+    const std::string path =
+        std::string(::testing::TempDir()) + "/certificate.json";
+    ASSERT_TRUE(writeBudgetCertificate(path));
+    EXPECT_EQ(readFile(path), budgetCertificateJson());
+    if (havePython())
+        EXPECT_TRUE(pythonValidatesJson(path)) << path;
+}
+
+TEST(Certify, MatchesTheCheckedInGolden)
+{
+    const std::string golden_path = std::string(FDIP_SOURCE_DIR) +
+                                    "/tests/data/" +
+                                    "budget_certificate.golden.json";
+    const std::string golden = readFile(golden_path);
+    ASSERT_FALSE(golden.empty()) << golden_path;
+    // Byte-exact: a budget change must be an explicit golden update.
+    EXPECT_EQ(budgetCertificateJson(), golden)
+        << "regenerate with: fdipsim --certify > " << golden_path;
+}
+
+} // namespace
+} // namespace fdip

@@ -1,0 +1,194 @@
+/** @file Storage-schema contract tests: every storage-bearing
+ *  structure's storageBits() must equal its StorageSchema sum, the
+ *  named-config budget reports must carry exact schemas on every item,
+ *  and the L1-BTB filter must be budgeted on its own line. */
+
+#include "check/budget.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "bpu/bpu.h"
+#include "bpu/gshare.h"
+#include "bpu/loop_predictor.h"
+#include "bpu/perceptron.h"
+#include "cache/cache.h"
+#include "core/core_config.h"
+#include "core/ftq.h"
+
+namespace fdip
+{
+namespace
+{
+
+// ---------------------------------------------------------------------
+// storageBits() == storageSchema().totalBits() for every structure.
+// A schema that disagrees with the accounted total would mean the
+// certificate lies about the simulator.
+// ---------------------------------------------------------------------
+
+TEST(Schema, TageMatchesAllSizedVariants)
+{
+    for (unsigned kb : {9u, 18u, 36u}) {
+        BranchHistory hist(HistoryPolicy::kDirectionHistory);
+        const Tage tage(TageConfig::sized(kb), hist);
+        const StorageSchema schema = tage.storageSchema();
+        EXPECT_EQ(tage.storageBits(), schema.totalBits()) << kb;
+        EXPECT_EQ(tage.storageBits(),
+                  tageStorageBits(TageConfig::sized(kb)))
+            << kb;
+        EXPECT_EQ(schema.structure(), "TAGE");
+    }
+}
+
+TEST(Schema, IttageMatches)
+{
+    BranchHistory hist(HistoryPolicy::kDirectionHistory);
+    const Ittage ittage(IttageConfig{}, hist);
+    EXPECT_EQ(ittage.storageBits(), ittage.storageSchema().totalBits());
+    EXPECT_EQ(ittage.storageBits(), ittageStorageBits(IttageConfig{}));
+}
+
+TEST(Schema, BtbMatchesAndFieldsSumToSevenBytesPerEntry)
+{
+    const Btb btb(BtbConfig{});
+    const StorageSchema schema = btb.storageSchema();
+    EXPECT_EQ(btb.storageBits(), schema.totalBits());
+    // The per-entry decomposition must reconstruct the nominal 7 B.
+    std::uint64_t entry_bits = 0;
+    for (const auto &f : schema.fields())
+        entry_bits += f.widthBits;
+    EXPECT_EQ(entry_bits, 7u * 8);
+    // The L1 filter reuses the same schema under its own name.
+    EXPECT_EQ(btb.storageSchema("L1-BTB").structure(), "L1-BTB");
+}
+
+TEST(Schema, RasMatchesAtSeveralDepths)
+{
+    for (unsigned depth : {12u, 32u}) {
+        const Ras ras(depth);
+        EXPECT_EQ(ras.storageBits(), ras.storageSchema().totalBits())
+            << depth;
+    }
+}
+
+TEST(Schema, HistoryFoldsMatchRegisteredWidths)
+{
+    // A Bpu registers the TAGE + ITTAGE folded views on its history;
+    // the schema must sum exactly those widths (satellite: no more
+    // longest-fold approximation).
+    const Bpu bpu(paperBaselineConfig().bpu);
+    const BranchHistory &hist = bpu.history();
+    EXPECT_EQ(hist.storageBits(), hist.storageSchema().totalBits());
+    // Baseline: 12 TAGE tables x (10b idx + 10b tag + 9b tag2) +
+    // 6 ITTAGE tables x (9b idx + 9b tag + 8b tag2).
+    EXPECT_EQ(hist.storageBits(), 12u * (10 + 10 + 9) + 6u * (9 + 9 + 8));
+}
+
+TEST(Schema, AlternateDirectionPredictorsMatch)
+{
+    const Gshare gshare;
+    EXPECT_EQ(gshare.storageBits(), gshare.storageSchema().totalBits());
+    const Perceptron perceptron;
+    EXPECT_EQ(perceptron.storageBits(),
+              perceptron.storageSchema().totalBits());
+    const LoopPredictor loop{LoopPredictorConfig{}};
+    EXPECT_EQ(loop.storageBits(), loop.storageSchema().totalBits());
+}
+
+TEST(Schema, FtqMatchesTableIii)
+{
+    const Ftq ftq(24);
+    EXPECT_EQ(ftq.storageBits(), ftq.storageSchema().totalBits());
+    EXPECT_EQ(ftq.storageBits(), ftqArchStorageBits(24));
+}
+
+TEST(Schema, CacheChargesReplacementState)
+{
+    CacheConfig lru{"L1I", 32 * 1024, 8, 64, ReplacementPolicy::kLru};
+    EXPECT_EQ(Cache::storageBitsFor(lru),
+              Cache::storageSchemaFor(lru).totalBits());
+
+    CacheConfig rnd = lru;
+    rnd.replacement = ReplacementPolicy::kRandom;
+    const StorageSchema schema = Cache::storageSchemaFor(rnd);
+    EXPECT_EQ(Cache::storageBitsFor(rnd), schema.totalBits());
+    // Random replacement charges the 64-bit victim LFSR instead of
+    // per-line LRU ranks.
+    const auto &fields = schema.fields();
+    EXPECT_TRUE(std::any_of(fields.begin(), fields.end(),
+                            [](const SchemaField &f) {
+                                return f.field == "victim_lfsr";
+                            }));
+    EXPECT_EQ(Cache::storageBitsFor(rnd),
+              Cache::storageBitsFor(lru) - 512u * 3 + 64);
+}
+
+TEST(Schema, DecodeQueueAndItlbHelpersMatchTheirConstexprSums)
+{
+    EXPECT_EQ(decodeQueueStorageSchema(64).totalBits(),
+              decodeQueueStorageBits(64));
+    EXPECT_EQ(itlbStorageSchema(64).totalBits(), itlbStorageBits(64));
+}
+
+// ---------------------------------------------------------------------
+// Budget reports: exact schemas everywhere, L1-BTB on its own line.
+// ---------------------------------------------------------------------
+
+TEST(Schema, EveryReportItemIsExact)
+{
+    for (const CoreConfig &cfg :
+         {paperBaselineConfig(), noFdpConfig(), twoLevelBtbConfig()}) {
+        const BudgetReport r = coreStorageReport(cfg);
+        EXPECT_TRUE(r.ok());
+        ASSERT_FALSE(r.items().empty());
+        for (const BudgetItem &item : r.items()) {
+            EXPECT_TRUE(item.exact()) << item.name;
+            EXPECT_EQ(item.bits, item.schema.totalBits()) << item.name;
+        }
+    }
+}
+
+TEST(Schema, ReportCoversFrontendQueuesAndTranslation)
+{
+    const BudgetReport r = coreStorageReport(paperBaselineConfig());
+    auto has = [&](const std::string &name) {
+        return std::any_of(r.items().begin(), r.items().end(),
+                           [&](const BudgetItem &i) {
+                               return i.name == name;
+                           });
+    };
+    EXPECT_TRUE(has("decode queue"));
+    EXPECT_TRUE(has("ITLB"));
+    EXPECT_TRUE(has("TAGE"));
+    EXPECT_TRUE(has("ITTAGE"));
+    EXPECT_TRUE(has("history"));
+}
+
+TEST(Schema, TwoLevelBtbChargesTheFilterSeparately)
+{
+    const BudgetReport r = coreStorageReport(twoLevelBtbConfig());
+    const auto &items = r.items();
+    const auto l1 = std::find_if(
+        items.begin(), items.end(),
+        [](const BudgetItem &i) { return i.name == "L1-BTB"; });
+    ASSERT_NE(l1, items.end());
+    EXPECT_EQ(l1->limitBits, kPaperL1BtbFilterBudgetBits);
+    EXPECT_EQ(l1->bits, kPaperL1BtbFilterBudgetBits);
+    EXPECT_TRUE(l1->exact());
+}
+
+TEST(Schema, OversizedL1FilterViolatesItsOwnBudgetLine)
+{
+    CoreConfig cfg = twoLevelBtbConfig();
+    cfg.bpu.btbHierarchy.l1Entries = 4096; // 4x the 1K budget.
+    const BudgetReport r = coreStorageReport(cfg);
+    EXPECT_FALSE(r.ok());
+    const auto v = r.violations();
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0], "L1-BTB");
+}
+
+} // namespace
+} // namespace fdip

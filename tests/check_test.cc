@@ -68,8 +68,9 @@ TEST(Budget, CacheStorageCountsTagsAndValidBits)
     cfg.ways = 8;
     cfg.lineBytes = 64;
     // 512 lines / 8 ways = 64 sets; 48-bit PAs with 6 offset + 6 set
-    // bits leave 36 tag bits: 512 lines x (512 data + 36 tag + 1 valid).
-    EXPECT_EQ(Cache::storageBitsFor(cfg), 512u * (512 + 36 + 1));
+    // bits leave 36 tag bits; LRU over 8 ways is a 3-bit rank per line:
+    // 512 lines x (512 data + 36 tag + 1 valid + 3 lru).
+    EXPECT_EQ(Cache::storageBitsFor(cfg), 512u * (512 + 36 + 1 + 3));
     const Cache cache(cfg);
     EXPECT_EQ(cache.storageBits(), Cache::storageBitsFor(cfg));
 }

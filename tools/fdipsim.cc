@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "check/certify.h"
 #include "prefetch/factory.h"
 #include "sim/experiment.h"
 #include "sim/report.h"
@@ -75,6 +76,8 @@ usage()
         "  --compare-baseline also run the no-FDP baseline\n"
         "  --json PATH        write a JSON report\n"
         "  --csv PATH         write a CSV report\n"
+        "  --certify          print the iso-storage budget certificate\n"
+        "                     (JSON) and exit; status 1 if over budget\n"
         "\n"
         "observability (env: FDIP_HEARTBEAT, FDIP_TRACE):\n"
         "  --heartbeat N      sample telemetry every N committed "
@@ -137,6 +140,11 @@ parseArgs(int argc, char **argv)
         if (a == "--help" || a == "-h") {
             usage();
             std::exit(0);
+        } else if (a == "--certify") {
+            // Pure static analysis: no workload is run, so act
+            // immediately like --help does.
+            std::fputs(budgetCertificateJson().c_str(), stdout);
+            std::exit(budgetCertificateOk() ? 0 : 1);
         } else if (a == "--workload") {
             opt.workload = need(i);
         } else if (a == "--seed") {

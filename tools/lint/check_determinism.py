@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Determinism lint: worker-path sources must be replayable.
+
+The simulator guarantees bit-identical results for identical (config,
+seed) pairs — the determinism test suite replays whole experiments and
+diffs every stat. That only holds if no worker-path code consults an
+ambient source of nondeterminism. This lint bans, in all of src/:
+
+  1. libc randomness   rand()/srand()/std::random_device; all
+                       randomness must flow through util/rng.h
+                       (seedable, replayable).
+  2. wall-clock reads  time()/clock()/clock_gettime()/gettimeofday()
+                       and std::chrono::{system,steady,high_resolution}
+                       _clock — simulated time is the only clock the
+                       model may read.
+  3. environment reads getenv() — configuration must arrive through
+                       explicit config structs, not ambient state.
+
+Coordinating-thread files that legitimately touch the host (experiment
+timing for throughput reports, env-var opt-ins parsed once before the
+workers fork) are allowlisted by exact path below; everything else is a
+finding.
+
+Exit status: 0 when clean, 1 with findings listed on stderr.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from check_sources import REPO, SRC, rel, strip_comments_and_strings
+
+# Seedable-RNG implementation: the one place libc-style primitives and
+# entropy sources may appear.
+RNG_ALLOWLIST = {"src/util/rng.h"}
+
+# Coordinating-thread wall-clock use: host-time measurement around a
+# whole experiment (throughput reporting, never simulated state).
+WALLCLOCK_ALLOWLIST = {"src/sim/experiment.cc"}
+
+# Env-var opt-ins read once on the coordinating thread, before any
+# worker runs (observability toggles and suite sizing).
+GETENV_ALLOWLIST = {
+    "src/sim/parallel.cc",
+    "src/obs/obs_config.cc",
+    "src/obs/heartbeat.cc",
+    "src/trace/suite.cc",
+}
+
+RULES: list[tuple[re.Pattern[str], set[str], str]] = [
+    (re.compile(r"(?<![\w:.])s?rand\s*\("), RNG_ALLOWLIST,
+     "libc rand()/srand() is banned; use util/rng.h"),
+    (re.compile(r"random_device"), RNG_ALLOWLIST,
+     "std::random_device is nondeterministic; use util/rng.h"),
+    (re.compile(r"(?<![\w:.])time\s*\("), WALLCLOCK_ALLOWLIST,
+     "wall-clock time() is banned in worker-path code"),
+    (re.compile(r"(?<![\w:.])clock\s*\("), WALLCLOCK_ALLOWLIST,
+     "wall-clock clock() is banned in worker-path code"),
+    (re.compile(r"clock_gettime|gettimeofday"), WALLCLOCK_ALLOWLIST,
+     "wall-clock syscalls are banned in worker-path code"),
+    (re.compile(r"(?:system|steady|high_resolution)_clock"),
+     WALLCLOCK_ALLOWLIST,
+     "std::chrono host clocks are banned in worker-path code"),
+    (re.compile(r"(?<![\w:.])getenv\s*\("), GETENV_ALLOWLIST,
+     "getenv() is banned in worker-path code; plumb explicit config"),
+]
+
+
+def main() -> int:
+    findings: list[str] = []
+    files = sorted(SRC.rglob("*.h")) + sorted(SRC.rglob("*.cc"))
+    for path in files:
+        name = rel(path)
+        text = strip_comments_and_strings(path.read_text())
+        for lineno, line in enumerate(text.splitlines(), 1):
+            for pattern, allowlist, message in RULES:
+                if name not in allowlist and pattern.search(line):
+                    findings.append(f"{name}:{lineno}: {message}")
+
+    # A stale allowlist silently widens the escape hatch: every listed
+    # file must still exist.
+    for listed in sorted(RNG_ALLOWLIST | WALLCLOCK_ALLOWLIST |
+                         GETENV_ALLOWLIST):
+        if not (REPO / listed).is_file():
+            findings.append(f"{listed}: allowlisted file does not exist")
+
+    if findings:
+        print(f"check_determinism: {len(findings)} finding(s)",
+              file=sys.stderr)
+        for f in findings:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("check_determinism: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,7 +30,7 @@ REPO = Path(__file__).resolve().parents[2]
 SRC = REPO / "src"
 
 # Files allowed to use primitives the rest of the tree must not.
-RAND_ALLOWLIST = {"src/util/rng.h", "src/util/rng.cc"}
+RAND_ALLOWLIST = {"src/util/rng.h"}
 NEW_ALLOWLIST: set[str] = set()
 
 RE_LIBC_RAND = re.compile(r"(?<![\w:.])s?rand\s*\(")
