@@ -207,10 +207,13 @@ struct BudgetItem
     /** Per-field declaration; empty when only a total was reported. */
     StorageSchema schema;
 
-    bool overLimit() const { return limitBits != 0 && bits > limitBits; }
+    [[nodiscard]] bool overLimit() const
+    {
+        return limitBits != 0 && bits > limitBits;
+    }
 
     /** True when the bits are an exact per-field schema sum. */
-    bool exact() const { return !schema.empty(); }
+    [[nodiscard]] bool exact() const { return !schema.empty(); }
 };
 
 /**
@@ -250,20 +253,23 @@ class BudgetReport
         add(std::move(name), std::move(schema), limit_bits);
     }
 
-    const std::string &title() const { return title_; }
-    const std::vector<BudgetItem> &items() const { return items_; }
+    [[nodiscard]] const std::string &title() const { return title_; }
+    [[nodiscard]] const std::vector<BudgetItem> &items() const
+    {
+        return items_;
+    }
 
     /** Sum of all accounted bits (informational items included). */
-    std::uint64_t totalBits() const;
+    [[nodiscard]] std::uint64_t totalBits() const;
 
     /** True when no item exceeds its limit. */
-    bool ok() const;
+    [[nodiscard]] bool ok() const;
 
     /** Names of the items over budget (empty when ok()). */
-    std::vector<std::string> violations() const;
+    [[nodiscard]] std::vector<std::string> violations() const;
 
     /** Human-readable table (bits, bytes, limit, verdict per item). */
-    std::string toString() const;
+    [[nodiscard]] std::string toString() const;
 
   private:
     std::string title_;
@@ -287,10 +293,13 @@ class StorageBudget
         report_.add(std::move(item), bits, limit_bits);
     }
 
-    const std::string &name() const { return name_; }
-    std::uint64_t totalBits() const { return report_.totalBits(); }
-    bool ok() const { return report_.ok(); }
-    BudgetReport report() const { return report_; }
+    [[nodiscard]] const std::string &name() const { return name_; }
+    [[nodiscard]] std::uint64_t totalBits() const
+    {
+        return report_.totalBits();
+    }
+    [[nodiscard]] bool ok() const { return report_.ok(); }
+    [[nodiscard]] BudgetReport report() const { return report_; }
 
   private:
     std::string name_;

@@ -91,7 +91,7 @@ struct SimStats
     double hostWallSeconds = 0.0; ///< Wall-clock time of Core::run().
 
     /** Simulated (committed) instructions per host wall-clock second. */
-    double
+    [[nodiscard]] double
     hostInstrsPerSecond() const
     {
         return hostWallSeconds <= 0.0
@@ -102,7 +102,7 @@ struct SimStats
 
     /** Every architectural counter, as one comparable/hashable tuple.
      *  Keep in sync when adding counters; host telemetry stays out. */
-    auto
+    [[nodiscard]] auto
     architecturalState() const
     {
         return std::tie(cycles, committedInsts, condBranches, takenBranches,
@@ -123,14 +123,14 @@ struct SimStats
      * is tested against: serial and parallel execution must agree here
      * exactly, not approximately.
      */
-    bool
+    [[nodiscard]] bool
     architecturallyEqual(const SimStats &o) const
     {
         return architecturalState() == o.architecturalState();
     }
 
     /// @{ Derived metrics.
-    double
+    [[nodiscard]] double
     ipc() const
     {
         return cycles == 0 ? 0.0
@@ -139,7 +139,7 @@ struct SimStats
     }
 
     /** Branch mispredictions per kilo-instruction. */
-    double
+    [[nodiscard]] double
     branchMpki() const
     {
         return committedInsts == 0
@@ -149,7 +149,7 @@ struct SimStats
     }
 
     /** Starvation cycles per kilo-instruction. */
-    double
+    [[nodiscard]] double
     starvationPerKi() const
     {
         return committedInsts == 0
@@ -159,7 +159,7 @@ struct SimStats
     }
 
     /** L1I tag accesses per kilo-instruction. */
-    double
+    [[nodiscard]] double
     tagAccessesPerKi() const
     {
         return committedInsts == 0
@@ -169,7 +169,7 @@ struct SimStats
     }
 
     /** L1I demand misses per kilo-instruction. */
-    double
+    [[nodiscard]] double
     l1iMpki() const
     {
         return committedInsts == 0
@@ -179,7 +179,7 @@ struct SimStats
     }
 
     /** Fraction of issued prefetches later hit by a demand access. */
-    double
+    [[nodiscard]] double
     prefetchAccuracy() const
     {
         return prefetchesIssued == 0
@@ -190,7 +190,7 @@ struct SimStats
 
     /** Fraction of would-be demand misses the prefetcher covered:
      *  useful / (useful + remaining demand misses). */
-    double
+    [[nodiscard]] double
     prefetchCoverage() const
     {
         const std::uint64_t base = prefetchesUseful + l1iDemandMisses;
@@ -201,7 +201,7 @@ struct SimStats
 
     /** Fraction of issued prefetches dropped as already resident or
      *  in flight. */
-    double
+    [[nodiscard]] double
     prefetchRedundantRate() const
     {
         return prefetchesIssued == 0

@@ -73,7 +73,9 @@ appendHeartbeatJson(std::string &out, const HeartbeatSample &s)
 std::uint64_t
 heartbeatIntervalFromEnv()
 {
-    const char *v = std::getenv("FDIP_HEARTBEAT");
+    // Coordinating-thread opt-in, resolved before workers fork.
+    const char *v = // NOLINT(concurrency-mt-unsafe)
+        std::getenv("FDIP_HEARTBEAT");
     if (v == nullptr || *v == '\0')
         return 0;
     char *end = nullptr;

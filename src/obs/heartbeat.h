@@ -44,10 +44,10 @@ struct HeartbeatSample
     /// @}
 
     /// @{ Interval-derived metrics.
-    double ipc() const;
-    double branchMpki() const;
-    double starvationPerKi() const;
-    double l1iMpki() const;
+    [[nodiscard]] double ipc() const;
+    [[nodiscard]] double branchMpki() const;
+    [[nodiscard]] double starvationPerKi() const;
+    [[nodiscard]] double l1iMpki() const;
     /// @}
 };
 

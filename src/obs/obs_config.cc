@@ -30,7 +30,9 @@ resolveObsEnv(ObsConfig base)
     if (base.heartbeatInterval == 0)
         base.heartbeatInterval = heartbeatIntervalFromEnv();
     if (base.tracePath.empty()) {
-        const char *v = std::getenv("FDIP_TRACE");
+        // Coordinating-thread opt-in, resolved before workers fork.
+        const char *v = // NOLINT(concurrency-mt-unsafe)
+            std::getenv("FDIP_TRACE");
         if (v != nullptr && *v != '\0')
             base.tracePath = v;
     }

@@ -10,7 +10,11 @@
  * Core). Registered getters capture pointers into live components and
  * must not outlive them; snapshot() materializes plain values that
  * may. Runs executing in parallel each build their own registry, so no
- * synchronization is needed or provided.
+ * synchronization is needed or provided. The type enforces the rule:
+ * a registry is non-copyable and non-movable (copying would alias the
+ * captured component pointers across owners), and the whole query
+ * surface is `[[nodiscard]] const` — observation code can read
+ * through a registry but cannot mutate simulated state with it.
  */
 
 #ifndef FDIP_OBS_STAT_REGISTRY_H_
@@ -47,19 +51,25 @@ class StatHistogram
 
     void add(std::uint64_t value);
 
-    std::uint64_t count() const { return count_; }
-    std::uint64_t sum() const { return sum_; }
+    [[nodiscard]] std::uint64_t count() const { return count_; }
+    [[nodiscard]] std::uint64_t sum() const { return sum_; }
     /** Smallest recorded value (0 when empty). */
-    std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
-    std::uint64_t max() const { return max_; }
-    double mean() const;
+    [[nodiscard]] std::uint64_t min() const
+    {
+        return count_ == 0 ? 0 : min_;
+    }
+    [[nodiscard]] std::uint64_t max() const { return max_; }
+    [[nodiscard]] double mean() const;
 
-    unsigned numBuckets() const
+    [[nodiscard]] unsigned numBuckets() const
     {
         return static_cast<unsigned>(buckets_.size());
     }
-    std::uint64_t bucketWidth() const { return bucketWidth_; }
-    std::uint64_t bucketCount(unsigned i) const { return buckets_[i]; }
+    [[nodiscard]] std::uint64_t bucketWidth() const { return bucketWidth_; }
+    [[nodiscard]] std::uint64_t bucketCount(unsigned i) const
+    {
+        return buckets_[i];
+    }
 
     void reset();
 
@@ -91,6 +101,17 @@ class StatRegistry
     using CounterFn = std::function<std::uint64_t()>;
     using DerivedFn = std::function<double()>;
 
+    StatRegistry() = default;
+
+    /** One registry per run, owned by whoever built it: copying or
+     *  moving would alias the captured component pointers across
+     *  owners, so both are compile errors (pinned by
+     *  tests/obs_ownership_test.cc). */
+    StatRegistry(const StatRegistry &) = delete;
+    StatRegistry &operator=(const StatRegistry &) = delete;
+    StatRegistry(StatRegistry &&) = delete;
+    StatRegistry &operator=(StatRegistry &&) = delete;
+
     /** Registers a counter getter under @p name. */
     void addCounter(const std::string &name, CounterFn fn,
                     std::string description = {});
@@ -103,36 +124,38 @@ class StatRegistry
     void addHistogram(const std::string &name, const StatHistogram *hist,
                       std::string description = {});
 
-    bool contains(const std::string &name) const;
-    std::size_t size() const { return stats_.size(); }
+    [[nodiscard]] bool contains(const std::string &name) const;
+    [[nodiscard]] std::size_t size() const { return stats_.size(); }
 
     /** Kind of a registered stat; fatal on an unknown name. */
-    StatKind kindOf(const std::string &name) const;
+    [[nodiscard]] StatKind kindOf(const std::string &name) const;
 
     /** Current value of the counter @p name; fatal when the name is
      *  unknown or not a counter. */
-    std::uint64_t counterValue(const std::string &name) const;
+    [[nodiscard]] std::uint64_t counterValue(const std::string &name) const;
 
     /** Current value of any stat as a double (histograms: the mean);
      *  fatal on an unknown name. */
-    double value(const std::string &name) const;
+    [[nodiscard]] double value(const std::string &name) const;
 
     /** Description registered with @p name (empty if none). */
-    const std::string &description(const std::string &name) const;
+    [[nodiscard]] const std::string &
+    description(const std::string &name) const;
 
     /** All registered names, sorted. */
-    std::vector<std::string> names() const;
+    [[nodiscard]] std::vector<std::string> names() const;
 
     /** Registered names under @p prefix (sorted; "bpu.btb" matches
      *  "bpu.btb.hits" and "bpu.btb" itself but not "bpu.btb2.x"). */
-    std::vector<std::string> namesWithPrefix(const std::string &prefix) const;
+    [[nodiscard]] std::vector<std::string>
+    namesWithPrefix(const std::string &prefix) const;
 
     /**
      * Materializes every stat into plain values. Histograms flatten
      * into "<name>.count", "<name>.mean", "<name>.min", "<name>.max"
      * pseudo-entries so the result is a flat numeric table.
      */
-    std::vector<StatSample> snapshot() const;
+    [[nodiscard]] std::vector<StatSample> snapshot() const;
 
     /** Writes the snapshot as one flat JSON object under {"stats":…}.
      *  @return false on I/O failure. */

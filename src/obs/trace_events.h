@@ -65,12 +65,17 @@ class TraceWriter
     explicit TraceWriter(const std::string &path);
     ~TraceWriter();
 
+    /** One writer per run, pinned to one owner: Tracer handles borrow
+     *  raw pointers to it, so copying *and* moving are compile errors
+     *  (pinned by tests/obs_ownership_test.cc). */
     TraceWriter(const TraceWriter &) = delete;
     TraceWriter &operator=(const TraceWriter &) = delete;
+    TraceWriter(TraceWriter &&) = delete;
+    TraceWriter &operator=(TraceWriter &&) = delete;
 
-    bool ok() const { return file_ != nullptr; }
-    const std::string &path() const { return path_; }
-    std::uint64_t eventsWritten() const { return events_; }
+    [[nodiscard]] bool ok() const { return file_ != nullptr; }
+    [[nodiscard]] const std::string &path() const { return path_; }
+    [[nodiscard]] std::uint64_t eventsWritten() const { return events_; }
 
     /** Finishes the JSON document and closes the file. */
     void close();
@@ -120,15 +125,15 @@ class Tracer
 {
   public:
 #if FDIP_ENABLE_TRACING
-    bool on() const { return sink_ != nullptr; }
-    TraceWriter *writer() const { return sink_; }
+    [[nodiscard]] bool on() const { return sink_ != nullptr; }
+    [[nodiscard]] TraceWriter *writer() const { return sink_; }
     void attach(TraceWriter *w) { sink_ = w; }
 
   private:
     TraceWriter *sink_ = nullptr;
 #else
-    constexpr bool on() const { return false; }
-    constexpr TraceWriter *writer() const { return nullptr; }
+    [[nodiscard]] constexpr bool on() const { return false; }
+    [[nodiscard]] constexpr TraceWriter *writer() const { return nullptr; }
     void attach(TraceWriter *) {}
 #endif
 };

@@ -1,15 +1,14 @@
 #include "sim/parallel.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cerrno>
 #include <cstdlib>
 #include <exception>
-#include <mutex>
 #include <thread>
 
 #include "obs/obs_config.h"
 #include "util/log.h"
+#include "util/sync.h"
 
 namespace fdip
 {
@@ -25,67 +24,119 @@ namespace
  */
 struct WorkItem
 {
+    /** Shared read-only inputs: workers reach the campaign entry, the
+     *  workload, and (through it) the decoded trace exclusively via
+     *  these const views, so many concurrent runs can alias one trace
+     *  without synchronization. */
     const CampaignEntry *entry;
     const SuiteEntry *workload;
+    /** Exclusively owned output: slot i is touched only by whichever
+     *  worker claimed item i from the cursor, never concurrently. */
     RunResult *slot;
 };
 
 /**
- * Executes @p items over @p jobs workers. Work is claimed through one
- * atomic cursor (no per-item locks); each item writes only its own
- * preallocated slot. The first exception thrown by any run is captured
- * and rethrown on the calling thread after every worker has joined, so
- * an FDIP_CHECK violation inside a worker surfaces exactly like it
- * does serially.
+ * The shared state of one pool drain, with every concurrency rule
+ * expressed as a capability annotation: the work list is a const view,
+ * claiming goes through one atomic cursor (no per-item locks), each
+ * item writes only its own preallocated slot, and the only
+ * lock-guarded member is the first-error capture. The first exception
+ * thrown by any run is rethrown on the calling thread after every
+ * worker has joined, so an FDIP_CHECK violation inside a worker
+ * surfaces exactly like it does serially.
  */
+class WorkPool
+{
+  public:
+    WorkPool(const std::vector<WorkItem> &items, double warmup_fraction)
+        : items_(items), warmupFraction_(warmup_fraction)
+    {
+    }
+
+    /** The claim loop: runs items until the list is drained or a
+     *  sibling worker has failed. Safe to call from any thread. */
+    void
+    work()
+    {
+        for (;;) {
+            if (failed_.load(std::memory_order_relaxed))
+                return;
+            const std::size_t i =
+                cursor_.fetchAdd(1, std::memory_order_relaxed);
+            if (i >= items_.size())
+                return;
+            const WorkItem &item = items_[i];
+            try {
+                *item.slot =
+                    runOne(item.entry->cfg, *item.workload,
+                           item.entry->makePrefetcher, warmupFraction_);
+            } catch (...) {
+                recordError(std::current_exception());
+                return;
+            }
+        }
+    }
+
+    /** Rethrows the first captured worker error, if any. Call after
+     *  every worker has joined. */
+    void
+    rethrowPending()
+    {
+        std::exception_ptr err;
+        {
+            MutexLock lock(errorMutex_);
+            err = firstError_;
+        }
+        if (err)
+            std::rethrow_exception(err);
+    }
+
+  private:
+    void
+    recordError(std::exception_ptr err)
+    {
+        MutexLock lock(errorMutex_);
+        if (!firstError_)
+            firstError_ = err;
+        failed_.store(true, std::memory_order_relaxed);
+    }
+
+    /// @{ Shared read-only (safe to alias across workers).
+    const std::vector<WorkItem> &items_;
+    const double warmupFraction_;
+    /// @}
+
+    /// @{ Lock-free claim protocol.
+    Atomic<std::size_t> cursor_{0};
+    Atomic<bool> failed_{false};
+    /// @}
+
+    Mutex errorMutex_;
+    std::exception_ptr firstError_ FDIP_GUARDED_BY(errorMutex_);
+};
+
+/** Executes @p items over @p jobs workers (see WorkPool). */
 void
 drainPool(const std::vector<WorkItem> &items, double warmup_fraction,
           unsigned jobs)
 {
-    std::atomic<std::size_t> cursor{0};
-    std::atomic<bool> failed{false};
-    std::exception_ptr first_error;
-    std::mutex error_mutex;
-
-    auto worker = [&]() {
-        for (;;) {
-            if (failed.load(std::memory_order_relaxed))
-                return;
-            const std::size_t i =
-                cursor.fetch_add(1, std::memory_order_relaxed);
-            if (i >= items.size())
-                return;
-            const WorkItem &item = items[i];
-            try {
-                *item.slot =
-                    runOne(item.entry->cfg, *item.workload,
-                           item.entry->makePrefetcher, warmup_fraction);
-            } catch (...) {
-                std::lock_guard<std::mutex> lock(error_mutex);
-                if (!first_error)
-                    first_error = std::current_exception();
-                failed.store(true, std::memory_order_relaxed);
-                return;
-            }
-        }
-    };
+    WorkPool pool(items, warmup_fraction);
 
     if (jobs <= 1 || items.size() <= 1) {
         // Exact serial fallback: same claim loop, calling thread only.
-        worker();
+        pool.work();
     } else {
         const unsigned n =
             static_cast<unsigned>(std::min<std::size_t>(jobs, items.size()));
         std::vector<std::thread> threads;
         threads.reserve(n);
         for (unsigned t = 0; t < n; ++t)
-            threads.emplace_back(worker);
+            threads.emplace_back([&pool]() { pool.work(); });
         for (auto &th : threads)
             th.join();
     }
 
-    if (first_error)
-        std::rethrow_exception(first_error);
+    pool.rethrowPending();
 }
 
 } // namespace
@@ -95,7 +146,9 @@ jobsFromEnv(unsigned fallback)
 {
     if (fallback == 0)
         fallback = std::max(1u, std::thread::hardware_concurrency());
-    const char *v = std::getenv("FDIP_JOBS");
+    // Coordinating-thread opt-in, read before any worker exists
+    // (check_determinism.py allowlists this file for getenv).
+    const char *v = std::getenv("FDIP_JOBS"); // NOLINT(concurrency-mt-unsafe)
     if (v == nullptr || *v == '\0')
         return fallback;
     char *end = nullptr;

@@ -16,6 +16,13 @@
  * jobs = 1, 2, 8; any new engine must land with the same kind of
  * serial-equivalence test.
  *
+ * The contract is also a compile-time property: all engine
+ * synchronization goes through the capability-annotated primitives of
+ * util/sync.h (clang -Wthread-safety, the `thread-safety` CMake
+ * preset), and tools/lint/check_concurrency.py bans raw primitives
+ * and ambient static state from worker-path code — see
+ * docs/ANALYSIS.md §6.
+ *
  * Worker count resolution: an explicit `jobs` argument wins; `jobs = 0`
  * defers to the FDIP_JOBS environment variable; when that is unset (or
  * invalid, with a warning) the hardware concurrency is used. `jobs = 1`

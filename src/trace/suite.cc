@@ -40,7 +40,9 @@ buildStandardSuite(std::size_t insts_per_trace, bool small)
 std::size_t
 suiteInstsFromEnv(std::size_t default_insts)
 {
-    const char *v = std::getenv("FDIP_SIM_INSTRS");
+    // Coordinating-thread opt-in, read while building the suite.
+    const char *v = // NOLINT(concurrency-mt-unsafe)
+        std::getenv("FDIP_SIM_INSTRS");
     if (v == nullptr || *v == '\0')
         return default_insts;
     char *end = nullptr;
@@ -58,7 +60,9 @@ suiteInstsFromEnv(std::size_t default_insts)
 bool
 suiteSmallFromEnv()
 {
-    const char *v = std::getenv("FDIP_SUITE");
+    // Coordinating-thread opt-in, read while building the suite.
+    const char *v = // NOLINT(concurrency-mt-unsafe)
+        std::getenv("FDIP_SUITE");
     if (v == nullptr || *v == '\0')
         return false;
     if (std::strcmp(v, "small") == 0)

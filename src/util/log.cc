@@ -3,7 +3,8 @@
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
+
+#include "util/sync.h"
 
 namespace fdip
 {
@@ -19,13 +20,12 @@ namespace
  * simulator itself keeps all state per-Core), so this lock is what
  * keeps the parallel experiment engine's diagnostics readable: one
  * warn/inform line at a time, never interleaved mid-line.
+ *
+ * This is the one sanctioned static mutable object outside
+ * util/sync.h; tools/lint/check_concurrency.py allowlists exactly
+ * this file for it.
  */
-std::mutex &
-logMutex()
-{
-    static std::mutex m;
-    return m;
-}
+static Mutex g_log_mutex;
 
 } // namespace
 
@@ -51,7 +51,7 @@ void
 panicImpl(const char *file, int line, const std::string &msg)
 {
     {
-        std::lock_guard<std::mutex> lock(logMutex());
+        MutexLock lock(g_log_mutex);
         std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file,
                      line);
     }
@@ -62,24 +62,26 @@ void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
     {
-        std::lock_guard<std::mutex> lock(logMutex());
+        MutexLock lock(g_log_mutex);
         std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file,
                      line);
     }
-    std::exit(1);
+    // fatal() is a user/config error: the process is done, and losing
+    // other threads' buffered output is acceptable by design.
+    std::exit(1); // NOLINT(concurrency-mt-unsafe)
 }
 
 void
 warnImpl(const std::string &msg)
 {
-    std::lock_guard<std::mutex> lock(logMutex());
+    MutexLock lock(g_log_mutex);
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
 void
 informImpl(const std::string &msg)
 {
-    std::lock_guard<std::mutex> lock(logMutex());
+    MutexLock lock(g_log_mutex);
     std::fprintf(stdout, "info: %s\n", msg.c_str());
 }
 

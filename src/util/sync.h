@@ -1,0 +1,185 @@
+/**
+ * @file
+ * The simulator's only sanctioned concurrency primitives, annotated
+ * for clang's `-Wthread-safety` capability analysis.
+ *
+ * The parallel experiment engine's contract (docs/ANALYSIS.md §4/§6)
+ * is that workers share *no* mutable ambient state: each run owns its
+ * Core, writes one preallocated result slot, and reads traces through
+ * const views. The few places that genuinely synchronize — the log
+ * serialization mutex and the pool's first-error capture — must do so
+ * through the wrappers below so the capability analysis can prove
+ * every guarded access holds the right lock at compile time.
+ *
+ * Raw `std::mutex` / `std::lock_guard` / `std::atomic` are banned
+ * outside this header by `tools/lint/check_concurrency.py`; the
+ * annotations compile away to nothing on non-clang compilers, so the
+ * wrappers cost exactly what the raw primitives do.
+ *
+ * Build with the `thread-safety` CMake preset (clang,
+ * `-Wthread-safety -Wthread-safety-beta -Werror`) to run the analysis
+ * locally; CI runs it on every push.
+ */
+
+#ifndef FDIP_UTIL_SYNC_H_
+#define FDIP_UTIL_SYNC_H_
+
+#include <atomic>
+#include <mutex>
+
+/**
+ * Thread-safety attribute spelling. Clang implements the capability
+ * analysis; every other compiler sees empty tokens, so annotated code
+ * stays portable and zero-cost.
+ */
+#if defined(__clang__)
+#define FDIP_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define FDIP_THREAD_ANNOTATION_(x)
+#endif
+
+/** Declares a class to be a lockable capability (e.g. "mutex"). */
+#define FDIP_CAPABILITY(x) FDIP_THREAD_ANNOTATION_(capability(x))
+
+/** Declares an RAII type that acquires/releases a capability. */
+#define FDIP_SCOPED_CAPABILITY FDIP_THREAD_ANNOTATION_(scoped_lockable)
+
+/** A member that may only be touched while holding @p x. */
+#define FDIP_GUARDED_BY(x) FDIP_THREAD_ANNOTATION_(guarded_by(x))
+
+/** A pointer whose *pointee* may only be touched while holding @p x. */
+#define FDIP_PT_GUARDED_BY(x) FDIP_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/** The caller must hold the named capabilities (exclusively). */
+#define FDIP_REQUIRES(...)                                                    \
+    FDIP_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/** The caller must hold the named capabilities (shared). */
+#define FDIP_REQUIRES_SHARED(...)                                             \
+    FDIP_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/** The function acquires the named capabilities and does not release
+ *  them before returning. */
+#define FDIP_ACQUIRE(...)                                                     \
+    FDIP_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/** The function releases the named capabilities. */
+#define FDIP_RELEASE(...)                                                     \
+    FDIP_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/** The function acquires the capability iff it returns @p ... (first
+ *  argument is the success value). */
+#define FDIP_TRY_ACQUIRE(...)                                                 \
+    FDIP_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/** The caller must *not* hold the named capabilities (deadlock gate). */
+#define FDIP_EXCLUDES(...)                                                    \
+    FDIP_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/** The function returns a reference to the capability @p x. */
+#define FDIP_RETURN_CAPABILITY(x)                                             \
+    FDIP_THREAD_ANNOTATION_(lock_returned(x))
+
+/** Escape hatch: disables the analysis for one function. Every use
+ *  must carry a comment justifying why the analysis cannot see the
+ *  invariant. */
+#define FDIP_NO_THREAD_SAFETY_ANALYSIS                                        \
+    FDIP_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace fdip
+{
+
+/**
+ * A std::mutex carrying the "mutex" capability. Prefer MutexLock over
+ * manual lock()/unlock() pairs; the manual methods exist for the rare
+ * site whose critical section cannot be a lexical scope.
+ */
+class FDIP_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() FDIP_ACQUIRE() { m_.lock(); }
+    void unlock() FDIP_RELEASE() { m_.unlock(); }
+    [[nodiscard]] bool tryLock() FDIP_TRY_ACQUIRE(true)
+    {
+        return m_.try_lock();
+    }
+
+  private:
+    std::mutex m_;
+};
+
+/**
+ * RAII lock over a Mutex (the std::lock_guard of this codebase). The
+ * scoped-capability annotation lets the analysis treat the guard's
+ * lifetime as the critical section.
+ */
+class FDIP_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &m) FDIP_ACQUIRE(m) : m_(m) { m_.lock(); }
+    ~MutexLock() FDIP_RELEASE() { m_.unlock(); }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+  private:
+    Mutex &m_;
+};
+
+/**
+ * A deliberately narrow std::atomic wrapper: load/store/fetchAdd/
+ * exchange with explicit memory orders. Keeping the surface small
+ * keeps every lock-free protocol in the codebase reviewable — the
+ * parallel engine needs exactly a work cursor and a failure flag, not
+ * compare-exchange loops.
+ */
+template <typename T>
+class Atomic
+{
+  public:
+    constexpr Atomic() noexcept = default;
+    constexpr explicit Atomic(T value) noexcept : v_(value) {}
+
+    Atomic(const Atomic &) = delete;
+    Atomic &operator=(const Atomic &) = delete;
+
+    [[nodiscard]] T
+    load(std::memory_order order = std::memory_order_seq_cst) const noexcept
+    {
+        return v_.load(order);
+    }
+
+    void
+    store(T value,
+          std::memory_order order = std::memory_order_seq_cst) noexcept
+    {
+        v_.store(value, order);
+    }
+
+    /** Atomic post-increment by @p delta; returns the prior value. */
+    T
+    fetchAdd(T delta,
+             std::memory_order order = std::memory_order_seq_cst) noexcept
+    {
+        return v_.fetch_add(delta, order);
+    }
+
+    /** Atomically replaces the value; returns the prior value. */
+    T
+    exchange(T value,
+             std::memory_order order = std::memory_order_seq_cst) noexcept
+    {
+        return v_.exchange(value, order);
+    }
+
+  private:
+    std::atomic<T> v_{};
+};
+
+} // namespace fdip
+
+#endif // FDIP_UTIL_SYNC_H_

@@ -71,8 +71,9 @@ TEST(Certify, WrittenFileIsValidJson)
         std::string(::testing::TempDir()) + "/certificate.json";
     ASSERT_TRUE(writeBudgetCertificate(path));
     EXPECT_EQ(readFile(path), budgetCertificateJson());
-    if (havePython())
+    if (havePython()) {
         EXPECT_TRUE(pythonValidatesJson(path)) << path;
+    }
 }
 
 TEST(Certify, MatchesTheCheckedInGolden)

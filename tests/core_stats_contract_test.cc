@@ -8,16 +8,61 @@
 
 #include "core/sim_stats.h"
 
+#include <string>
 #include <tuple>
 #include <type_traits>
 #include <utility>
 
 #include <gtest/gtest.h>
 
+#include "bpu/bpu.h"
+#include "bpu/btb.h"
+#include "bpu/btb_hierarchy.h"
+#include "bpu/ras.h"
+#include "cache/cache.h"
+#include "cache/hierarchy.h"
+#include "core/core.h"
+#include "core/frontend.h"
+#include "core/ftq.h"
+#include "obs/stat_registry.h"
+#include "prefetch/prefetcher.h"
+
 namespace fdip
 {
 namespace
 {
+
+// ---------------------------------------------------------------------
+// Observation purity: every registerStats() path must take the
+// component through a *const* reference, so registration (and the
+// getters it captures) cannot mutate simulated state. A component
+// whose registerStats loses its const qualifier stops satisfying
+// these assertions and fails here at compile time.
+// ---------------------------------------------------------------------
+
+template <typename T>
+inline constexpr bool kRegistersConst =
+    std::is_invocable_v<decltype(&T::registerStats), const T &,
+                        StatRegistry &, const std::string &>;
+
+static_assert(kRegistersConst<Frontend>,
+              "Frontend::registerStats must be const");
+static_assert(kRegistersConst<Ftq>, "Ftq::registerStats must be const");
+static_assert(kRegistersConst<Bpu>, "Bpu::registerStats must be const");
+static_assert(kRegistersConst<Btb>, "Btb::registerStats must be const");
+static_assert(kRegistersConst<BtbHierarchy>,
+              "BtbHierarchy::registerStats must be const");
+static_assert(kRegistersConst<Ras>, "Ras::registerStats must be const");
+static_assert(kRegistersConst<Cache>,
+              "Cache::registerStats must be const");
+static_assert(kRegistersConst<MemoryHierarchy>,
+              "MemoryHierarchy::registerStats must be const");
+static_assert(kRegistersConst<InstPrefetcher>,
+              "InstPrefetcher::registerStats must be const");
+static_assert(
+    std::is_invocable_v<decltype(&Core::registerStats), const Core &,
+                        StatRegistry &>,
+    "Core::registerStats must be const");
 
 using ArchTuple =
     decltype(std::declval<const SimStats &>().architecturalState());

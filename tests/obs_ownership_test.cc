@@ -1,0 +1,76 @@
+/** @file
+ * Ownership contracts of the observability layer, enforced by the
+ * type system rather than header comments: a StatRegistry and a
+ * TraceWriter are each pinned to one run and one owner, so copying
+ * and moving must not compile. These static assertions are the pinned
+ * test the header comments point at — deleting the deleted members
+ * fails here, not in a code review.
+ */
+
+#include <type_traits>
+
+#include <gtest/gtest.h>
+
+#include "obs/stat_registry.h"
+#include "obs/trace_events.h"
+
+namespace fdip
+{
+namespace
+{
+
+// A StatRegistry holds getters capturing raw component pointers;
+// copying or moving it would alias live-component references across
+// owners and outlive-the-run bugs would stop being type errors.
+static_assert(!std::is_copy_constructible_v<StatRegistry>,
+              "StatRegistry is one-per-run: copying must not compile");
+static_assert(!std::is_copy_assignable_v<StatRegistry>,
+              "StatRegistry is one-per-run: copy-assign must not compile");
+static_assert(!std::is_move_constructible_v<StatRegistry>,
+              "StatRegistry is pinned to its owner: moving must not "
+              "compile");
+static_assert(!std::is_move_assignable_v<StatRegistry>,
+              "StatRegistry is pinned to its owner: move-assign must "
+              "not compile");
+
+// A TraceWriter is borrowed by Tracer handles as a raw pointer; a
+// move would leave those handles dangling mid-run.
+static_assert(!std::is_copy_constructible_v<TraceWriter>,
+              "TraceWriter is one-per-run: copying must not compile");
+static_assert(!std::is_copy_assignable_v<TraceWriter>,
+              "TraceWriter is one-per-run: copy-assign must not compile");
+static_assert(!std::is_move_constructible_v<TraceWriter>,
+              "TraceWriter is borrowed by Tracers: moving must not "
+              "compile");
+static_assert(!std::is_move_assignable_v<TraceWriter>,
+              "TraceWriter is borrowed by Tracers: move-assign must "
+              "not compile");
+
+// The Tracer *handle* stays freely copyable: it borrows, never owns,
+// so handing it to a component duplicates no resource.
+static_assert(std::is_copy_constructible_v<Tracer> &&
+                  std::is_copy_assignable_v<Tracer>,
+              "Tracer is a borrowed handle and must stay copyable");
+
+// The snapshot a registry materializes is plain data and must remain
+// freely copyable — that is what may outlive the run.
+static_assert(std::is_copy_constructible_v<StatSample> &&
+                  std::is_move_constructible_v<StatSample>,
+              "StatSample is plain data and must stay copyable");
+
+TEST(ObsOwnership, RegistryQueriesAreConst)
+{
+    // The whole observation surface is usable through a const
+    // reference: observation code holding `const StatRegistry &`
+    // can read everything and register nothing.
+    StatRegistry reg;
+    reg.addCounter("a.b", []() { return std::uint64_t{3}; });
+    const StatRegistry &view = reg;
+    EXPECT_TRUE(view.contains("a.b"));
+    EXPECT_EQ(view.counterValue("a.b"), 3u);
+    EXPECT_EQ(view.snapshot().size(), 1u);
+    EXPECT_EQ(view.names().size(), 1u);
+}
+
+} // namespace
+} // namespace fdip

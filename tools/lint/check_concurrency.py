@@ -1,0 +1,281 @@
+#!/usr/bin/env python3
+"""Concurrency lint: worker-path code owns no ambient shared state.
+
+The parallel experiment engine's contract (docs/ANALYSIS.md §6) is
+that every run is an independent unit of work: all synchronization
+flows through the capability-annotated wrappers in src/util/sync.h so
+clang's -Wthread-safety analysis can see it, and nothing under src/
+quietly shares state behind the workers' backs. This lint enforces
+the textual half of that contract over all of src/:
+
+  1. raw-primitives    std::mutex / std::lock_guard / std::unique_lock
+                       / std::atomic / std::condition_variable /
+                       semaphores / latches / barriers / call_once /
+                       pthread_* (and their headers) are banned outside
+                       src/util/sync.h. The wrappers carry the
+                       thread-safety annotations; a raw primitive is
+                       invisible to the capability analysis.
+  2. no-static-state   mutable `static` variables (namespace-scope,
+                       function-local, or class-static) and
+                       `thread_local` are banned: ambient state shared
+                       across runs breaks the per-run ownership model.
+                       const/constexpr statics are fine.
+  3. no-global-state   mutable variable definitions at namespace scope
+                       (including anonymous namespaces) are banned for
+                       the same reason, `static` keyword or not.
+
+Exact-path allowlists (same style as check_determinism.py) name the
+justified exceptions; the lint fails if an allowlisted file
+disappears, so the escape hatch cannot silently widen.
+
+The lint runs against the repository by default; --root (plus the
+allowlist parameters of collect_findings) points it at any tree with
+the same src/ layout, which is how the fixture suite in
+tools/lint/tests/ exercises it.
+
+Exit status: 0 when clean, 1 with findings listed on stderr.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from check_sources import (REPO, rel, source_files,
+                           strip_comments_and_strings)
+
+# The one place raw primitives may appear: the annotated wrappers.
+PRIMITIVE_ALLOWLIST = {"src/util/sync.h"}
+
+# Static mutable state with a written justification: the log
+# serialization mutex (process-wide by design — it serializes stderr/
+# stdout, which are process-wide resources).
+STATIC_STATE_ALLOWLIST = {"src/util/log.cc"}
+
+# thread_local with a written justification: the invariant-scope stack
+# is deliberately thread-confined diagnostics context — each worker
+# owns its own scope path and nothing crosses threads.
+THREAD_LOCAL_ALLOWLIST = {"src/check/invariant.h"}
+
+RAW_PRIMITIVE_RULES: list[tuple[re.Pattern[str], str]] = [
+    (re.compile(r"std::(?:recursive_|timed_|recursive_timed_|"
+                r"shared_|shared_timed_)?mutex\b"),
+     "raw std mutexes are banned; use fdip::Mutex (util/sync.h)"),
+    (re.compile(r"std::(?:lock_guard|unique_lock|scoped_lock|"
+                r"shared_lock)\b"),
+     "raw std lock guards are banned; use fdip::MutexLock "
+     "(util/sync.h)"),
+    (re.compile(r"std::atomic"),
+     "raw std::atomic is banned; use fdip::Atomic (util/sync.h)"),
+    (re.compile(r"std::condition_variable"),
+     "std::condition_variable is banned; build on util/sync.h"),
+    (re.compile(r"std::(?:counting_semaphore|binary_semaphore|latch|"
+                r"barrier)\b"),
+     "raw std synchronization primitives are banned; build on "
+     "util/sync.h"),
+    (re.compile(r"std::(?:call_once|once_flag)\b"),
+     "std::call_once is hidden synchronization; build on util/sync.h"),
+    (re.compile(r"\bpthread_\w+"),
+     "pthreads are banned; use std::thread + util/sync.h"),
+    (re.compile(r"#\s*include\s*<(?:mutex|atomic|condition_variable|"
+                r"shared_mutex|semaphore|latch|barrier)>"),
+     "concurrency headers are banned outside util/sync.h"),
+]
+
+# Keywords that mark a namespace-scope statement as not-a-variable.
+NON_DECL_KEYWORDS = frozenset({
+    "using", "typedef", "extern", "friend", "template", "struct",
+    "class", "enum", "concept", "namespace", "operator", "requires",
+    "static_assert",
+})
+
+IMMUTABLE_KEYWORDS = frozenset({"const", "constexpr", "consteval"})
+
+RE_WORD = re.compile(r"[A-Za-z_]\w*")
+RE_STATIC = re.compile(r"\bstatic\b")
+RE_THREAD_LOCAL = re.compile(r"\bthread_local\b")
+
+
+def blank_preprocessor_lines(text: str) -> str:
+    """Blanks #-directives (incl. continuations), keeping line count."""
+    out: list[str] = []
+    in_directive = False
+    for line in text.split("\n"):
+        stripped = line.lstrip()
+        if in_directive or stripped.startswith("#"):
+            in_directive = stripped.endswith("\\")
+            out.append("")
+        else:
+            in_directive = False
+            out.append(line)
+    return "\n".join(out)
+
+
+def statement_head(text: str, start: int) -> str:
+    """The statement text from @p start up to the first ';' or '{'."""
+    end = len(text)
+    for ch in (";", "{"):
+        pos = text.find(ch, start)
+        if pos != -1:
+            end = min(end, pos)
+    return text[start:end]
+
+
+def is_function_like(stmt: str) -> bool:
+    """True when the head reads as a function declaration/definition:
+    a '(' appears before any '=' (a variable initializer)."""
+    paren = stmt.find("(")
+    eq = stmt.find("=")
+    return paren != -1 and (eq == -1 or paren < eq)
+
+
+def words(stmt: str) -> set[str]:
+    return set(RE_WORD.findall(stmt))
+
+
+def is_mutable_state_decl(stmt: str) -> bool:
+    """True when a statement head declares a mutable variable."""
+    body = stmt.strip()
+    if not body or not re.match(r"[A-Za-z_:\[]", body):
+        return False
+    w = words(body)
+    if w & NON_DECL_KEYWORDS:
+        return False
+    if w & IMMUTABLE_KEYWORDS:
+        return False
+    if is_function_like(body):
+        return False
+    # A declaration needs at least a type and a name.
+    return len(RE_WORD.findall(body)) >= 2
+
+
+def line_of(text: str, pos: int) -> int:
+    return text.count("\n", 0, pos) + 1
+
+
+def lint_static_state(findings: list[str], name: str, text: str) -> None:
+    """Rule 2: mutable `static` at any scope."""
+    for m in RE_STATIC.finditer(text):
+        head = statement_head(text, m.start())
+        if is_function_like(head):
+            continue
+        if words(head) & IMMUTABLE_KEYWORDS:
+            continue
+        findings.append(
+            f"{name}:{line_of(text, m.start())}: mutable static state "
+            f"is ambient shared state; plumb per-run state explicitly")
+
+
+def lint_namespace_state(findings: list[str], name: str,
+                         text: str) -> None:
+    """Rule 3: mutable variable definitions at namespace scope.
+
+    Walks the brace structure: a '{' opens a namespace block when the
+    pending statement contains the `namespace` keyword, anything else
+    (function bodies, classes, initializers) is opaque. Statements
+    ending in ';' while every enclosing block is a namespace are
+    candidate declarations.
+    """
+    stack: list[bool] = []  # True = namespace block
+    stmt_start = 0
+    for i, ch in enumerate(text):
+        if ch == "{":
+            pending = text[stmt_start:i]
+            at_ns_scope = all(stack)
+            is_ns = "namespace" in words(pending)
+            if (at_ns_scope and not is_ns
+                    and is_mutable_state_decl(pending)
+                    and "static" not in words(pending)):
+                # Braced initializer of a namespace-scope variable
+                # (`Foo bar{...};`). Statics are rule 2's finding.
+                findings.append(
+                    f"{name}:{line_of(text, stmt_start)}: mutable "
+                    f"namespace-scope state is ambient shared state; "
+                    f"plumb per-run state explicitly")
+            stack.append(is_ns)
+            stmt_start = i + 1
+        elif ch == "}":
+            if stack:
+                stack.pop()
+            stmt_start = i + 1
+        elif ch == ";":
+            stmt = text[stmt_start:i]
+            if (all(stack) and "static" not in words(stmt)
+                    and is_mutable_state_decl(stmt)):
+                findings.append(
+                    f"{name}:{line_of(text, stmt_start)}: mutable "
+                    f"namespace-scope state is ambient shared state; "
+                    f"plumb per-run state explicitly")
+            stmt_start = i + 1
+    return
+
+
+def collect_findings(root: Path = REPO,
+                     primitive_allowlist: set[str] | None = None,
+                     static_allowlist: set[str] | None = None,
+                     thread_local_allowlist: set[str] | None = None
+                     ) -> list[str]:
+    """Runs the lint over <root>/src and returns the findings."""
+    primitives = (PRIMITIVE_ALLOWLIST if primitive_allowlist is None
+                  else primitive_allowlist)
+    statics = (STATIC_STATE_ALLOWLIST if static_allowlist is None
+               else static_allowlist)
+    tls = (THREAD_LOCAL_ALLOWLIST if thread_local_allowlist is None
+           else thread_local_allowlist)
+
+    findings: list[str] = []
+    for path in source_files(root):
+        name = rel(path, root)
+        stripped = strip_comments_and_strings(path.read_text())
+        # The statement-level passes must not see #-directives (a macro
+        # body is not a declaration); the primitive scan must, so the
+        # header-include ban can fire.
+        code = blank_preprocessor_lines(stripped)
+
+        if name not in primitives:
+            for lineno, line in enumerate(stripped.splitlines(), 1):
+                for pattern, message in RAW_PRIMITIVE_RULES:
+                    if pattern.search(line):
+                        findings.append(f"{name}:{lineno}: {message}")
+
+        if name not in statics:
+            lint_static_state(findings, name, code)
+            lint_namespace_state(findings, name, code)
+        if name not in tls:
+            for m in RE_THREAD_LOCAL.finditer(code):
+                findings.append(
+                    f"{name}:{line_of(code, m.start())}: thread_local "
+                    f"is ambient per-thread state; plumb per-run state "
+                    f"explicitly")
+
+    # A stale allowlist silently widens the escape hatch: every listed
+    # file must still exist.
+    for listed in sorted(primitives | statics | tls):
+        if not (root / listed).is_file():
+            findings.append(f"{listed}: allowlisted file does not exist")
+
+    return findings
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", type=Path, default=REPO,
+                    help="tree to lint (default: the repository)")
+    args = ap.parse_args()
+
+    findings = collect_findings(args.root.resolve())
+    if findings:
+        print(f"check_concurrency: {len(findings)} finding(s)",
+              file=sys.stderr)
+        for f in findings:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("check_concurrency: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,17 +21,24 @@ timing for throughput reports, env-var opt-ins parsed once before the
 workers fork) are allowlisted by exact path below; everything else is a
 finding.
 
+The lint runs against the repository by default; --root (plus the
+allowlist parameters of collect_findings) points it at any tree with
+the same src/ layout, which is how the fixture suite in
+tools/lint/tests/ exercises it.
+
 Exit status: 0 when clean, 1 with findings listed on stderr.
 """
 
 from __future__ import annotations
 
+import argparse
 import re
 import sys
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
-from check_sources import REPO, SRC, rel, strip_comments_and_strings
+from check_sources import (REPO, rel, source_files,
+                           strip_comments_and_strings)
 
 # Seedable-RNG implementation: the one place libc-style primitives and
 # entropy sources may appear.
@@ -50,43 +57,65 @@ GETENV_ALLOWLIST = {
     "src/trace/suite.cc",
 }
 
-RULES: list[tuple[re.Pattern[str], set[str], str]] = [
-    (re.compile(r"(?<![\w:.])s?rand\s*\("), RNG_ALLOWLIST,
-     "libc rand()/srand() is banned; use util/rng.h"),
-    (re.compile(r"random_device"), RNG_ALLOWLIST,
-     "std::random_device is nondeterministic; use util/rng.h"),
-    (re.compile(r"(?<![\w:.])time\s*\("), WALLCLOCK_ALLOWLIST,
-     "wall-clock time() is banned in worker-path code"),
-    (re.compile(r"(?<![\w:.])clock\s*\("), WALLCLOCK_ALLOWLIST,
-     "wall-clock clock() is banned in worker-path code"),
-    (re.compile(r"clock_gettime|gettimeofday"), WALLCLOCK_ALLOWLIST,
-     "wall-clock syscalls are banned in worker-path code"),
-    (re.compile(r"(?:system|steady|high_resolution)_clock"),
-     WALLCLOCK_ALLOWLIST,
-     "std::chrono host clocks are banned in worker-path code"),
-    (re.compile(r"(?<![\w:.])getenv\s*\("), GETENV_ALLOWLIST,
-     "getenv() is banned in worker-path code; plumb explicit config"),
-]
+
+def build_rules(rng: set[str], wallclock: set[str], getenv: set[str]
+                ) -> list[tuple[re.Pattern[str], set[str], str]]:
+    return [
+        (re.compile(r"(?<![\w:.])s?rand\s*\("), rng,
+         "libc rand()/srand() is banned; use util/rng.h"),
+        (re.compile(r"random_device"), rng,
+         "std::random_device is nondeterministic; use util/rng.h"),
+        (re.compile(r"(?<![\w:.])time\s*\("), wallclock,
+         "wall-clock time() is banned in worker-path code"),
+        (re.compile(r"(?<![\w:.])clock\s*\("), wallclock,
+         "wall-clock clock() is banned in worker-path code"),
+        (re.compile(r"clock_gettime|gettimeofday"), wallclock,
+         "wall-clock syscalls are banned in worker-path code"),
+        (re.compile(r"(?:system|steady|high_resolution)_clock"),
+         wallclock,
+         "std::chrono host clocks are banned in worker-path code"),
+        (re.compile(r"(?<![\w:.])getenv\s*\("), getenv,
+         "getenv() is banned in worker-path code; plumb explicit config"),
+    ]
 
 
-def main() -> int:
+def collect_findings(root: Path = REPO,
+                     rng_allowlist: set[str] | None = None,
+                     wallclock_allowlist: set[str] | None = None,
+                     getenv_allowlist: set[str] | None = None) -> list[str]:
+    """Runs the lint over <root>/src and returns the findings."""
+    rng = RNG_ALLOWLIST if rng_allowlist is None else rng_allowlist
+    wallclock = (WALLCLOCK_ALLOWLIST if wallclock_allowlist is None
+                 else wallclock_allowlist)
+    getenv = (GETENV_ALLOWLIST if getenv_allowlist is None
+              else getenv_allowlist)
+    rules = build_rules(rng, wallclock, getenv)
+
     findings: list[str] = []
-    files = sorted(SRC.rglob("*.h")) + sorted(SRC.rglob("*.cc"))
-    for path in files:
-        name = rel(path)
+    for path in source_files(root):
+        name = rel(path, root)
         text = strip_comments_and_strings(path.read_text())
         for lineno, line in enumerate(text.splitlines(), 1):
-            for pattern, allowlist, message in RULES:
+            for pattern, allowlist, message in rules:
                 if name not in allowlist and pattern.search(line):
                     findings.append(f"{name}:{lineno}: {message}")
 
     # A stale allowlist silently widens the escape hatch: every listed
     # file must still exist.
-    for listed in sorted(RNG_ALLOWLIST | WALLCLOCK_ALLOWLIST |
-                         GETENV_ALLOWLIST):
-        if not (REPO / listed).is_file():
+    for listed in sorted(rng | wallclock | getenv):
+        if not (root / listed).is_file():
             findings.append(f"{listed}: allowlisted file does not exist")
 
+    return findings
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", type=Path, default=REPO,
+                    help="tree to lint (default: the repository)")
+    args = ap.parse_args()
+
+    findings = collect_findings(args.root.resolve())
     if findings:
         print(f"check_determinism: {len(findings)} finding(s)",
               file=sys.stderr)

@@ -14,6 +14,10 @@ Rules enforced over src/ (and, where noted, tests/):
   5. self-contained   every header in src/ must compile on its own
                       (a generated TU per header, g++ -fsyntax-only).
 
+The lint runs against the repository by default; --root points it at
+any tree with the same src/ layout, which is how the fixture suite in
+tools/lint/tests/ exercises both the clean and the dirty paths.
+
 Exit status: 0 when clean, 1 with findings listed on stderr.
 """
 
@@ -69,20 +73,25 @@ def strip_comments_and_strings(text: str) -> str:
     return "".join(out)
 
 
-def rel(path: Path) -> str:
-    return path.relative_to(REPO).as_posix()
+def rel(path: Path, root: Path = REPO) -> str:
+    return path.relative_to(root).as_posix()
 
 
-def expected_guard(path: Path) -> str:
-    parts = path.relative_to(SRC).parts
+def source_files(root: Path) -> list[Path]:
+    """All lintable C++ files under <root>/src, headers first."""
+    src = root / "src"
+    return sorted(src.rglob("*.h")) + sorted(src.rglob("*.cc"))
+
+
+def expected_guard(path: Path, root: Path) -> str:
+    parts = path.relative_to(root / "src").parts
     return "FDIP_" + "_".join(p.upper().replace(".", "_").replace("-", "_")
                               for p in parts) + "_"
 
 
-def lint_content(findings: list[str]) -> None:
-    files = sorted(SRC.rglob("*.h")) + sorted(SRC.rglob("*.cc"))
-    for path in files:
-        name = rel(path)
+def lint_content(findings: list[str], root: Path) -> None:
+    for path in source_files(root):
+        name = rel(path, root)
         text = strip_comments_and_strings(path.read_text())
         for lineno, line in enumerate(text.splitlines(), 1):
             if name not in RAND_ALLOWLIST and RE_LIBC_RAND.search(line):
@@ -99,18 +108,19 @@ def lint_content(findings: list[str]) -> None:
                     f"static_cast")
 
 
-def lint_guards(findings: list[str]) -> None:
-    for path in sorted(SRC.rglob("*.h")):
+def lint_guards(findings: list[str], root: Path) -> None:
+    for path in sorted((root / "src").rglob("*.h")):
         text = path.read_text()
-        guard = expected_guard(path)
+        guard = expected_guard(path, root)
         if f"#ifndef {guard}" not in text or f"#define {guard}" not in text:
             findings.append(
-                f"{rel(path)}: missing or misnamed include guard "
+                f"{rel(path, root)}: missing or misnamed include guard "
                 f"(expected {guard})")
 
 
-def lint_self_contained(findings: list[str], jobs: int) -> None:
-    headers = sorted(SRC.rglob("*.h"))
+def lint_self_contained(findings: list[str], root: Path, jobs: int) -> None:
+    src = root / "src"
+    headers = sorted(src.rglob("*.h"))
     with tempfile.TemporaryDirectory() as tmp:
         procs: list[tuple[Path, subprocess.Popen]] = []
 
@@ -122,14 +132,15 @@ def lint_self_contained(findings: list[str], jobs: int) -> None:
                     tail = "\n    ".join(
                         err.decode(errors="replace").splitlines()[:6])
                     findings.append(
-                        f"{rel(hdr)}: header is not self-contained:\n"
+                        f"{rel(hdr, root)}: header is not self-contained:\n"
                         f"    {tail}")
 
         for idx, hdr in enumerate(headers):
             tu = Path(tmp) / f"tu_{idx}.cc"
-            tu.write_text(f'#include "{rel(hdr)[len("src/"):]}"\n')
+            tu.write_text(
+                f'#include "{rel(hdr, root)[len("src/"):]}"\n')
             cmd = ["g++", "-std=c++20", "-fsyntax-only",
-                   f"-I{SRC}", str(tu)]
+                   f"-I{src}", str(tu)]
             procs.append(
                 (hdr, subprocess.Popen(cmd, stdout=subprocess.PIPE,
                                        stderr=subprocess.PIPE)))
@@ -137,20 +148,29 @@ def lint_self_contained(findings: list[str], jobs: int) -> None:
         drain(0)
 
 
+def collect_findings(root: Path = REPO, jobs: int = 8,
+                     skip_syntax: bool = False) -> list[str]:
+    """Runs every pass over <root>/src and returns the findings."""
+    findings: list[str] = []
+    lint_content(findings, root)
+    lint_guards(findings, root)
+    if not skip_syntax:
+        lint_self_contained(findings, root, max(1, jobs))
+    return findings
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", type=Path, default=REPO,
+                    help="tree to lint (default: the repository)")
     ap.add_argument("--skip-syntax", action="store_true",
                     help="skip the (slower) self-contained-header pass")
     ap.add_argument("-j", "--jobs", type=int, default=8,
                     help="parallel compiler invocations (default 8)")
     args = ap.parse_args()
 
-    findings: list[str] = []
-    lint_content(findings)
-    lint_guards(findings)
-    if not args.skip_syntax:
-        lint_self_contained(findings, max(1, args.jobs))
-
+    findings = collect_findings(args.root.resolve(), args.jobs,
+                                args.skip_syntax)
     if findings:
         print(f"check_sources: {len(findings)} finding(s)", file=sys.stderr)
         for f in findings:

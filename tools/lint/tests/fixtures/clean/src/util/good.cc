@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Clean fixture TU: file-scope constructs the lints must tolerate.
+ */
+
+#include "util/good.h"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace fixture
+{
+namespace
+{
+
+/// Anonymous-namespace constants are immutable — always fine.
+constexpr int kTableSize = 8;
+const int kDerived = kTableSize * 2;
+
+/// File-local helper *functions* (static linkage) are not state.
+static int
+doubleIt(int v)
+{
+    return v * 2;
+}
+
+} // namespace
+
+int
+useHelpers(int v)
+{
+    // Mutable *locals* are per-call, not ambient state.
+    int total = 0;
+    for (int i = 0; i < kDerived; ++i)
+        total += doubleIt(v);
+    return std::max(total, kAnswer);
+}
+
+} // namespace fixture

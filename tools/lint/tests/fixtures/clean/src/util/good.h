@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Clean fixture header: exercises every pattern the lints must NOT
+ * flag. A false positive on any construct below is a lint regression.
+ */
+
+#ifndef FDIP_UTIL_GOOD_H_
+#define FDIP_UTIL_GOOD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fixture
+{
+
+/// constexpr namespace-scope state is immutable — always fine.
+inline constexpr int kAnswer = 42;
+inline constexpr double kRatio = 0.5;
+
+/// Type aliases are not variable declarations.
+using CycleCount = std::uint64_t;
+typedef std::vector<int> IntVec;
+
+/// Enums brace-open at namespace scope without being state.
+enum class Kind : std::uint8_t { kNone, kSome };
+
+struct Config {
+    int ways = 4;
+    CycleCount latency{3};
+
+    /// Static member *functions* are fine; only static data is state.
+    static Config defaults() { return Config{}; }
+};
+
+/// A class whose members look like state but live per-instance.
+class Counter
+{
+  public:
+    void bump() { value_ += 1; }
+    [[nodiscard]] CycleCount value() const { return value_; }
+
+  private:
+    CycleCount value_ = 0;
+};
+
+/// Free function with a const local static (immutable: allowed).
+inline const std::string &
+kindName(Kind k)
+{
+    static const std::string names[] = {"none", "some"};
+    return names[static_cast<std::uint8_t>(k)];
+}
+
+/// Mentions of "mutex" or "atomic" in identifiers are not primitives.
+inline int
+atomicityScore(int mutexCount)
+{
+    return mutexCount * 2;
+}
+
+} // namespace fixture
+
+#endif // FDIP_UTIL_GOOD_H_

@@ -1,0 +1,15 @@
+/**
+ * @file
+ * Dirty fixture header: include guard does not match the path (the
+ * expected guard is FDIP_UTIL_BAD_GUARD_H_).
+ */
+
+#ifndef FIXTURE_WRONG_GUARD_H
+#define FIXTURE_WRONG_GUARD_H
+
+namespace fixture
+{
+inline constexpr int kGuarded = 1;
+} // namespace fixture
+
+#endif // FIXTURE_WRONG_GUARD_H

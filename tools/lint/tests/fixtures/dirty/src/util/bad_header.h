@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Dirty fixture header: guard is correct but the header is not
+ * self-contained — UndeclaredType is never defined and nothing is
+ * included, so the per-header syntax TU fails to compile.
+ */
+
+#ifndef FDIP_UTIL_BAD_HEADER_H_
+#define FDIP_UTIL_BAD_HEADER_H_
+
+namespace fixture
+{
+
+inline UndeclaredType
+makeOne()
+{
+    return UndeclaredType{};
+}
+
+} // namespace fixture
+
+#endif // FDIP_UTIL_BAD_HEADER_H_

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Dirty fixture TU for check_concurrency: raw primitives, ambient
+ * static state, and namespace-scope globals. Never compiled — only
+ * linted.
+ */
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+namespace fixture
+{
+
+std::mutex g_raw_mutex;               // raw mutex + namespace-scope state
+std::atomic<int> g_raw_atomic{0};     // raw atomic
+int g_call_count = 0;                 // plain namespace-scope mutable state
+std::vector<int> g_shared_pool{1, 2}; // brace-initialized global
+
+namespace
+{
+static int s_hidden_count = 0;        // anonymous-namespace static state
+} // namespace
+
+void
+breakConcurrency()
+{
+    std::lock_guard<std::mutex> lock(g_raw_mutex);   // raw lock guard
+    static int calls = 0;                            // function-local static
+    thread_local int perThread = 0;                  // thread_local state
+    std::condition_variable_any *cv = nullptr;       // condition variable
+    pthread_mutex_lock(nullptr);                     // pthreads
+    (void)calls; (void)perThread; (void)cv;
+}
+
+} // namespace fixture

@@ -1,0 +1,273 @@
+#!/usr/bin/env python3
+"""Self-tests for the lint suite (stdlib only, run by ctest + CI).
+
+A lint that silently stops firing is worse than no lint: the tree
+drifts while CI stays green. This suite runs all four lint scripts
+(check_sources, check_determinism, check_concurrency, check_trace)
+against known-good and known-bad fixture trees under
+tools/lint/tests/fixtures/ and asserts both directions:
+
+  - the clean tree produces zero findings (false-positive regression),
+  - every deliberately planted violation in the dirty tree is found
+    (false-negative regression), rule by rule,
+  - the allowlist-existence guard fires for stale allowlist entries,
+  - the CLI entry points return the right exit codes.
+
+Run directly (`python3 run_lint_tests.py`) or via ctest
+(`ctest -R lint_selftests`).
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import unittest
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+LINT_DIR = HERE.parent
+FIXTURES = HERE / "fixtures"
+CLEAN = FIXTURES / "clean"
+DIRTY = FIXTURES / "dirty"
+TRACES = FIXTURES / "traces"
+
+sys.path.insert(0, str(LINT_DIR))
+import check_concurrency  # noqa: E402
+import check_determinism  # noqa: E402
+import check_sources  # noqa: E402
+import check_trace  # noqa: E402
+
+NO_ALLOW: set[str] = set()
+
+
+class LintAssertions(unittest.TestCase):
+    def assertFinding(self, findings, where, needle, count=None):
+        """Asserts a finding for file @p where whose text has @p needle."""
+        hits = [f for f in findings
+                if f.startswith(where) and needle in f]
+        if count is None:
+            self.assertTrue(
+                hits, f"no finding for {where} matching {needle!r} in:\n" +
+                "\n".join(findings))
+        else:
+            self.assertEqual(
+                len(hits), count,
+                f"expected {count} finding(s) for {where} matching "
+                f"{needle!r}, got {len(hits)} in:\n" + "\n".join(findings))
+
+
+class CleanTreeIsClean(LintAssertions):
+    """False-positive regression: zero findings on the clean tree."""
+
+    def test_check_sources(self):
+        self.assertEqual(check_sources.collect_findings(CLEAN), [])
+
+    def test_check_determinism(self):
+        self.assertEqual(
+            check_determinism.collect_findings(
+                CLEAN, rng_allowlist=NO_ALLOW,
+                wallclock_allowlist=NO_ALLOW, getenv_allowlist=NO_ALLOW),
+            [])
+
+    def test_check_concurrency(self):
+        self.assertEqual(
+            check_concurrency.collect_findings(
+                CLEAN, primitive_allowlist=NO_ALLOW,
+                static_allowlist=NO_ALLOW,
+                thread_local_allowlist=NO_ALLOW),
+            [])
+
+
+class DirtyTreeIsCaught(LintAssertions):
+    """False-negative regression: every planted violation is found."""
+
+    @classmethod
+    def setUpClass(cls):
+        cls.sources = check_sources.collect_findings(DIRTY)
+        cls.determinism = check_determinism.collect_findings(
+            DIRTY, rng_allowlist=NO_ALLOW, wallclock_allowlist=NO_ALLOW,
+            getenv_allowlist=NO_ALLOW)
+        cls.concurrency = check_concurrency.collect_findings(
+            DIRTY, primitive_allowlist=NO_ALLOW,
+            static_allowlist=NO_ALLOW, thread_local_allowlist=NO_ALLOW)
+
+    # --- check_sources rules -----------------------------------------
+    def test_libc_rand(self):
+        self.assertFinding(self.sources, "src/util/bad_content.cc",
+                           "rand()/srand() is banned", count=2)
+
+    def test_raw_new(self):
+        self.assertFinding(self.sources, "src/util/bad_content.cc",
+                           "raw `new` is banned", count=1)
+
+    def test_c_cast(self):
+        self.assertFinding(self.sources, "src/util/bad_content.cc",
+                           "C-style narrowing cast", count=1)
+
+    def test_include_guard(self):
+        self.assertFinding(self.sources, "src/util/bad_guard.h",
+                           "expected FDIP_UTIL_BAD_GUARD_H_", count=1)
+
+    def test_self_contained(self):
+        self.assertFinding(self.sources, "src/util/bad_header.h",
+                           "not self-contained")
+
+    # --- check_determinism rules -------------------------------------
+    def test_det_rand(self):
+        self.assertFinding(self.determinism, "src/util/bad_content.cc",
+                           "rand()/srand() is banned", count=2)
+
+    def test_random_device(self):
+        self.assertFinding(self.determinism, "src/util/bad_content.cc",
+                           "random_device", count=1)
+
+    def test_wallclock_time(self):
+        self.assertFinding(self.determinism, "src/util/bad_content.cc",
+                           "time() is banned", count=1)
+
+    def test_wallclock_clock(self):
+        self.assertFinding(self.determinism, "src/util/bad_content.cc",
+                           "clock() is banned", count=1)
+
+    def test_chrono_clock(self):
+        self.assertFinding(self.determinism, "src/util/bad_content.cc",
+                           "chrono host clocks", count=1)
+
+    def test_getenv(self):
+        self.assertFinding(self.determinism, "src/util/bad_content.cc",
+                           "getenv() is banned", count=1)
+
+    # --- check_concurrency rules -------------------------------------
+    def test_raw_mutex(self):
+        self.assertFinding(self.concurrency, "src/util/bad_sync.cc",
+                           "raw std mutexes are banned")
+
+    def test_raw_lock_guard(self):
+        self.assertFinding(self.concurrency, "src/util/bad_sync.cc",
+                           "raw std lock guards are banned", count=1)
+
+    def test_raw_atomic(self):
+        self.assertFinding(self.concurrency, "src/util/bad_sync.cc",
+                           "raw std::atomic is banned", count=1)
+
+    def test_condition_variable(self):
+        self.assertFinding(self.concurrency, "src/util/bad_sync.cc",
+                           "condition_variable is banned", count=1)
+
+    def test_pthreads(self):
+        self.assertFinding(self.concurrency, "src/util/bad_sync.cc",
+                           "pthreads are banned", count=1)
+
+    def test_banned_includes(self):
+        self.assertFinding(self.concurrency, "src/util/bad_sync.cc",
+                           "concurrency headers are banned", count=2)
+
+    def test_static_state(self):
+        # s_hidden_count (anonymous namespace) + calls (function-local).
+        self.assertFinding(self.concurrency, "src/util/bad_sync.cc",
+                           "mutable static state", count=2)
+
+    def test_namespace_state(self):
+        # g_raw_mutex, g_raw_atomic, g_call_count, g_shared_pool.
+        self.assertFinding(self.concurrency, "src/util/bad_sync.cc",
+                           "mutable namespace-scope state", count=4)
+
+    def test_thread_local(self):
+        self.assertFinding(self.concurrency, "src/util/bad_sync.cc",
+                           "thread_local is ambient", count=1)
+
+
+class AllowlistGuards(LintAssertions):
+    """A stale allowlist entry is itself a finding."""
+
+    def test_determinism_stale_entry(self):
+        findings = check_determinism.collect_findings(
+            CLEAN, rng_allowlist={"src/util/missing_rng.h"},
+            wallclock_allowlist=NO_ALLOW, getenv_allowlist=NO_ALLOW)
+        self.assertFinding(findings, "src/util/missing_rng.h",
+                           "allowlisted file does not exist", count=1)
+
+    def test_concurrency_stale_entry(self):
+        findings = check_concurrency.collect_findings(
+            CLEAN, primitive_allowlist={"src/util/missing_sync.h"},
+            static_allowlist=NO_ALLOW, thread_local_allowlist=NO_ALLOW)
+        self.assertFinding(findings, "src/util/missing_sync.h",
+                           "allowlisted file does not exist", count=1)
+
+    def test_allowlisted_violation_is_silent(self):
+        findings = check_concurrency.collect_findings(
+            DIRTY, primitive_allowlist={"src/util/bad_sync.cc"},
+            static_allowlist={"src/util/bad_sync.cc"},
+            thread_local_allowlist={"src/util/bad_sync.cc"})
+        self.assertEqual(
+            [f for f in findings if f.startswith("src/util/bad_sync.cc")],
+            [])
+
+
+class TraceChecker(LintAssertions):
+    def test_good_trace(self):
+        problems = check_trace.check_trace(
+            str(TRACES / "good_trace.json"),
+            ["sim_start", "l2_fill"], 3)
+        self.assertEqual(problems, [])
+
+    def test_good_trace_missing_required_name(self):
+        problems = check_trace.check_trace(
+            str(TRACES / "good_trace.json"), ["never_emitted"], 1)
+        self.assertTrue(any("never_emitted" in p for p in problems))
+
+    def test_bad_trace(self):
+        problems = check_trace.check_trace(
+            str(TRACES / "bad_trace.json"), [], 1)
+        text = "\n".join(problems)
+        self.assertIn("unexpected phase 'x'", text)
+        self.assertIn("timestamp went backwards", text)
+        self.assertIn("end without begin", text)
+        self.assertIn("'b' event has no 'ts'", text)
+        self.assertIn("missing ['ph']", text)
+        self.assertEqual(len(problems), 5, text)
+
+    def test_unparseable_trace(self):
+        problems = check_trace.check_trace(
+            str(TRACES / "no_such_trace.json"), [], 1)
+        self.assertTrue(any("cannot parse" in p for p in problems))
+
+
+class CliExitCodes(LintAssertions):
+    """The scripts' CLI entry points report findings via exit status."""
+
+    @staticmethod
+    def run_script(script, *argv):
+        return subprocess.run(
+            [sys.executable, str(LINT_DIR / script), *argv],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE).returncode
+
+    def test_check_sources_cli(self):
+        self.assertEqual(
+            self.run_script("check_sources.py", "--root", str(CLEAN)), 0)
+        self.assertEqual(
+            self.run_script("check_sources.py", "--root", str(DIRTY)), 1)
+
+    def test_check_determinism_cli(self):
+        # Default allowlists point at repo files absent from the
+        # fixture trees, so the existence guard (correctly) fails both.
+        self.assertEqual(
+            self.run_script("check_determinism.py", "--root", str(DIRTY)),
+            1)
+
+    def test_check_concurrency_cli(self):
+        self.assertEqual(
+            self.run_script("check_concurrency.py", "--root", str(DIRTY)),
+            1)
+
+    def test_check_trace_cli(self):
+        self.assertEqual(
+            self.run_script("check_trace.py",
+                            str(TRACES / "good_trace.json")), 0)
+        self.assertEqual(
+            self.run_script("check_trace.py",
+                            str(TRACES / "bad_trace.json")), 1)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)
