@@ -48,7 +48,7 @@ BM_BtbLookup(benchmark::State &state)
     Btb btb(cfg);
     Rng rng(2);
     for (unsigned i = 0; i < cfg.numEntries; ++i)
-        btb.insert(0x400000 + i * 8, InstClass::kJumpDirect, 0x9000,
+        btb.install(0x400000 + i * 8, InstClass::kJumpDirect, 0x9000,
                    true);
     for (auto _ : state) {
         const Addr pc = 0x400000 + (rng.next() % (cfg.numEntries)) * 8;
@@ -85,7 +85,7 @@ BM_CacheAccess(benchmark::State &state)
     for (auto _ : state) {
         const Addr line = (rng.next() & 0xfff) * kCacheLineBytes;
         if (!cache.access(line).has_value())
-            cache.insert(line);
+            cache.fill(line);
     }
     state.SetItemsProcessed(state.iterations());
 }

@@ -1,6 +1,7 @@
 #include "bpu/bpu.h"
 
 #include "util/log.h"
+#include "util/hotpath.h"
 
 namespace fdip
 {
@@ -37,7 +38,7 @@ Bpu::Bpu(const BpuConfig &cfg)
         btbHier_ = std::make_unique<BtbHierarchy>(cfg_.btbHierarchy, *btb_);
 }
 
-std::optional<BtbLevelHit>
+FDIP_HOT_PATH std::optional<BtbLevelHit>
 Bpu::lookupBranch(Addr pc)
 {
     if (btbHier_)
@@ -48,17 +49,17 @@ Bpu::lookupBranch(Addr pc)
     return BtbLevelHit{*h, false};
 }
 
-void
+FDIP_HOT_PATH void
 Bpu::insertBranch(Addr pc, InstClass kind, Addr target, bool taken)
 {
     if (btbHier_) {
-        btbHier_->insert(pc, kind, target, taken);
+        btbHier_->install(pc, kind, target, taken);
         return;
     }
-    btb_->insert(pc, kind, target, taken);
+    btb_->install(pc, kind, target, taken);
 }
 
-DirectionPrediction
+FDIP_HOT_PATH DirectionPrediction
 Bpu::predictDirection(Addr pc, bool oracle_taken) const
 {
     DirectionPrediction p;
@@ -86,7 +87,7 @@ Bpu::predictDirection(Addr pc, bool oracle_taken) const
     return p;
 }
 
-void
+FDIP_HOT_PATH void
 Bpu::updateDirection(Addr pc, bool taken, const DirectionPrediction &pred)
 {
     switch (cfg_.direction) {
@@ -106,13 +107,13 @@ Bpu::updateDirection(Addr pc, bool taken, const DirectionPrediction &pred)
         loop_->update(pc, taken);
 }
 
-Addr
+FDIP_HOT_PATH Addr
 Bpu::predictIndirect(Addr pc, IttagePrediction &meta) const
 {
     return ittage_->predict(pc, meta);
 }
 
-void
+FDIP_HOT_PATH void
 Bpu::updateIndirect(Addr pc, Addr target, const IttagePrediction &meta)
 {
     ittage_->update(pc, target, meta);

@@ -2,6 +2,7 @@
 
 #include "util/bits.h"
 #include "util/log.h"
+#include "util/hotpath.h"
 
 namespace fdip
 {
@@ -18,7 +19,7 @@ Btb::Btb(const BtbConfig &cfg)
     entries_.assign(cfg_.numEntries, Entry{});
 }
 
-std::uint32_t
+FDIP_HOT_PATH std::uint32_t
 Btb::setOf(Addr pc) const
 {
     // 16B-indexed: drop the low 4 bits so all branches in a 16B chunk
@@ -28,7 +29,7 @@ Btb::setOf(Addr pc) const
         (chunk ^ (chunk >> floorLog2(numSets_))) & (numSets_ - 1));
 }
 
-Btb::Entry *
+FDIP_HOT_PATH Btb::Entry *
 Btb::find(Addr pc)
 {
     Entry *row = &entries_[std::size_t{setOf(pc)} * cfg_.ways];
@@ -39,13 +40,13 @@ Btb::find(Addr pc)
     return nullptr;
 }
 
-const Btb::Entry *
+FDIP_HOT_PATH const Btb::Entry *
 Btb::find(Addr pc) const
 {
     return const_cast<Btb *>(this)->find(pc);
 }
 
-std::optional<BtbHit>
+FDIP_HOT_PATH std::optional<BtbHit>
 Btb::lookup(Addr pc)
 {
     ++lookups_;
@@ -57,7 +58,7 @@ Btb::lookup(Addr pc)
     return BtbHit{e->kind, e->target};
 }
 
-std::optional<BtbHit>
+FDIP_HOT_PATH std::optional<BtbHit>
 Btb::peek(Addr pc) const
 {
     const Entry *e = find(pc);
@@ -66,8 +67,8 @@ Btb::peek(Addr pc) const
     return BtbHit{e->kind, e->target};
 }
 
-void
-Btb::insert(Addr pc, InstClass kind, Addr target, bool taken)
+FDIP_HOT_PATH void
+Btb::install(Addr pc, InstClass kind, Addr target, bool taken)
 {
     Entry *e = find(pc);
     if (e != nullptr) {
@@ -101,7 +102,7 @@ Btb::insert(Addr pc, InstClass kind, Addr target, bool taken)
     victim->lru = ++lruClock_;
 }
 
-void
+FDIP_HOT_PATH void
 Btb::invalidate(Addr pc)
 {
     Entry *e = find(pc);

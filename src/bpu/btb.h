@@ -82,11 +82,11 @@ class Btb
     std::optional<BtbHit> peek(Addr pc) const;
 
     /**
-     * Inserts or updates the branch at @p pc. @p taken is the resolved
+     * Installs or updates the branch at @p pc. @p taken is the resolved
      * direction (allocation may be skipped under taken-only policy);
      * existing entries always have their target refreshed.
      */
-    void insert(Addr pc, InstClass kind, Addr target, bool taken);
+    void install(Addr pc, InstClass kind, Addr target, bool taken);
 
     /** Removes the entry for @p pc if present (testing/invalidation). */
     void invalidate(Addr pc);

@@ -1,4 +1,5 @@
 #include "bpu/btb_hierarchy.h"
+#include "util/hotpath.h"
 
 namespace fdip
 {
@@ -25,7 +26,7 @@ BtbHierarchy::BtbHierarchy(const BtbHierarchyConfig &cfg, Btb &main_btb)
 {
 }
 
-std::optional<BtbLevelHit>
+FDIP_HOT_PATH std::optional<BtbLevelHit>
 BtbHierarchy::lookup(Addr pc)
 {
     if (const auto h1 = l1_.lookup(pc); h1.has_value()) {
@@ -36,18 +37,18 @@ BtbHierarchy::lookup(Addr pc)
     }
     if (const auto h2 = main_.lookup(pc); h2.has_value()) {
         ++l2Promotions_;
-        l1_.insert(pc, h2->kind, h2->target, true);
+        l1_.install(pc, h2->kind, h2->target, true);
         return BtbLevelHit{*h2, true};
     }
     return std::nullopt;
 }
 
-void
-BtbHierarchy::insert(Addr pc, InstClass kind, Addr target, bool taken)
+FDIP_HOT_PATH void
+BtbHierarchy::install(Addr pc, InstClass kind, Addr target, bool taken)
 {
-    main_.insert(pc, kind, target, taken);
+    main_.install(pc, kind, target, taken);
     if (taken || !main_.config().allocateTakenOnly)
-        l1_.insert(pc, kind, target, taken);
+        l1_.install(pc, kind, target, taken);
 }
 
 void

@@ -49,8 +49,8 @@ class BtbHierarchy
     /** Hierarchical lookup with L1 promotion on L2 hits. */
     std::optional<BtbLevelHit> lookup(Addr pc);
 
-    /** Insert into both levels (resolved-branch training path). */
-    void insert(Addr pc, InstClass kind, Addr target, bool taken);
+    /** Install into both levels (resolved-branch training path). */
+    void install(Addr pc, InstClass kind, Addr target, bool taken);
 
     const BtbHierarchyConfig &config() const { return cfg_; }
 

@@ -1,6 +1,7 @@
 #include "bpu/gshare.h"
 
 #include "util/bits.h"
+#include "util/hotpath.h"
 
 namespace fdip
 {
@@ -12,7 +13,7 @@ Gshare::Gshare(unsigned log_entries, unsigned history_bits)
 {
 }
 
-std::uint32_t
+FDIP_HOT_PATH std::uint32_t
 Gshare::indexOf(Addr pc) const
 {
     const std::uint64_t h =
@@ -21,13 +22,13 @@ Gshare::indexOf(Addr pc) const
     return static_cast<std::uint32_t>(h & mask(logEntries_));
 }
 
-bool
+FDIP_HOT_PATH bool
 Gshare::predict(Addr pc) const
 {
     return table_[indexOf(pc)].taken();
 }
 
-void
+FDIP_HOT_PATH void
 Gshare::update(Addr pc, bool taken)
 {
     table_[indexOf(pc)].update(taken);

@@ -6,6 +6,7 @@
 
 #include "util/bits.h"
 #include "util/log.h"
+#include "util/hotpath.h"
 
 namespace fdip
 {
@@ -47,7 +48,7 @@ BranchHistory::registerFold(unsigned length_bits, unsigned folded_bits)
     return static_cast<unsigned>(folds_.size() - 1);
 }
 
-void
+FDIP_HOT_PATH void
 BranchHistory::pushBit(unsigned bit)
 {
     const std::uint64_t word = (headPos_ / 64) % kRingWords;
@@ -65,7 +66,7 @@ BranchHistory::pushBit(unsigned bit)
     ++headPos_;
 }
 
-void
+FDIP_HOT_PATH void
 BranchHistory::pushBranch(Addr pc, Addr target, bool taken)
 {
     ++numEvents_;
@@ -81,7 +82,7 @@ BranchHistory::pushBranch(Addr pc, Addr target, bool taken)
     }
 }
 
-HistorySnapshot
+FDIP_HOT_PATH HistorySnapshot
 BranchHistory::snapshot() const
 {
     HistorySnapshot s;
@@ -93,7 +94,7 @@ BranchHistory::snapshot() const
     return s;
 }
 
-void
+FDIP_HOT_PATH void
 BranchHistory::restore(const HistorySnapshot &snap)
 {
     if (snap.numFolds != folds_.size())

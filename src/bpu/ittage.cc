@@ -4,6 +4,7 @@
 
 #include "util/bits.h"
 #include "util/log.h"
+#include "util/hotpath.h"
 
 namespace fdip
 {
@@ -41,7 +42,7 @@ Ittage::Ittage(const IttageConfig &cfg, BranchHistory &hist)
     base_.assign(std::size_t{1} << cfg_.logBaseEntries, kNoAddr);
 }
 
-std::uint32_t
+FDIP_HOT_PATH std::uint32_t
 Ittage::tableIndex(Addr pc, unsigned t) const
 {
     const std::uint64_t h = (pc >> 2) ^ (pc >> (2 + cfg_.logEntries)) ^
@@ -50,7 +51,7 @@ Ittage::tableIndex(Addr pc, unsigned t) const
     return static_cast<std::uint32_t>(h & mask(cfg_.logEntries));
 }
 
-std::uint16_t
+FDIP_HOT_PATH std::uint16_t
 Ittage::tableTag(Addr pc, unsigned t) const
 {
     const std::uint64_t h = (pc >> 2) ^ hist_.folded(tagFoldA_[t]) ^
@@ -58,7 +59,7 @@ Ittage::tableTag(Addr pc, unsigned t) const
     return static_cast<std::uint16_t>(h & mask(cfg_.tagBits));
 }
 
-Addr
+FDIP_HOT_PATH Addr
 Ittage::predict(Addr pc, IttagePrediction &meta) const
 {
     meta = IttagePrediction{};
@@ -88,7 +89,7 @@ Ittage::predict(Addr pc, IttagePrediction &meta) const
     return meta.target;
 }
 
-void
+FDIP_HOT_PATH void
 Ittage::update(Addr pc, Addr target, const IttagePrediction &meta)
 {
     (void)pc;

@@ -1,6 +1,7 @@
 #include "bpu/loop_predictor.h"
 
 #include "util/bits.h"
+#include "util/hotpath.h"
 
 namespace fdip
 {
@@ -11,21 +12,21 @@ LoopPredictor::LoopPredictor(const LoopPredictorConfig &cfg)
 {
 }
 
-std::uint32_t
+FDIP_HOT_PATH std::uint32_t
 LoopPredictor::indexOf(Addr pc) const
 {
     const std::uint64_t h = (pc >> 2) ^ (pc >> (2 + cfg_.logEntries));
     return static_cast<std::uint32_t>(h & mask(cfg_.logEntries));
 }
 
-std::uint16_t
+FDIP_HOT_PATH std::uint16_t
 LoopPredictor::tagOf(Addr pc) const
 {
     return static_cast<std::uint16_t>((pc >> (2 + cfg_.logEntries)) &
                                       mask(12));
 }
 
-const LoopPredictor::Entry *
+FDIP_HOT_PATH const LoopPredictor::Entry *
 LoopPredictor::find(Addr pc) const
 {
     const Entry *row = &entries_[std::size_t{indexOf(pc)} * cfg_.ways];
@@ -36,14 +37,14 @@ LoopPredictor::find(Addr pc) const
     return nullptr;
 }
 
-LoopPredictor::Entry *
+FDIP_HOT_PATH LoopPredictor::Entry *
 LoopPredictor::find(Addr pc)
 {
     return const_cast<Entry *>(
         static_cast<const LoopPredictor *>(this)->find(pc));
 }
 
-LoopPrediction
+FDIP_HOT_PATH LoopPrediction
 LoopPredictor::predict(Addr pc) const
 {
     LoopPrediction p;
@@ -58,7 +59,7 @@ LoopPredictor::predict(Addr pc) const
     return p;
 }
 
-void
+FDIP_HOT_PATH void
 LoopPredictor::update(Addr pc, bool taken)
 {
     Entry *e = find(pc);

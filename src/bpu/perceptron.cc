@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "util/bits.h"
+#include "util/hotpath.h"
 
 namespace fdip
 {
@@ -19,14 +20,14 @@ Perceptron::Perceptron(const PerceptronConfig &cfg)
 {
 }
 
-std::uint32_t
+FDIP_HOT_PATH std::uint32_t
 Perceptron::rowOf(Addr pc) const
 {
     const std::uint64_t h = (pc >> 2) ^ (pc >> (2 + cfg_.logEntries));
     return static_cast<std::uint32_t>(h & mask(cfg_.logEntries));
 }
 
-int
+FDIP_HOT_PATH int
 Perceptron::dot(Addr pc) const
 {
     const std::int16_t *w =
@@ -39,13 +40,13 @@ Perceptron::dot(Addr pc) const
     return sum;
 }
 
-bool
+FDIP_HOT_PATH bool
 Perceptron::predict(Addr pc) const
 {
     return dot(pc) >= 0;
 }
 
-void
+FDIP_HOT_PATH void
 Perceptron::update(Addr pc, bool taken)
 {
     const int sum = dot(pc);

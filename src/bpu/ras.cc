@@ -1,6 +1,7 @@
 #include "bpu/ras.h"
 
 #include "util/bits.h"
+#include "util/hotpath.h"
 
 namespace fdip
 {
@@ -11,7 +12,7 @@ Ras::Ras(unsigned depth)
     FDIP_REQUIRE(depth > 0, "a RAS needs at least one entry");
 }
 
-void
+FDIP_HOT_PATH void
 Ras::push(Addr return_addr)
 {
     topIndex_ = (topIndex_ + 1) % stack_.size();
@@ -20,7 +21,7 @@ Ras::push(Addr return_addr)
         ++live_;
 }
 
-Addr
+FDIP_HOT_PATH Addr
 Ras::pop()
 {
     if (live_ == 0) {
@@ -37,19 +38,19 @@ Ras::pop()
     return v;
 }
 
-Addr
+FDIP_HOT_PATH Addr
 Ras::top() const
 {
     return stack_[topIndex_];
 }
 
-RasSnapshot
+FDIP_HOT_PATH RasSnapshot
 Ras::snapshot() const
 {
     return RasSnapshot{topIndex_, stack_[topIndex_], live_};
 }
 
-RasSnapshot
+FDIP_HOT_PATH RasSnapshot
 Ras::snapshotAfterPush(Addr return_addr) const
 {
     const auto idx =
@@ -59,7 +60,7 @@ Ras::snapshotAfterPush(Addr return_addr) const
     return RasSnapshot{idx, return_addr, live};
 }
 
-RasSnapshot
+FDIP_HOT_PATH RasSnapshot
 Ras::snapshotAfterPop() const
 {
     const auto idx = static_cast<std::uint32_t>(
@@ -67,7 +68,7 @@ Ras::snapshotAfterPop() const
     return RasSnapshot{idx, stack_[idx], live_ > 0 ? live_ - 1 : 0};
 }
 
-void
+FDIP_HOT_PATH void
 Ras::restore(const RasSnapshot &snap)
 {
     FDIP_CHECK(snap.topIndex < stack_.size(),

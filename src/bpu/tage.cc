@@ -4,6 +4,7 @@
 
 #include "util/bits.h"
 #include "util/log.h"
+#include "util/hotpath.h"
 
 namespace fdip
 {
@@ -46,7 +47,7 @@ Tage::Tage(const TageConfig &cfg, BranchHistory &hist)
     base_.assign(std::size_t{1} << cfg_.logBaseEntries, SatCounter(2, 1));
 }
 
-std::uint32_t
+FDIP_HOT_PATH std::uint32_t
 Tage::tableIndex(Addr pc, unsigned t) const
 {
     const std::uint64_t h = (pc >> 2) ^ (pc >> (2 + cfg_.logEntries)) ^
@@ -55,7 +56,7 @@ Tage::tableIndex(Addr pc, unsigned t) const
     return static_cast<std::uint32_t>(h & mask(cfg_.logEntries));
 }
 
-std::uint16_t
+FDIP_HOT_PATH std::uint16_t
 Tage::tableTag(Addr pc, unsigned t) const
 {
     const std::uint64_t h = (pc >> 2) ^ hist_.folded(tagFoldA_[t]) ^
@@ -63,7 +64,7 @@ Tage::tableTag(Addr pc, unsigned t) const
     return static_cast<std::uint16_t>(h & mask(cfg_.tagBits));
 }
 
-bool
+FDIP_HOT_PATH bool
 Tage::predict(Addr pc, TagePrediction &meta) const
 {
     meta = TagePrediction{};
@@ -109,7 +110,7 @@ Tage::predict(Addr pc, TagePrediction &meta) const
     return meta.taken;
 }
 
-void
+FDIP_HOT_PATH void
 Tage::update(Addr pc, bool taken, const TagePrediction &meta)
 {
     (void)pc;

@@ -2,6 +2,7 @@
 
 #include "util/bits.h"
 #include "util/log.h"
+#include "util/hotpath.h"
 
 namespace fdip
 {
@@ -25,14 +26,14 @@ Cache::Cache(const CacheConfig &cfg)
     lines_.assign(lines, Line{});
 }
 
-std::uint32_t
+FDIP_HOT_PATH std::uint32_t
 Cache::setOf(Addr addr) const
 {
     return static_cast<std::uint32_t>((addr >> lineShift_) &
                                       (numSets_ - 1));
 }
 
-Cache::Line *
+FDIP_HOT_PATH Cache::Line *
 Cache::findLine(Addr addr)
 {
     const Addr tag = addr >> lineShift_;
@@ -44,14 +45,14 @@ Cache::findLine(Addr addr)
     return nullptr;
 }
 
-const Cache::Line *
+FDIP_HOT_PATH const Cache::Line *
 Cache::findLine(Addr addr) const
 {
     return const_cast<Cache *>(this)->findLine(addr);
 }
 
-std::optional<unsigned>
-Cache::probe(Addr addr)
+FDIP_HOT_PATH std::optional<unsigned>
+Cache::probe(Addr addr) FDIP_HOT_NOEXCEPT
 {
     ++tagAccesses_;
     const Line *l = findLine(addr);
@@ -64,8 +65,8 @@ Cache::probe(Addr addr)
     return static_cast<unsigned>(l - row);
 }
 
-std::optional<unsigned>
-Cache::access(Addr addr)
+FDIP_HOT_PATH std::optional<unsigned>
+Cache::access(Addr addr) FDIP_HOT_NOEXCEPT
 {
     ++tagAccesses_;
     Line *l = findLine(addr);
@@ -79,16 +80,16 @@ Cache::access(Addr addr)
     return static_cast<unsigned>(l - row);
 }
 
-void
-Cache::touch(Addr addr)
+FDIP_HOT_PATH void
+Cache::touch(Addr addr) FDIP_HOT_NOEXCEPT
 {
     Line *l = findLine(addr);
     if (l != nullptr)
         l->lru = ++lruClock_;
 }
 
-Addr
-Cache::insert(Addr addr, unsigned *way_out)
+FDIP_HOT_PATH Addr
+Cache::fill(Addr addr, unsigned *way_out) FDIP_HOT_NOEXCEPT
 {
     Line *existing = findLine(addr);
     if (existing != nullptr) {
@@ -133,14 +134,14 @@ Cache::insert(Addr addr, unsigned *way_out)
     return evicted;
 }
 
-bool
-Cache::contains(Addr addr) const
+FDIP_HOT_PATH bool
+Cache::contains(Addr addr) const FDIP_HOT_NOEXCEPT
 {
     return findLine(addr) != nullptr;
 }
 
-void
-Cache::invalidate(Addr addr)
+FDIP_HOT_PATH void
+Cache::invalidate(Addr addr) FDIP_HOT_NOEXCEPT
 {
     Line *l = findLine(addr);
     if (l != nullptr)

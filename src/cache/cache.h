@@ -15,6 +15,7 @@
 
 #include "check/schema.h"
 #include "obs/stat_registry.h"
+#include "util/hotpath.h"
 #include "util/rng.h"
 #include "util/types.h"
 
@@ -50,7 +51,7 @@ class Cache
 
     /** Line-aligns an address. */
     Addr
-    lineOf(Addr addr) const
+    lineOf(Addr addr) const FDIP_HOT_NOEXCEPT
     {
         return addr & ~static_cast<Addr>(cfg_.lineBytes - 1);
     }
@@ -60,29 +61,30 @@ class Cache
      * lookup). Returns the hitting way, if any. Counted as a tag
      * access.
      */
-    std::optional<unsigned> probe(Addr addr);
+    std::optional<unsigned> probe(Addr addr) FDIP_HOT_NOEXCEPT;
 
     /**
      * Full access: probe plus LRU touch on hit. Counted as a tag
      * access. Returns the hitting way, if any.
      */
-    std::optional<unsigned> access(Addr addr);
+    std::optional<unsigned> access(Addr addr) FDIP_HOT_NOEXCEPT;
 
     /** LRU touch of a known-resident line (no tag access counted). */
-    void touch(Addr addr);
+    void touch(Addr addr) FDIP_HOT_NOEXCEPT;
 
     /**
-     * Inserts the line for @p addr, evicting the replacement victim.
+     * Fills the line for @p addr, evicting the replacement victim.
      * Returns the evicted line address (kNoAddr if the way was empty),
      * and the way filled via @p way_out when non-null.
      */
-    Addr insert(Addr addr, unsigned *way_out = nullptr);
+    Addr fill(Addr addr,
+              unsigned *way_out = nullptr) FDIP_HOT_NOEXCEPT;
 
     /** True if the line is resident (no stats, no LRU update). */
-    bool contains(Addr addr) const;
+    bool contains(Addr addr) const FDIP_HOT_NOEXCEPT;
 
     /** Removes the line if resident. */
-    void invalidate(Addr addr);
+    void invalidate(Addr addr) FDIP_HOT_NOEXCEPT;
 
     /** Removes everything (testing). */
     void reset();

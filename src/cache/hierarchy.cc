@@ -1,15 +1,28 @@
 #include "cache/hierarchy.h"
+#include "util/hotpath.h"
 
 namespace fdip
 {
 
+namespace
+{
+
+/** Preallocation for the lazily-reaped in-flight maps: far above any
+ *  real in-flight population (L1I MSHRs bound the I-side; the ROB
+ *  bounds the D-side) so steady-state puts never allocate. */
+constexpr std::size_t kInFlightMapEntries = 4096;
+
+} // namespace
+
 MemoryHierarchy::MemoryHierarchy(const MemoryConfig &cfg)
-    : cfg_(cfg), l1d_(cfg.l1d), l2_(cfg.l2), llc_(cfg.llc)
+    : cfg_(cfg), l1d_(cfg.l1d), l2_(cfg.l2), llc_(cfg.llc),
+      inFlightInst_(kInFlightMapEntries),
+      inFlightData_(kInFlightMapEntries)
 {
 }
 
-FillResult
-MemoryHierarchy::walkBelowL1(Addr line, Cycle now)
+FDIP_HOT_PATH FillResult
+MemoryHierarchy::walkBelowL1(Addr line, Cycle now) FDIP_HOT_NOEXCEPT
 {
     FillResult r;
     if (l2_.access(line)) {
@@ -20,7 +33,7 @@ MemoryHierarchy::walkBelowL1(Addr line, Cycle now)
     if (llc_.access(line)) {
         r.level = HitLevel::kLlc;
         r.ready = now + cfg_.llcLatency;
-        l2_.insert(line);
+        l2_.fill(line);
         return r;
     }
     // DRAM: respect channel occupancy.
@@ -29,49 +42,49 @@ MemoryHierarchy::walkBelowL1(Addr line, Cycle now)
     nextDramFree_ = start + cfg_.dramOccupancy;
     r.level = HitLevel::kDram;
     r.ready = start + cfg_.dramLatency;
-    llc_.insert(line);
-    l2_.insert(line);
+    llc_.fill(line);
+    l2_.fill(line);
     return r;
 }
 
-FillResult
-MemoryHierarchy::fetchInstLine(Addr line_addr, Cycle now)
+FDIP_HOT_PATH FillResult
+MemoryHierarchy::fetchInstLine(Addr line_addr,
+                               Cycle now) FDIP_HOT_NOEXCEPT
 {
     ++instRequests_;
     const Addr line = l2_.lineOf(line_addr);
 
-    auto it = inFlightInst_.find(line);
-    if (it != inFlightInst_.end()) {
-        if (it->second > now) {
+    if (const Cycle *ready = inFlightInst_.find(line)) {
+        if (*ready > now) {
             ++instMerged_;
             // Merged into an outstanding fill; level approximated as L2
             // (the merge point does not matter for timing).
-            return FillResult{it->second, HitLevel::kL2};
+            return FillResult{*ready, HitLevel::kL2};
         }
-        inFlightInst_.erase(it);
+        inFlightInst_.erase(line);
     }
 
     const FillResult r = walkBelowL1(line, now);
     if (r.ready > now)
-        inFlightInst_[line] = r.ready;
+        inFlightInst_.put(line, r.ready);
     return r;
 }
 
-FillResult
-MemoryHierarchy::dataAccess(Addr addr, Cycle now, bool is_store)
+FDIP_HOT_PATH FillResult
+MemoryHierarchy::dataAccess(Addr addr, Cycle now,
+                            bool is_store) FDIP_HOT_NOEXCEPT
 {
     const Addr line = l1d_.lineOf(addr);
     if (l1d_.access(line)) {
         return FillResult{now + cfg_.l1dLatency, HitLevel::kL1};
     }
 
-    auto it = inFlightData_.find(line);
-    if (it != inFlightData_.end()) {
-        if (it->second > now)
-            return FillResult{it->second, HitLevel::kL2};
-        inFlightData_.erase(it);
+    if (const Cycle *ready = inFlightData_.find(line)) {
+        if (*ready > now)
+            return FillResult{*ready, HitLevel::kL2};
+        inFlightData_.erase(line);
         // The earlier fill has completed; the line is now resident.
-        l1d_.insert(line);
+        l1d_.fill(line);
         return FillResult{now + cfg_.l1dLatency, HitLevel::kL1};
     }
 
@@ -81,9 +94,9 @@ MemoryHierarchy::dataAccess(Addr addr, Cycle now, bool is_store)
         // Loads allocate into the L1D (stores modeled write-through,
         // no-allocate, which keeps the I-side focus of the study).
         if (r.ready > now + cfg_.l1dLatency)
-            inFlightData_[line] = r.ready;
+            inFlightData_.put(line, r.ready);
         else
-            l1d_.insert(line);
+            l1d_.fill(line);
     }
     return r;
 }

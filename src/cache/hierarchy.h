@@ -10,9 +10,10 @@
 #define FDIP_CACHE_HIERARCHY_H_
 
 #include <cstdint>
-#include <unordered_map>
 
 #include "cache/cache.h"
+#include "util/flat_map.h"
+#include "util/hotpath.h"
 #include "util/types.h"
 
 namespace fdip
@@ -65,12 +66,14 @@ class MemoryHierarchy
      * prefetch). Probes L2, then LLC, then DRAM; fills the probed
      * levels on the way back. Duplicate in-flight requests merge.
      */
-    FillResult fetchInstLine(Addr line_addr, Cycle now);
+    FillResult fetchInstLine(Addr line_addr,
+                             Cycle now) FDIP_HOT_NOEXCEPT;
 
     /**
      * A data-side access from the backend. Probes the L1D first.
      */
-    FillResult dataAccess(Addr addr, Cycle now, bool is_store);
+    FillResult dataAccess(Addr addr, Cycle now,
+                          bool is_store) FDIP_HOT_NOEXCEPT;
 
     /// @{ Component access for tests and stats.
     Cache &l1d() { return l1d_; }
@@ -91,17 +94,20 @@ class MemoryHierarchy
 
   private:
     /** Walks L2 -> LLC -> DRAM and fills on the way back. */
-    FillResult walkBelowL1(Addr line, Cycle now);
+    FillResult walkBelowL1(Addr line, Cycle now) FDIP_HOT_NOEXCEPT;
 
     MemoryConfig cfg_;
     Cache l1d_;
     Cache l2_;
     Cache llc_;
 
-    /** In-flight instruction-line fills (line -> completion). */
-    std::unordered_map<Addr, Cycle> inFlightInst_;
+    /** In-flight instruction-line fills (line -> completion). Expired
+     *  entries are reaped lazily on re-touch, so the maps can exceed
+     *  the true in-flight count; the preallocation (see the ctor)
+     *  covers that slack so steady-state puts never allocate. */
+    FlatMap<Addr, Cycle> inFlightInst_;
     /** In-flight data-line fills. */
-    std::unordered_map<Addr, Cycle> inFlightData_;
+    FlatMap<Addr, Cycle> inFlightData_;
 
     Cycle nextDramFree_ = 0;
 

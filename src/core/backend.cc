@@ -1,6 +1,7 @@
 #include "core/backend.h"
 
 #include "util/log.h"
+#include "util/hotpath.h"
 
 namespace fdip
 {
@@ -11,18 +12,19 @@ Backend::Backend(const CoreConfig &cfg, MemoryHierarchy &mem,
       mem_(mem),
       stats_(stats),
       dq_(cfg.decodeQueueEntries),
-      rob_(cfg.robEntries)
+      rob_(cfg.robEntries),
+      pendingResolves_(cfg.robEntries)
 {
 }
 
-std::size_t
-Backend::decodeQueueSpace() const
+FDIP_HOT_PATH std::size_t
+Backend::decodeQueueSpace() const FDIP_HOT_NOEXCEPT
 {
     return dq_.capacity() - dq_.size();
 }
 
-void
-Backend::deliver(const DeliveredInst &inst)
+FDIP_HOT_PATH void
+Backend::deliver(const DeliveredInst &inst) FDIP_HOT_NOEXCEPT
 {
     if (dq_.full())
         fdip_panic("decode queue overflow at seq %llu",
@@ -30,8 +32,8 @@ Backend::deliver(const DeliveredInst &inst)
     dq_.pushBack(inst);
 }
 
-void
-Backend::tick(Cycle now)
+FDIP_HOT_PATH void
+Backend::tick(Cycle now) FDIP_HOT_NOEXCEPT
 {
     // ---- Dispatch: in-order, up to commitWidth per cycle, gated by
     // decode latency and ROB space.
@@ -78,7 +80,7 @@ Backend::tick(Cycle now)
         }
         e.execDone = now + exec_lat;
         if (e.resolveToken != 0)
-            pendingResolves_.push_back({e.resolveToken, e.seq, e.execDone});
+            pendingResolves_.pushBack({e.resolveToken, e.seq, e.execDone});
         rob_.pushBack(e);
         dq_.popFront();
     }
@@ -88,8 +90,7 @@ Backend::tick(Cycle now)
     for (std::size_t i = 0; i < pendingResolves_.size();) {
         if (pendingResolves_[i].execDone <= now) {
             const PendingResolve pr = pendingResolves_[i];
-            pendingResolves_.erase(pendingResolves_.begin() +
-                                   static_cast<std::ptrdiff_t>(i));
+            pendingResolves_.removeAt(i);
             if (resolveCb_)
                 resolveCb_(pr.token, pr.seq, now);
         } else {
@@ -116,15 +117,19 @@ Backend::tick(Cycle now)
         ++stats_.starvationCycles;
 }
 
-void
-Backend::flushYoungerThan(std::uint64_t seq)
+FDIP_HOT_PATH void
+Backend::flushYoungerThan(std::uint64_t seq) FDIP_HOT_NOEXCEPT
 {
     while (!dq_.empty() && dq_.back().seq > seq)
         dq_.truncate(1);
     while (!rob_.empty() && rob_.back().seq > seq)
         rob_.truncate(1);
-    std::erase_if(pendingResolves_,
-                  [seq](const PendingResolve &p) { return p.seq > seq; });
+    for (std::size_t i = 0; i < pendingResolves_.size();) {
+        if (pendingResolves_[i].seq > seq)
+            pendingResolves_.removeAt(i);
+        else
+            ++i;
+    }
 }
 
 } // namespace fdip

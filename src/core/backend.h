@@ -12,7 +12,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <vector>
 
 #include "cache/hierarchy.h"
 #include "check/schema.h"
@@ -20,6 +19,8 @@
 #include "core/sim_stats.h"
 #include "trace/inst.h"
 #include "util/circular_queue.h"
+#include "util/fixed_vector.h"
+#include "util/hotpath.h"
 #include "util/types.h"
 
 namespace fdip
@@ -83,16 +84,16 @@ class Backend
     Backend(const CoreConfig &cfg, MemoryHierarchy &mem, SimStats &stats);
 
     /** Space left in the decode queue. */
-    std::size_t decodeQueueSpace() const;
+    std::size_t decodeQueueSpace() const FDIP_HOT_NOEXCEPT;
 
     /** Enqueues a delivered instruction (frontend side). */
-    void deliver(const DeliveredInst &inst);
+    void deliver(const DeliveredInst &inst) FDIP_HOT_NOEXCEPT;
 
     /** Advances the backend one cycle: dispatch, execute, commit. */
-    void tick(Cycle now);
+    void tick(Cycle now) FDIP_HOT_NOEXCEPT;
 
     /** Drops all queued/in-flight instructions younger than @p seq. */
-    void flushYoungerThan(std::uint64_t seq);
+    void flushYoungerThan(std::uint64_t seq) FDIP_HOT_NOEXCEPT;
 
     /** Registers the divergence-resolution callback. */
     void setResolveCallback(ResolveCallback cb) { resolveCb_ = std::move(cb); }
@@ -122,14 +123,15 @@ class Backend
     std::uint64_t committed_ = 0;
     Cycle lastCommitDone_ = 0; ///< Completion time of last committed inst.
 
-    /** In-flight divergence tokens awaiting execution (tiny). */
+    /** In-flight divergence tokens awaiting execution (tiny; every
+     *  carrier occupies a ROB entry, so robEntries bounds it). */
     struct PendingResolve
     {
-        std::uint64_t token;
-        std::uint64_t seq;
-        Cycle execDone;
+        std::uint64_t token = 0;
+        std::uint64_t seq = 0;
+        Cycle execDone = 0;
     };
-    std::vector<PendingResolve> pendingResolves_;
+    FixedVector<PendingResolve> pendingResolves_;
 };
 
 } // namespace fdip

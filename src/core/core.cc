@@ -1,5 +1,6 @@
 #include "core/core.h"
 
+#include "util/hotpath.h"
 #include "util/log.h"
 
 namespace fdip
@@ -52,8 +53,15 @@ Core::run(std::uint64_t warmup_insts)
     SimStats hb_prev;
     std::uint64_t hb_prev_instrs = 0;
     std::uint64_t hb_prev_cycles = 0;
+    // Preallocate the whole series (post-warmup commits can cross at
+    // most total/hb interval multiples) and write by index: the tick
+    // loop below is a hot region and must not allocate.
     heartbeats_.clear();
+    std::size_t hb_count = 0;
+    if (hb != 0)
+        heartbeats_.resize(static_cast<std::size_t>(total / hb) + 2);
 
+    FDIP_HOT_REGION_BEGIN(tick_loop);
     while (backend_.committed() < total) {
         frontend_.tick(now);
         backend_.tick(now);
@@ -88,7 +96,10 @@ Core::run(std::uint64_t warmup_insts)
                     stats_.prefetchesIssued - hb_prev.prefetchesIssued;
                 s.prefetchesUseful =
                     stats_.prefetchesUseful - hb_prev.prefetchesUseful;
-                heartbeats_.push_back(s);
+                FDIP_CHECK(hb_count < heartbeats_.size(),
+                           "heartbeat series overflow at sample %zu",
+                           hb_count);
+                heartbeats_[hb_count++] = s;
                 hb_prev = stats_;
                 hb_prev_instrs = done;
                 hb_prev_cycles = s.cycles;
@@ -109,7 +120,9 @@ Core::run(std::uint64_t warmup_insts)
 
         ++now;
     }
+    FDIP_HOT_REGION_END(tick_loop);
 
+    heartbeats_.resize(hb_count);
     stats_.cycles = now - warm_start_cycle;
     stats_.committedInsts = backend_.committed() - warmup_insts;
     stats_.btbLookups = bpu_.btb().lookups() - btb_lookups0;

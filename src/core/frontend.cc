@@ -6,6 +6,7 @@
 #include "check/invariants.h"
 #include "util/bits.h"
 #include "util/log.h"
+#include "util/hotpath.h"
 
 namespace fdip
 {
@@ -24,21 +25,26 @@ Frontend::Frontend(const CoreConfig &cfg, const Trace &trace, Bpu &bpu,
       ftq_(cfg.ftqEntries),
       l1i_(cfg.l1i),
       itlb_(itlbCacheConfig(cfg.itlbEntries)),
+      fills_(cfg.l1iMshrs),
       ftqOccupancy_(cfg.ftqEntries + 1, 1),
       fillLatency_(64, 8),
-      predPc_(trace.workload->entryPc)
+      predPc_(trace.workload->entryPc),
+      // Usefulness tracking is bounded by the lines that can carry the
+      // "prefetched" mark: L1I residency + the optional prefetch buffer
+      // + in-flight fills. Preallocate for that bound.
+      linePrefetched_(cfg.l1i.sizeBytes / cfg.l1i.lineBytes +
+                      cfg.prefetchBufferLines + cfg.l1iMshrs)
 {
     if constexpr (kInvariantChecksEnabled)
         checkCoreConfig(cfg_);
-    fills_.reserve(cfg.l1iMshrs);
     if (cfg_.usePrefetchBuffer) {
         prefetchBuffer_ = std::make_unique<Cache>(
             prefetchBufferConfig(cfg_.prefetchBufferLines));
     }
 }
 
-void
-Frontend::tick(Cycle now)
+FDIP_HOT_PATH void
+Frontend::tick(Cycle now) FDIP_HOT_NOEXCEPT
 {
     // Exposure accounting (Fig. 14): when the decode queue is starved
     // while the head FTQ entry waits on a fill, that fill's miss is
@@ -91,7 +97,7 @@ Frontend::registerStats(StatRegistry &reg, const std::string &prefix) const
                    "lines tracked for usefulness accounting");
 }
 
-void
+FDIP_HOT_PATH void
 Frontend::checkTickInvariants(Cycle now)
 {
     InvariantScope scope("Frontend::tick");
@@ -108,7 +114,7 @@ Frontend::checkTickInvariants(Cycle now)
     checkSimStats(stats_);
 }
 
-void
+FDIP_HOT_PATH void
 Frontend::forgetEvicted(Addr evicted_line)
 {
     if (evicted_line != kNoAddr)
@@ -119,13 +125,13 @@ Frontend::forgetEvicted(Addr evicted_line)
 // Prediction pipeline.
 // ---------------------------------------------------------------------
 
-void
+FDIP_HOT_PATH void
 Frontend::pushHistoryEvent(Addr pc, Addr target, bool taken)
 {
     bpu_.history().pushBranch(pc, target, taken);
 }
 
-void
+FDIP_HOT_PATH void
 Frontend::predictCycle(Cycle now)
 {
     if (now < predStallUntil_)
@@ -202,7 +208,7 @@ Frontend::predictCycle(Cycle now)
     }
 }
 
-Frontend::ScanResult
+FDIP_HOT_PATH Frontend::ScanResult
 Frontend::scanInst(FtqEntry &entry, std::uint8_t offset, Cycle now)
 {
     (void)now;
@@ -395,7 +401,7 @@ Frontend::scanInst(FtqEntry &entry, std::uint8_t offset, Cycle now)
     return r;
 }
 
-void
+FDIP_HOT_PATH void
 Frontend::recordDivergence(FtqEntry &entry, std::uint8_t offset, Addr pc,
                            const StaticInst &si, bool detected,
                            std::uint8_t cause,
@@ -440,7 +446,7 @@ Frontend::recordDivergence(FtqEntry &entry, std::uint8_t offset, Addr pc,
 // Fetch pipeline.
 // ---------------------------------------------------------------------
 
-void
+FDIP_HOT_PATH void
 Frontend::processFills(Cycle now)
 {
     for (std::size_t i = 0; i < fills_.size();) {
@@ -453,11 +459,11 @@ Frontend::processFills(Cycle now)
         if (prefetchBuffer_ && f.isPrefetch && !f.demandTouched) {
             // Original-FDP mode: untouched prefetches land in the
             // side buffer and only enter the L1I on a demand hit.
-            prefetchBuffer_->insert(f.line);
+            prefetchBuffer_->fill(f.line);
         } else {
-            forgetEvicted(l1i_.insert(f.line, &way));
+            forgetEvicted(l1i_.fill(f.line, &way));
         }
-        linePrefetched_[f.line] = f.isPrefetch && !f.demandTouched;
+        linePrefetched_.put(f.line, f.isPrefetch && !f.demandTouched);
 
         // Wake FTQ entries waiting on this line.
         for (std::size_t q = 0; q < ftq_.size(); ++q) {
@@ -491,18 +497,17 @@ Frontend::processFills(Cycle now)
                                   "mem", f.line, now));
 
         prefetcher_.onFillComplete(f.line, f.isPrefetch, now);
-        fills_[i] = fills_.back();
-        fills_.pop_back();
+        fills_.removeSwap(i);
     }
 }
 
-void
+FDIP_HOT_PATH void
 Frontend::probeEntry(FtqEntry &entry, std::size_t pos, Cycle now)
 {
     // ITLB first (4KB pages).
     const Addr page = entry.startAddr & ~static_cast<Addr>(4095);
     if (!itlb_.access(page).has_value()) {
-        itlb_.insert(page);
+        itlb_.fill(page);
         ++stats_.itlbMisses;
         entry.readyAt = now + cfg_.itlbMissPenalty;
         return;
@@ -514,7 +519,7 @@ Frontend::probeEntry(FtqEntry &entry, std::size_t pos, Cycle now)
     if (cfg_.perfectPrefetch && !cfg_.perfectICache &&
         !l1i_.contains(entry.lineAddr)) {
         mem_.fetchInstLine(entry.lineAddr, now);
-        forgetEvicted(l1i_.insert(entry.lineAddr));
+        forgetEvicted(l1i_.fill(entry.lineAddr));
     }
 
     // L1I tag probe.
@@ -530,10 +535,10 @@ Frontend::probeEntry(FtqEntry &entry, std::size_t pos, Cycle now)
     const auto way = l1i_.probe(entry.lineAddr);
     prefetcher_.onDemandLookup(entry.lineAddr, way.has_value(), now);
     if (way.has_value()) {
-        auto it = linePrefetched_.find(entry.lineAddr);
-        if (it != linePrefetched_.end() && it->second) {
+        if (bool *was_pf = linePrefetched_.find(entry.lineAddr);
+            was_pf != nullptr && *was_pf) {
             ++stats_.prefetchesUseful;
-            it->second = false;
+            *was_pf = false;
         }
         l1i_.touch(entry.lineAddr);
         entry.state = FtqState::kReady;
@@ -545,11 +550,11 @@ Frontend::probeEntry(FtqEntry &entry, std::size_t pos, Cycle now)
     // Prefetch-buffer probe (parallel with the L1I tags).
     if (prefetchBuffer_ && prefetchBuffer_->access(entry.lineAddr)) {
         prefetchBuffer_->invalidate(entry.lineAddr);
-        forgetEvicted(l1i_.insert(entry.lineAddr));
-        auto it = linePrefetched_.find(entry.lineAddr);
-        if (it != linePrefetched_.end() && it->second) {
+        forgetEvicted(l1i_.fill(entry.lineAddr));
+        if (bool *was_pf = linePrefetched_.find(entry.lineAddr);
+            was_pf != nullptr && *was_pf) {
             ++stats_.prefetchesUseful;
-            it->second = false;
+            *was_pf = false;
         }
         entry.state = FtqState::kReady;
         entry.icacheWay = 0;
@@ -588,7 +593,7 @@ Frontend::probeEntry(FtqEntry &entry, std::size_t pos, Cycle now)
     f.isPrefetch = false;
     f.demandTouched = true;
     f.wasHeadStart = pos == 0;
-    fills_.push_back(f);
+    fills_.pushBack(f);
     entry.state = FtqState::kFilling;
     FDIP_TRACE_EVENT(tracer_,
                      asyncBegin("demand_fill", "mem", entry.lineAddr, now,
@@ -596,7 +601,7 @@ Frontend::probeEntry(FtqEntry &entry, std::size_t pos, Cycle now)
                                  {"head_start", pos == 0 ? 1u : 0u}}));
 }
 
-void
+FDIP_HOT_PATH void
 Frontend::fetchCycle(Cycle now)
 {
     // ---- I-cache fill stage: the two oldest translation-ready entries
@@ -613,7 +618,7 @@ Frontend::fetchCycle(Cycle now)
     deliverFromHead(now);
 }
 
-void
+FDIP_HOT_PATH void
 Frontend::deliverFromHead(Cycle now)
 {
     unsigned budget = cfg_.fetchBandwidth;
@@ -677,7 +682,7 @@ Frontend::deliverFromHead(Cycle now)
     }
 }
 
-bool
+FDIP_HOT_PATH bool
 Frontend::predecodeEntry(FtqEntry &entry, Cycle now)
 {
     // Scan instructions before the block-termination offset — plus the
@@ -726,7 +731,7 @@ Frontend::predecodeEntry(FtqEntry &entry, Cycle now)
     return false;
 }
 
-void
+FDIP_HOT_PATH void
 Frontend::replayEvent(const BlockEvent &ev)
 {
     if (ev.pushedHistory)
@@ -737,7 +742,7 @@ Frontend::replayEvent(const BlockEvent &ev)
         bpu_.ras().pop();
 }
 
-void
+FDIP_HOT_PATH void
 Frontend::rewindToPrefix(const FtqEntry &entry, std::uint8_t offset)
 {
     bpu_.history().restore(entry.histSnap);
@@ -750,7 +755,7 @@ Frontend::rewindToPrefix(const FtqEntry &entry, std::uint8_t offset)
     }
 }
 
-void
+FDIP_HOT_PATH void
 Frontend::triggerPfc(FtqEntry &entry, std::uint8_t offset,
                      const StaticInst &si, Cycle now)
 {
@@ -858,7 +863,7 @@ Frontend::triggerPfc(FtqEntry &entry, std::uint8_t offset,
     entry.events[entry.numEvents++] = ev;
 }
 
-void
+FDIP_HOT_PATH void
 Frontend::triggerGhrFixup(FtqEntry &entry, std::uint8_t offset, Cycle now)
 {
     ++stats_.ghrFixups;
@@ -877,7 +882,7 @@ Frontend::triggerGhrFixup(FtqEntry &entry, std::uint8_t offset, Cycle now)
     // Under all-branch allocation (GHR3 / basic-block-style BTBs), the
     // pre-decoder installs the newly discovered branch into the BTB.
     if (!cfg_.bpu.btb.allocateTakenOnly && !cfg_.bpu.perfectBtb)
-        bpu_.btb().insert(pc, si.cls, si.target, false);
+        bpu_.btb().install(pc, si.cls, si.target, false);
 
     // Truncate: everything after the fixed branch is re-predicted with
     // the corrected history.
@@ -920,7 +925,7 @@ Frontend::triggerGhrFixup(FtqEntry &entry, std::uint8_t offset, Cycle now)
 // Divergence resolution (backend callback).
 // ---------------------------------------------------------------------
 
-void
+FDIP_HOT_PATH void
 Frontend::onResolve(std::uint64_t token, std::uint64_t seq, Cycle now)
 {
     if (!pending_.has_value() || pending_->token != token)
@@ -968,7 +973,7 @@ Frontend::onResolve(std::uint64_t token, std::uint64_t seq, Cycle now)
 // Prefetch queue drain.
 // ---------------------------------------------------------------------
 
-void
+FDIP_HOT_PATH void
 Frontend::drainPrefetchQueue(Cycle now)
 {
     for (unsigned n = 0; n < cfg_.prefetchesPerCycle; ++n) {
@@ -1006,7 +1011,7 @@ Frontend::drainPrefetchQueue(Cycle now)
         f.ready = r.ready;
         f.issued = now;
         f.isPrefetch = true;
-        fills_.push_back(f);
+        fills_.pushBack(f);
         FDIP_TRACE_EVENT(tracer_,
                          instant("prefetch_issue", "prefetch",
                                  kTraceTidPrefetch, now,

@@ -20,8 +20,6 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
-#include <unordered_map>
-#include <vector>
 
 #include "bpu/bpu.h"
 #include "cache/cache.h"
@@ -34,6 +32,9 @@
 #include "obs/trace_events.h"
 #include "prefetch/prefetcher.h"
 #include "trace/trace_gen.h"
+#include "util/fixed_vector.h"
+#include "util/flat_map.h"
+#include "util/hotpath.h"
 #include "util/types.h"
 
 namespace fdip
@@ -50,7 +51,7 @@ class Frontend
              InstPrefetcher &prefetcher, SimStats &stats);
 
     /** Advances the frontend one cycle (fills, fetch, predict). */
-    void tick(Cycle now);
+    void tick(Cycle now) FDIP_HOT_NOEXCEPT;
 
     /** Backend callback: a divergence-carrying instruction executed. */
     void onResolve(std::uint64_t token, std::uint64_t seq, Cycle now);
@@ -180,7 +181,8 @@ class Frontend
     Cache l1i_;
     Cache itlb_;
     std::unique_ptr<Cache> prefetchBuffer_; ///< Optional (original FDP).
-    std::vector<InflightFill> fills_;
+    /** In-flight fills; capacity = the modeled MSHR count. */
+    FixedVector<InflightFill> fills_;
     /// @}
 
     /// @{ Observability. Histograms are sampled unconditionally (they
@@ -207,8 +209,9 @@ class Frontend
 
     /** Whether the last fill of a line was a prefetch (usefulness).
      *  Entries are erased when the line leaves the L1I so the map stays
-     *  bounded by the cache's line count. */
-    std::unordered_map<Addr, bool> linePrefetched_;
+     *  bounded by the cache's line count; the ctor preallocates for
+     *  that bound so steady-state puts never allocate. */
+    FlatMap<Addr, bool> linePrefetched_;
 
     /** Drops usefulness tracking for an evicted line (kNoAddr ok). */
     void forgetEvicted(Addr evicted_line);

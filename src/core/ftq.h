@@ -23,6 +23,7 @@
 #include "obs/stat_registry.h"
 #include "trace/inst.h"
 #include "util/circular_queue.h"
+#include "util/hotpath.h"
 #include "util/types.h"
 
 namespace fdip
@@ -145,22 +146,32 @@ class Ftq
     std::size_t size() const { return q_.size(); }
     std::size_t capacity() const { return q_.capacity(); }
 
-    void
-    push(FtqEntry &&e)
+    FDIP_HOT_PATH void
+    push(FtqEntry &&e) FDIP_HOT_NOEXCEPT
     {
         FDIP_CHECK(!q_.full(),
                    "FTQ overflow: occupancy %zu at capacity %zu", q_.size(),
                    q_.capacity());
         q_.pushBack(std::move(e));
     }
-    void popHead() { q_.popFront(); }
-    FtqEntry &at(std::size_t i) { return q_.at(i); }
-    const FtqEntry &at(std::size_t i) const { return q_.at(i); }
-    FtqEntry &head() { return q_.front(); }
+    FDIP_HOT_PATH void popHead() FDIP_HOT_NOEXCEPT { q_.popFront(); }
+    FDIP_HOT_PATH FtqEntry &at(std::size_t i) FDIP_HOT_NOEXCEPT
+    {
+        return q_.at(i);
+    }
+    FDIP_HOT_PATH const FtqEntry &at(std::size_t i) const
+        FDIP_HOT_NOEXCEPT
+    {
+        return q_.at(i);
+    }
+    FDIP_HOT_PATH FtqEntry &head() FDIP_HOT_NOEXCEPT
+    {
+        return q_.front();
+    }
 
     /** Discards every entry younger than position @p keep_count - 1. */
-    void
-    truncateAfter(std::size_t keep_count)
+    FDIP_HOT_PATH void
+    truncateAfter(std::size_t keep_count) FDIP_HOT_NOEXCEPT
     {
         q_.resizeTo(keep_count);
     }

@@ -1,6 +1,7 @@
 #include "prefetch/djolt.h"
 
 #include "util/bits.h"
+#include "util/hotpath.h"
 
 namespace fdip
 {
@@ -14,7 +15,7 @@ DjoltPrefetcher::DjoltPrefetcher(const DjoltConfig &cfg)
 {
 }
 
-std::uint64_t
+FDIP_HOT_PATH std::uint64_t
 DjoltPrefetcher::signature() const
 {
     std::uint64_t sig = 0;
@@ -26,20 +27,20 @@ DjoltPrefetcher::signature() const
     return mix64(sig);
 }
 
-std::uint32_t
+FDIP_HOT_PATH std::uint32_t
 DjoltPrefetcher::indexOf(std::uint64_t sig) const
 {
     return static_cast<std::uint32_t>(sig & mask(cfg_.logTableEntries));
 }
 
-std::uint32_t
+FDIP_HOT_PATH std::uint32_t
 DjoltPrefetcher::tagOf(std::uint64_t sig) const
 {
     return static_cast<std::uint32_t>((sig >> cfg_.logTableEntries) &
                                       mask(12));
 }
 
-void
+FDIP_HOT_PATH void
 DjoltPrefetcher::train(Table &table, std::uint64_t sig, Addr line)
 {
     Entry &e = table[indexOf(sig)];
@@ -63,7 +64,7 @@ DjoltPrefetcher::train(Table &table, std::uint64_t sig, Addr line)
     }
 }
 
-void
+FDIP_HOT_PATH void
 DjoltPrefetcher::prefetchFrom(Table &table, std::uint64_t sig)
 {
     const Entry &e = table[indexOf(sig)];
@@ -73,8 +74,9 @@ DjoltPrefetcher::prefetchFrom(Table &table, std::uint64_t sig)
         enqueuePrefetch(e.lines[i]);
 }
 
-void
-DjoltPrefetcher::onBranch(Addr pc, InstClass kind, Addr target, bool taken)
+FDIP_HOT_PATH void
+DjoltPrefetcher::onBranch(Addr pc, InstClass kind, Addr target,
+                          bool taken) FDIP_HOT_NOEXCEPT
 {
     (void)target;
     if (!taken || !isCall(kind))
@@ -92,8 +94,9 @@ DjoltPrefetcher::onBranch(Addr pc, InstClass kind, Addr target, bool taken)
     prefetchFrom(shortTable_, sig);
 }
 
-void
-DjoltPrefetcher::onDemandLookup(Addr line_addr, bool hit, Cycle now)
+FDIP_HOT_PATH void
+DjoltPrefetcher::onDemandLookup(Addr line_addr, bool hit,
+                                Cycle now) FDIP_HOT_NOEXCEPT
 {
     (void)now;
     if (hit)

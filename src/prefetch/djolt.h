@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "prefetch/prefetcher.h"
+#include "util/hotpath.h"
 
 namespace fdip
 {
@@ -32,7 +33,7 @@ struct DjoltConfig
 /**
  * The D-JOLT prefetcher.
  */
-class DjoltPrefetcher : public InstPrefetcher
+class DjoltPrefetcher final : public InstPrefetcher
 {
   public:
     explicit DjoltPrefetcher(const DjoltConfig &cfg = DjoltConfig());
@@ -40,9 +41,10 @@ class DjoltPrefetcher : public InstPrefetcher
     const char *name() const override { return "D-JOLT"; }
     std::uint64_t storageBits() const override;
 
-    void onDemandLookup(Addr line_addr, bool hit, Cycle now) override;
+    void onDemandLookup(Addr line_addr, bool hit,
+                        Cycle now) FDIP_HOT_NOEXCEPT override;
     void onBranch(Addr pc, InstClass kind, Addr target,
-                  bool taken) override;
+                  bool taken) FDIP_HOT_NOEXCEPT override;
 
   private:
     struct Entry

@@ -1,6 +1,7 @@
 #include "prefetch/eip.h"
 
 #include "util/bits.h"
+#include "util/hotpath.h"
 
 namespace fdip
 {
@@ -33,14 +34,14 @@ EipPrefetcher::EipPrefetcher(const EipConfig &cfg, const char *name)
 {
 }
 
-std::uint32_t
+FDIP_HOT_PATH std::uint32_t
 EipPrefetcher::setOf(Addr line) const
 {
     const std::uint64_t l = line / kCacheLineBytes;
     return static_cast<std::uint32_t>(mix64(l) % cfg_.sets);
 }
 
-EipPrefetcher::Entry *
+FDIP_HOT_PATH EipPrefetcher::Entry *
 EipPrefetcher::find(Addr line)
 {
     Entry *row = &table_[std::size_t{setOf(line)} * cfg_.ways];
@@ -51,7 +52,7 @@ EipPrefetcher::find(Addr line)
     return nullptr;
 }
 
-EipPrefetcher::Entry &
+FDIP_HOT_PATH EipPrefetcher::Entry &
 EipPrefetcher::allocate(Addr line)
 {
     Entry *row = &table_[std::size_t{setOf(line)} * cfg_.ways];
@@ -71,7 +72,7 @@ EipPrefetcher::allocate(Addr line)
     return *victim;
 }
 
-void
+FDIP_HOT_PATH void
 EipPrefetcher::entangle(Addr src, Addr dst)
 {
     Entry *e = find(src);
@@ -91,8 +92,9 @@ EipPrefetcher::entangle(Addr src, Addr dst)
     }
 }
 
-void
-EipPrefetcher::onDemandLookup(Addr line_addr, bool hit, Cycle now)
+FDIP_HOT_PATH void
+EipPrefetcher::onDemandLookup(Addr line_addr, bool hit,
+                              Cycle now) FDIP_HOT_NOEXCEPT
 {
     const bool new_line = line_addr != lastLine_;
     lastLine_ = line_addr;

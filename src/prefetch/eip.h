@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "prefetch/prefetcher.h"
+#include "util/hotpath.h"
 
 namespace fdip
 {
@@ -40,7 +41,7 @@ struct EipConfig
 /**
  * The entangling prefetcher.
  */
-class EipPrefetcher : public InstPrefetcher
+class EipPrefetcher final : public InstPrefetcher
 {
   public:
     explicit EipPrefetcher(const EipConfig &cfg = EipConfig::sized128KB(),
@@ -49,7 +50,8 @@ class EipPrefetcher : public InstPrefetcher
     const char *name() const override { return name_; }
     std::uint64_t storageBits() const override;
 
-    void onDemandLookup(Addr line_addr, bool hit, Cycle now) override;
+    void onDemandLookup(Addr line_addr, bool hit,
+                        Cycle now) FDIP_HOT_NOEXCEPT override;
 
   private:
     struct Entry

@@ -1,6 +1,7 @@
 #include "prefetch/fnl_mma.h"
 
 #include "util/bits.h"
+#include "util/hotpath.h"
 
 namespace fdip
 {
@@ -13,7 +14,7 @@ FnlMmaPrefetcher::FnlMmaPrefetcher(const FnlMmaConfig &cfg)
 {
 }
 
-std::uint32_t
+FDIP_HOT_PATH std::uint32_t
 FnlMmaPrefetcher::fnlIndex(Addr line) const
 {
     const std::uint64_t l = line / kCacheLineBytes;
@@ -21,7 +22,7 @@ FnlMmaPrefetcher::fnlIndex(Addr line) const
                                       mask(cfg_.logFnlEntries));
 }
 
-std::uint32_t
+FDIP_HOT_PATH std::uint32_t
 FnlMmaPrefetcher::mmaIndex(Addr line) const
 {
     const std::uint64_t l = line / kCacheLineBytes;
@@ -29,15 +30,16 @@ FnlMmaPrefetcher::mmaIndex(Addr line) const
         mix64(l) & mask(cfg_.logMmaEntries));
 }
 
-std::uint32_t
+FDIP_HOT_PATH std::uint32_t
 FnlMmaPrefetcher::mmaTag(Addr line) const
 {
     const std::uint64_t l = line / kCacheLineBytes;
     return static_cast<std::uint32_t>((mix64(l) >> 32) & mask(12));
 }
 
-void
-FnlMmaPrefetcher::onDemandLookup(Addr line_addr, bool hit, Cycle now)
+FDIP_HOT_PATH void
+FnlMmaPrefetcher::onDemandLookup(Addr line_addr, bool hit,
+                                 Cycle now) FDIP_HOT_NOEXCEPT
 {
     (void)now;
 

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "prefetch/prefetcher.h"
+#include "util/hotpath.h"
 #include "util/sat_counter.h"
 
 namespace fdip
@@ -32,7 +33,7 @@ struct FnlMmaConfig
 /**
  * The FNL+MMA prefetcher.
  */
-class FnlMmaPrefetcher : public InstPrefetcher
+class FnlMmaPrefetcher final : public InstPrefetcher
 {
   public:
     explicit FnlMmaPrefetcher(const FnlMmaConfig &cfg = FnlMmaConfig());
@@ -40,7 +41,8 @@ class FnlMmaPrefetcher : public InstPrefetcher
     const char *name() const override { return "FNL+MMA"; }
     std::uint64_t storageBits() const override;
 
-    void onDemandLookup(Addr line_addr, bool hit, Cycle now) override;
+    void onDemandLookup(Addr line_addr, bool hit,
+                        Cycle now) FDIP_HOT_NOEXCEPT override;
 
   private:
     struct MmaEntry

@@ -8,6 +8,7 @@
 #define FDIP_PREFETCH_NEXT_LINE_H_
 
 #include "prefetch/prefetcher.h"
+#include "util/hotpath.h"
 
 namespace fdip
 {
@@ -16,7 +17,7 @@ namespace fdip
  * Next-line prefetcher. Degree 1 is the paper's NL1; higher degrees
  * are available for the ablation bench.
  */
-class NextLinePrefetcher : public InstPrefetcher
+class NextLinePrefetcher final : public InstPrefetcher
 {
   public:
     explicit NextLinePrefetcher(unsigned degree = 1) : degree_(degree) {}
@@ -25,7 +26,8 @@ class NextLinePrefetcher : public InstPrefetcher
     std::uint64_t storageBits() const override { return 0; }
 
     void
-    onDemandLookup(Addr line_addr, bool hit, Cycle now) override
+    onDemandLookup(Addr line_addr, bool hit,
+                   Cycle now) FDIP_HOT_NOEXCEPT override
     {
         (void)now;
         if (hit)

@@ -9,12 +9,13 @@
 #ifndef FDIP_PREFETCH_PREFETCHER_H_
 #define FDIP_PREFETCH_PREFETCHER_H_
 
+#include <array>
 #include <cstdint>
-#include <deque>
 #include <string>
 
 #include "obs/stat_registry.h"
 #include "trace/inst.h"
+#include "util/hotpath.h"
 #include "util/types.h"
 
 namespace fdip
@@ -57,7 +58,7 @@ class InstPrefetcher
      * @p hit tells the outcome. Called in fetch order.
      */
     virtual void
-    onDemandLookup(Addr line_addr, bool hit, Cycle now)
+    onDemandLookup(Addr line_addr, bool hit, Cycle now) FDIP_HOT_NOEXCEPT
     {
         (void)line_addr;
         (void)hit;
@@ -67,7 +68,8 @@ class InstPrefetcher
     /** A fill for @p line_addr completed (@p was_prefetch tells how it
      *  was initiated). */
     virtual void
-    onFillComplete(Addr line_addr, bool was_prefetch, Cycle now)
+    onFillComplete(Addr line_addr, bool was_prefetch,
+                   Cycle now) FDIP_HOT_NOEXCEPT
     {
         (void)line_addr;
         (void)was_prefetch;
@@ -79,7 +81,8 @@ class InstPrefetcher
      * prefetchers (D-JOLT) and the discontinuity predictor.
      */
     virtual void
-    onBranch(Addr pc, InstClass kind, Addr target, bool taken)
+    onBranch(Addr pc, InstClass kind, Addr target,
+             bool taken) FDIP_HOT_NOEXCEPT
     {
         (void)pc;
         (void)kind;
@@ -106,41 +109,50 @@ class InstPrefetcher
     }
 
     /** Pops the next prefetch candidate; kNoAddr when empty. */
-    Addr
-    popPrefetch()
+    FDIP_HOT_PATH Addr
+    popPrefetch() noexcept
     {
-        if (queue_.empty())
+        if (count_ == 0)
             return kNoAddr;
-        const Addr a = queue_.front();
-        queue_.pop_front();
+        const Addr a = queue_[head_];
+        head_ = (head_ + 1) % kMaxQueue;
+        --count_;
         return a;
     }
 
     /** Pending prefetch candidates. */
-    std::size_t pendingPrefetches() const { return queue_.size(); }
+    [[nodiscard]] std::size_t pendingPrefetches() const noexcept
+    {
+        return count_;
+    }
 
   protected:
-    /** Enqueues a candidate prefetch line (deduplicated FIFO, bounded). */
-    void
-    enqueuePrefetch(Addr line_addr)
+    /** Enqueues a candidate prefetch line (deduplicated FIFO, bounded).
+     *  The queue is a fixed in-place ring — models a hardware queue and
+     *  keeps the per-tick path allocation-free. */
+    FDIP_HOT_PATH void
+    enqueuePrefetch(Addr line_addr) noexcept
     {
-        if (queue_.size() >= kMaxQueue)
+        if (count_ >= kMaxQueue)
             return;
-        for (Addr a : queue_)
-            if (a == line_addr)
+        for (std::size_t i = 0; i < count_; ++i)
+            if (queue_[(head_ + i) % kMaxQueue] == line_addr)
                 return;
-        queue_.push_back(line_addr);
+        queue_[(head_ + count_) % kMaxQueue] = line_addr;
+        ++count_;
     }
 
   private:
     static constexpr std::size_t kMaxQueue = 64;
-    std::deque<Addr> queue_;
+    std::array<Addr, kMaxQueue> queue_{};
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
 };
 
 /**
  * The trivial "no prefetching" prefetcher.
  */
-class NullPrefetcher : public InstPrefetcher
+class NullPrefetcher final : public InstPrefetcher
 {
   public:
     const char *name() const override { return "none"; }

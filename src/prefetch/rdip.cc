@@ -1,17 +1,18 @@
 #include "prefetch/rdip.h"
 
 #include "util/bits.h"
+#include "util/hotpath.h"
 
 namespace fdip
 {
 
 RdipPrefetcher::RdipPrefetcher(const RdipConfig &cfg)
-    : cfg_(cfg), table_(std::size_t{1} << cfg.logTableEntries)
+    : cfg_(cfg), table_(std::size_t{1} << cfg.logTableEntries),
+      shadowStack_(kShadowStackDepth)
 {
-    shadowStack_.reserve(128);
 }
 
-std::uint64_t
+FDIP_HOT_PATH std::uint64_t
 RdipPrefetcher::signature() const
 {
     // Hash the top rasDepthHashed entries of the shadow stack.
@@ -26,7 +27,7 @@ RdipPrefetcher::signature() const
     return mix64(sig);
 }
 
-void
+FDIP_HOT_PATH void
 RdipPrefetcher::trigger(std::uint64_t sig)
 {
     const Entry &e = table_[sig & mask(cfg_.logTableEntries)];
@@ -39,19 +40,20 @@ RdipPrefetcher::trigger(std::uint64_t sig)
         enqueuePrefetch(e.lines[i]);
 }
 
-void
-RdipPrefetcher::onBranch(Addr pc, InstClass kind, Addr target, bool taken)
+FDIP_HOT_PATH void
+RdipPrefetcher::onBranch(Addr pc, InstClass kind, Addr target,
+                         bool taken) FDIP_HOT_NOEXCEPT
 {
     (void)target;
     if (!taken)
         return;
     if (isCall(kind)) {
-        if (shadowStack_.size() >= 128)
-            shadowStack_.erase(shadowStack_.begin());
-        shadowStack_.push_back(pc + kInstBytes);
+        if (shadowStack_.full())
+            shadowStack_.removeAt(0);
+        shadowStack_.pushBack(pc + kInstBytes);
     } else if (isReturn(kind)) {
         if (!shadowStack_.empty())
-            shadowStack_.pop_back();
+            shadowStack_.popBack();
     } else {
         return;
     }
@@ -61,8 +63,9 @@ RdipPrefetcher::onBranch(Addr pc, InstClass kind, Addr target, bool taken)
     trigger(currentSig_);
 }
 
-void
-RdipPrefetcher::onDemandLookup(Addr line_addr, bool hit, Cycle now)
+FDIP_HOT_PATH void
+RdipPrefetcher::onDemandLookup(Addr line_addr, bool hit,
+                               Cycle now) FDIP_HOT_NOEXCEPT
 {
     (void)now;
     if (hit)

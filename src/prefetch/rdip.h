@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "prefetch/prefetcher.h"
+#include "util/fixed_vector.h"
+#include "util/hotpath.h"
 
 namespace fdip
 {
@@ -31,7 +33,7 @@ struct RdipConfig
  * The RDIP prefetcher. Maintains a shadow call stack from the
  * committed branch stream.
  */
-class RdipPrefetcher : public InstPrefetcher
+class RdipPrefetcher final : public InstPrefetcher
 {
   public:
     explicit RdipPrefetcher(const RdipConfig &cfg = RdipConfig());
@@ -39,9 +41,10 @@ class RdipPrefetcher : public InstPrefetcher
     const char *name() const override { return "RDIP"; }
     std::uint64_t storageBits() const override;
 
-    void onDemandLookup(Addr line_addr, bool hit, Cycle now) override;
+    void onDemandLookup(Addr line_addr, bool hit,
+                        Cycle now) FDIP_HOT_NOEXCEPT override;
     void onBranch(Addr pc, InstClass kind, Addr target,
-                  bool taken) override;
+                  bool taken) FDIP_HOT_NOEXCEPT override;
 
   private:
     struct Entry
@@ -56,9 +59,12 @@ class RdipPrefetcher : public InstPrefetcher
     std::uint64_t signature() const;
     void trigger(std::uint64_t sig);
 
+    /** Shadow-stack depth bound: overflow drops the oldest frame. */
+    static constexpr std::size_t kShadowStackDepth = 128;
+
     RdipConfig cfg_;
     std::vector<Entry> table_;
-    std::vector<Addr> shadowStack_;
+    FixedVector<Addr> shadowStack_;
     std::uint64_t currentSig_ = 0;
     std::uint64_t previousSig_ = 0;
 };

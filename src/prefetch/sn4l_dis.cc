@@ -3,6 +3,7 @@
 #include "bpu/bpu.h"
 #include "trace/program.h"
 #include "util/bits.h"
+#include "util/hotpath.h"
 
 namespace fdip
 {
@@ -21,7 +22,7 @@ Sn4lDisPrefetcher::bind(Bpu &bpu, const ProgramImage &image)
     image_ = &image;
 }
 
-std::uint32_t
+FDIP_HOT_PATH std::uint32_t
 Sn4lDisPrefetcher::sn4lIndex(Addr line) const
 {
     const std::uint64_t l = line / kCacheLineBytes;
@@ -29,7 +30,7 @@ Sn4lDisPrefetcher::sn4lIndex(Addr line) const
                                       mask(cfg_.logSn4lEntries));
 }
 
-std::uint32_t
+FDIP_HOT_PATH std::uint32_t
 Sn4lDisPrefetcher::disIndex(Addr line) const
 {
     const std::uint64_t l = line / kCacheLineBytes;
@@ -37,15 +38,16 @@ Sn4lDisPrefetcher::disIndex(Addr line) const
                                       mask(cfg_.logDisEntries));
 }
 
-std::uint32_t
+FDIP_HOT_PATH std::uint32_t
 Sn4lDisPrefetcher::disTag(Addr line) const
 {
     const std::uint64_t l = line / kCacheLineBytes;
     return static_cast<std::uint32_t>((mix64(l) >> 32) & mask(12));
 }
 
-void
-Sn4lDisPrefetcher::onDemandLookup(Addr line_addr, bool hit, Cycle now)
+FDIP_HOT_PATH void
+Sn4lDisPrefetcher::onDemandLookup(Addr line_addr, bool hit,
+                                  Cycle now) FDIP_HOT_NOEXCEPT
 {
     (void)now;
     const bool new_line = line_addr != lastAccessLine_;
@@ -95,9 +97,9 @@ Sn4lDisPrefetcher::onDemandLookup(Addr line_addr, bool hit, Cycle now)
     }
 }
 
-void
+FDIP_HOT_PATH void
 Sn4lDisPrefetcher::onFillComplete(Addr line_addr, bool was_prefetch,
-                                  Cycle now)
+                                  Cycle now) FDIP_HOT_NOEXCEPT
 {
     (void)now;
     if (!cfg_.btbPrefetch || bpu_ == nullptr || image_ == nullptr)
@@ -123,7 +125,7 @@ Sn4lDisPrefetcher::onFillComplete(Addr line_addr, bool was_prefetch,
         // Unconditional install: force allocation regardless of the
         // frontend's taken-only policy (this is the pollution the
         // paper's Section VI-E measures).
-        bpu_->btb().insert(pc, si.cls, si.target, true);
+        bpu_->btb().install(pc, si.cls, si.target, true);
         ++btbInstalls_;
     }
 }

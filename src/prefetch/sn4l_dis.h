@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "prefetch/prefetcher.h"
+#include "util/hotpath.h"
 
 namespace fdip
 {
@@ -37,7 +38,7 @@ struct Sn4lDisConfig
 /**
  * The SN4L + Dis (+ BTB prefetch) prefetcher.
  */
-class Sn4lDisPrefetcher : public InstPrefetcher
+class Sn4lDisPrefetcher final : public InstPrefetcher
 {
   public:
     explicit Sn4lDisPrefetcher(const Sn4lDisConfig &cfg = Sn4lDisConfig());
@@ -50,9 +51,10 @@ class Sn4lDisPrefetcher : public InstPrefetcher
 
     void bind(Bpu &bpu, const ProgramImage &image) override;
 
-    void onDemandLookup(Addr line_addr, bool hit, Cycle now) override;
+    void onDemandLookup(Addr line_addr, bool hit,
+                        Cycle now) FDIP_HOT_NOEXCEPT override;
     void onFillComplete(Addr line_addr, bool was_prefetch,
-                        Cycle now) override;
+                        Cycle now) FDIP_HOT_NOEXCEPT override;
 
     /** BTB installs performed by the BTB-prefetch component. */
     std::uint64_t btbPrefetchInstalls() const { return btbInstalls_; }

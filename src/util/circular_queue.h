@@ -7,9 +7,11 @@
 #define FDIP_UTIL_CIRCULAR_QUEUE_H_
 
 #include <cstddef>
+#include <utility>
 #include <vector>
 
 #include "check/invariant.h"
+#include "util/hotpath.h"
 
 namespace fdip
 {
@@ -31,14 +33,14 @@ class CircularQueue
                      "a zero-capacity queue models no hardware");
     }
 
-    std::size_t capacity() const { return buf_.size(); }
-    std::size_t size() const { return size_; }
-    bool empty() const { return size_ == 0; }
-    bool full() const { return size_ == buf_.size(); }
+    [[nodiscard]] std::size_t capacity() const noexcept { return buf_.size(); }
+    [[nodiscard]] std::size_t size() const noexcept { return size_; }
+    [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+    [[nodiscard]] bool full() const noexcept { return size_ == buf_.size(); }
 
     /** Appends an element at the tail. The queue must not be full. */
-    void
-    pushBack(const T &v)
+    FDIP_HOT_PATH void
+    pushBack(const T &v) FDIP_HOT_NOEXCEPT
     {
         FDIP_CHECK(!full(), "push onto a full queue (capacity %zu)",
                    capacity());
@@ -47,8 +49,8 @@ class CircularQueue
     }
 
     /** Appends an element at the tail (move). The queue must not be full. */
-    void
-    pushBack(T &&v)
+    FDIP_HOT_PATH void
+    pushBack(T &&v) FDIP_HOT_NOEXCEPT
     {
         FDIP_CHECK(!full(), "push onto a full queue (capacity %zu)",
                    capacity());
@@ -57,8 +59,8 @@ class CircularQueue
     }
 
     /** Removes the head element. The queue must not be empty. */
-    void
-    popFront()
+    FDIP_HOT_PATH void
+    popFront() FDIP_HOT_NOEXCEPT
     {
         FDIP_CHECK(!empty(), "pop from an empty queue");
         head_ = (head_ + 1) % buf_.size();
@@ -67,7 +69,7 @@ class CircularQueue
 
     /** Drops the newest @p n elements from the tail. */
     void
-    truncate(std::size_t n)
+    truncate(std::size_t n) FDIP_HOT_NOEXCEPT
     {
         FDIP_CHECK(n <= size_, "truncating %zu of %zu elements", n, size_);
         size_ -= n;
@@ -75,7 +77,7 @@ class CircularQueue
 
     /** Keeps the oldest @p n elements, discarding everything younger. */
     void
-    resizeTo(std::size_t n)
+    resizeTo(std::size_t n) FDIP_HOT_NOEXCEPT
     {
         FDIP_CHECK(n <= size_, "resize to %zu of %zu elements", n, size_);
         size_ = n;
@@ -83,37 +85,43 @@ class CircularQueue
 
     /** Removes all elements. */
     void
-    clear()
+    clear() noexcept
     {
         head_ = 0;
         size_ = 0;
     }
 
     /** Element @p i positions from the head (0 = oldest). */
-    T &
-    at(std::size_t i)
+    [[nodiscard]] FDIP_HOT_PATH T &
+    at(std::size_t i) FDIP_HOT_NOEXCEPT
     {
         FDIP_CHECK(i < size_, "index %zu out of bounds (size %zu)", i,
                    size_);
         return buf_[physIndex(i)];
     }
 
-    const T &
-    at(std::size_t i) const
+    [[nodiscard]] FDIP_HOT_PATH const T &
+    at(std::size_t i) const FDIP_HOT_NOEXCEPT
     {
         FDIP_CHECK(i < size_, "index %zu out of bounds (size %zu)", i,
                    size_);
         return buf_[physIndex(i)];
     }
 
-    T &front() { return at(0); }
-    const T &front() const { return at(0); }
-    T &back() { return at(size_ - 1); }
-    const T &back() const { return at(size_ - 1); }
+    [[nodiscard]] T &front() FDIP_HOT_NOEXCEPT { return at(0); }
+    [[nodiscard]] const T &front() const FDIP_HOT_NOEXCEPT
+    {
+        return at(0);
+    }
+    [[nodiscard]] T &back() FDIP_HOT_NOEXCEPT { return at(size_ - 1); }
+    [[nodiscard]] const T &back() const FDIP_HOT_NOEXCEPT
+    {
+        return at(size_ - 1);
+    }
 
   private:
-    std::size_t
-    physIndex(std::size_t logical) const
+    [[nodiscard]] std::size_t
+    physIndex(std::size_t logical) const noexcept
     {
         return (head_ + logical) % buf_.size();
     }

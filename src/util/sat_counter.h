@@ -22,7 +22,8 @@ class SatCounter
   public:
     /** @param num_bits counter width in bits (1..15).
      *  @param initial  initial counter value. */
-    explicit SatCounter(unsigned num_bits = 2, unsigned initial = 0)
+    explicit SatCounter(unsigned num_bits = 2,
+                        unsigned initial = 0) noexcept
         : value_(static_cast<std::uint16_t>(initial)),
           max_(static_cast<std::uint16_t>((1u << num_bits) - 1))
     {
@@ -32,7 +33,7 @@ class SatCounter
 
     /** Increments, saturating at the maximum. */
     void
-    increment()
+    increment() noexcept
     {
         if (value_ < max_)
             ++value_;
@@ -40,7 +41,7 @@ class SatCounter
 
     /** Decrements, saturating at zero. */
     void
-    decrement()
+    decrement() noexcept
     {
         if (value_ > 0)
             --value_;
@@ -48,7 +49,7 @@ class SatCounter
 
     /** Moves toward taken (true) or not-taken (false). */
     void
-    update(bool taken)
+    update(bool taken) noexcept
     {
         if (taken)
             increment();
@@ -57,27 +58,35 @@ class SatCounter
     }
 
     /** Predicted direction: MSB set. */
-    bool taken() const { return value_ > max_ / 2; }
+    [[nodiscard]] bool
+    taken() const noexcept
+    {
+        return value_ > max_ / 2;
+    }
 
     /** True at either saturation point (strongly biased). */
-    bool saturated() const { return value_ == 0 || value_ == max_; }
+    [[nodiscard]] bool
+    saturated() const noexcept
+    {
+        return value_ == 0 || value_ == max_;
+    }
 
     /** True in one of the two weak states (around the midpoint). */
-    bool
-    weak() const
+    [[nodiscard]] bool
+    weak() const noexcept
     {
         return value_ == max_ / 2 || value_ == max_ / 2 + 1;
     }
 
     /** Raw counter value. */
-    unsigned value() const { return value_; }
+    [[nodiscard]] unsigned value() const noexcept { return value_; }
 
     /** Maximum representable value. */
-    unsigned maxValue() const { return max_; }
+    [[nodiscard]] unsigned maxValue() const noexcept { return max_; }
 
     /** Forces the raw value (used by predictor allocation paths). */
     void
-    set(unsigned v)
+    set(unsigned v) noexcept
     {
         assert(v <= max_);
         value_ = static_cast<std::uint16_t>(v);
@@ -85,7 +94,7 @@ class SatCounter
 
     /** Resets toward the weak state matching @p taken. */
     void
-    reset(bool taken)
+    reset(bool taken) noexcept
     {
         value_ = static_cast<std::uint16_t>(taken ? max_ / 2 + 1 : max_ / 2);
     }
@@ -101,7 +110,8 @@ class SatCounter
 class SignedSatCounter
 {
   public:
-    explicit SignedSatCounter(unsigned num_bits = 3, int initial = 0)
+    explicit SignedSatCounter(unsigned num_bits = 3,
+                              int initial = 0) noexcept
         : value_(static_cast<std::int16_t>(initial)),
           min_(static_cast<std::int16_t>(-(1 << (num_bits - 1)))),
           max_(static_cast<std::int16_t>((1 << (num_bits - 1)) - 1))
@@ -112,7 +122,7 @@ class SignedSatCounter
 
     /** Moves toward taken (positive) or not-taken (negative). */
     void
-    update(bool taken)
+    update(bool taken) noexcept
     {
         if (taken) {
             if (value_ < max_)
@@ -124,25 +134,33 @@ class SignedSatCounter
     }
 
     /** Predicted direction: value >= 0. */
-    bool taken() const { return value_ >= 0; }
+    [[nodiscard]] bool taken() const noexcept { return value_ >= 0; }
 
     /** True in the two weakest states (0 and -1). */
-    bool weak() const { return value_ == 0 || value_ == -1; }
+    [[nodiscard]] bool
+    weak() const noexcept
+    {
+        return value_ == 0 || value_ == -1;
+    }
 
     /** True at either saturation point. */
-    bool saturated() const { return value_ == min_ || value_ == max_; }
+    [[nodiscard]] bool
+    saturated() const noexcept
+    {
+        return value_ == min_ || value_ == max_;
+    }
 
-    int value() const { return value_; }
+    [[nodiscard]] int value() const noexcept { return value_; }
 
     void
-    set(int v)
+    set(int v) noexcept
     {
         assert(v >= min_ && v <= max_);
         value_ = static_cast<std::int16_t>(v);
     }
 
     /** Resets to the weak state matching @p taken. */
-    void reset(bool taken) { value_ = taken ? 0 : -1; }
+    void reset(bool taken) noexcept { value_ = taken ? 0 : -1; }
 
   private:
     std::int16_t value_;

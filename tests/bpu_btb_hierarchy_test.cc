@@ -47,7 +47,7 @@ TEST(BtbHierarchy, MissEverywhere)
 TEST(BtbHierarchy, InsertHitsL1First)
 {
     Harness h;
-    h.hier.insert(0x1000, InstClass::kJumpDirect, 0x2000, true);
+    h.hier.install(0x1000, InstClass::kJumpDirect, 0x2000, true);
     const auto hit = h.hier.lookup(0x1000);
     ASSERT_TRUE(hit.has_value());
     EXPECT_FALSE(hit->fromL2) << "fresh insert must land in the L1";
@@ -60,7 +60,7 @@ TEST(BtbHierarchy, L2HitPromotes)
     // Fill the 64-entry L1 far beyond capacity so early entries fall
     // out of L1 but stay in the 8K main BTB.
     for (unsigned i = 0; i < 2000; ++i) {
-        h.hier.insert(0x10000 + i * 16, InstClass::kJumpDirect, 0x9000,
+        h.hier.install(0x10000 + i * 16, InstClass::kJumpDirect, 0x9000,
                       true);
     }
     const auto first = h.hier.lookup(0x10000);
@@ -76,7 +76,7 @@ TEST(BtbHierarchy, L2HitPromotes)
 TEST(BtbHierarchy, TakenOnlyPolicyOfMainApplies)
 {
     Harness h;
-    h.hier.insert(0x1000, InstClass::kCondDirect, 0x2000, false);
+    h.hier.install(0x1000, InstClass::kCondDirect, 0x2000, false);
     EXPECT_FALSE(h.hier.lookup(0x1000).has_value())
         << "main BTB allocates taken-only by default";
 }
@@ -84,7 +84,7 @@ TEST(BtbHierarchy, TakenOnlyPolicyOfMainApplies)
 TEST(BtbHierarchy, StatsAccumulate)
 {
     Harness h;
-    h.hier.insert(0x1000, InstClass::kJumpDirect, 0x2000, true);
+    h.hier.install(0x1000, InstClass::kJumpDirect, 0x2000, true);
     h.hier.lookup(0x1000);
     h.hier.lookup(0x1000);
     EXPECT_EQ(h.hier.l1Hits(), 2u);

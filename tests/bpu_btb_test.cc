@@ -30,7 +30,7 @@ TEST(Btb, MissOnEmpty)
 TEST(Btb, InsertThenHit)
 {
     Btb btb(smallConfig());
-    btb.insert(0x1000, InstClass::kJumpDirect, 0x2000, true);
+    btb.install(0x1000, InstClass::kJumpDirect, 0x2000, true);
     const auto hit = btb.lookup(0x1000);
     ASSERT_TRUE(hit.has_value());
     EXPECT_EQ(hit->kind, InstClass::kJumpDirect);
@@ -40,16 +40,16 @@ TEST(Btb, InsertThenHit)
 TEST(Btb, TakenOnlyPolicySkipsNotTaken)
 {
     Btb btb(smallConfig(true));
-    btb.insert(0x1000, InstClass::kCondDirect, 0x2000, false);
+    btb.install(0x1000, InstClass::kCondDirect, 0x2000, false);
     EXPECT_FALSE(btb.lookup(0x1000).has_value());
-    btb.insert(0x1000, InstClass::kCondDirect, 0x2000, true);
+    btb.install(0x1000, InstClass::kCondDirect, 0x2000, true);
     EXPECT_TRUE(btb.lookup(0x1000).has_value());
 }
 
 TEST(Btb, AllBranchPolicyAllocatesNotTaken)
 {
     Btb btb(smallConfig(false));
-    btb.insert(0x1000, InstClass::kCondDirect, 0x2000, false);
+    btb.install(0x1000, InstClass::kCondDirect, 0x2000, false);
     EXPECT_TRUE(btb.lookup(0x1000).has_value());
 }
 
@@ -57,8 +57,8 @@ TEST(Btb, ExistingEntryRefreshesEvenWhenNotTaken)
 {
     // Indirect branches update their last target on every resolve.
     Btb btb(smallConfig(true));
-    btb.insert(0x1000, InstClass::kJumpIndirect, 0x2000, true);
-    btb.insert(0x1000, InstClass::kJumpIndirect, 0x3000, true);
+    btb.install(0x1000, InstClass::kJumpIndirect, 0x2000, true);
+    btb.install(0x1000, InstClass::kJumpIndirect, 0x3000, true);
     const auto hit = btb.lookup(0x1000);
     ASSERT_TRUE(hit.has_value());
     EXPECT_EQ(hit->target, 0x3000u);
@@ -82,11 +82,11 @@ TEST(Btb, PeekDoesNotTouchLru)
     Btb btb(smallConfig());
     const auto pcs = sameSetPcs(btb, 5);
     for (unsigned i = 0; i < 4; ++i)
-        btb.insert(pcs[i], InstClass::kJumpDirect, 0x9000, true);
+        btb.install(pcs[i], InstClass::kJumpDirect, 0x9000, true);
     // Refresh entry 0 via lookup, then insert a 5th: victim must not
     // be entry 0.
     EXPECT_TRUE(btb.lookup(pcs[0]).has_value());
-    btb.insert(pcs[4], InstClass::kJumpDirect, 0x9000, true);
+    btb.install(pcs[4], InstClass::kJumpDirect, 0x9000, true);
     EXPECT_TRUE(btb.peek(pcs[0]).has_value());
 }
 
@@ -95,7 +95,7 @@ TEST(Btb, LruEvictsOldest)
     Btb btb(smallConfig());
     const auto pcs = sameSetPcs(btb, 5);
     for (unsigned i = 0; i < 5; ++i)
-        btb.insert(pcs[i], InstClass::kJumpDirect, 0x9000, true);
+        btb.install(pcs[i], InstClass::kJumpDirect, 0x9000, true);
     // Entry 0 was the LRU victim.
     EXPECT_FALSE(btb.peek(pcs[0]).has_value());
     EXPECT_TRUE(btb.peek(pcs[4]).has_value());
@@ -107,9 +107,9 @@ TEST(Btb, SixteenByteIndexing)
     // Branches in the same 16B chunk share a set but are separate
     // entries.
     Btb btb(smallConfig());
-    btb.insert(0x1000, InstClass::kCondDirect, 0x2000, true);
-    btb.insert(0x1004, InstClass::kCondDirect, 0x3000, true);
-    btb.insert(0x1008, InstClass::kJumpDirect, 0x4000, true);
+    btb.install(0x1000, InstClass::kCondDirect, 0x2000, true);
+    btb.install(0x1004, InstClass::kCondDirect, 0x3000, true);
+    btb.install(0x1008, InstClass::kJumpDirect, 0x4000, true);
     EXPECT_EQ(btb.lookup(0x1000)->target, 0x2000u);
     EXPECT_EQ(btb.lookup(0x1004)->target, 0x3000u);
     EXPECT_EQ(btb.lookup(0x1008)->target, 0x4000u);
@@ -118,7 +118,7 @@ TEST(Btb, SixteenByteIndexing)
 TEST(Btb, Invalidate)
 {
     Btb btb(smallConfig());
-    btb.insert(0x1000, InstClass::kJumpDirect, 0x2000, true);
+    btb.install(0x1000, InstClass::kJumpDirect, 0x2000, true);
     btb.invalidate(0x1000);
     EXPECT_FALSE(btb.lookup(0x1000).has_value());
 }
@@ -153,7 +153,7 @@ TEST_P(BtbCapacity, HoldsWorkingSetWithinCapacity)
     // Insert 1/2 capacity distinct branches spread over 16B chunks.
     const unsigned n = cfg.numEntries / 2;
     for (unsigned i = 0; i < n; ++i)
-        btb.insert(0x10000 + i * 16, InstClass::kJumpDirect, 0x9000,
+        btb.install(0x10000 + i * 16, InstClass::kJumpDirect, 0x9000,
                    true);
     unsigned hits = 0;
     for (unsigned i = 0; i < n; ++i)

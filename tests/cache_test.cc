@@ -29,7 +29,7 @@ TEST(Cache, MissThenHit)
 {
     Cache c(tiny());
     EXPECT_FALSE(c.probe(0x1000).has_value());
-    c.insert(0x1000);
+    c.fill(0x1000);
     EXPECT_TRUE(c.probe(0x1000).has_value());
     EXPECT_TRUE(c.probe(0x1020).has_value()); // Same 64B line.
     EXPECT_FALSE(c.probe(0x1040).has_value()); // Next line.
@@ -46,7 +46,7 @@ TEST(Cache, StatsCount)
 {
     Cache c(tiny());
     c.probe(0x1000);
-    c.insert(0x1000);
+    c.fill(0x1000);
     c.access(0x1000);
     EXPECT_EQ(c.tagAccesses(), 2u);
     EXPECT_EQ(c.hits(), 1u);
@@ -59,10 +59,10 @@ TEST(Cache, LruEviction)
 {
     // 1KB, 2-way, 64B lines -> 8 sets. Same set: stride 8*64 = 512B.
     Cache c(tiny());
-    c.insert(0x0000);
-    c.insert(0x0200);
+    c.fill(0x0000);
+    c.fill(0x0200);
     c.access(0x0000); // Refresh.
-    c.insert(0x0400); // Evicts 0x0200.
+    c.fill(0x0400); // Evicts 0x0200.
     EXPECT_TRUE(c.contains(0x0000));
     EXPECT_FALSE(c.contains(0x0200));
     EXPECT_TRUE(c.contains(0x0400));
@@ -72,17 +72,17 @@ TEST(Cache, LruEviction)
 TEST(Cache, InsertReturnsVictim)
 {
     Cache c(tiny());
-    EXPECT_EQ(c.insert(0x0000), kNoAddr);
-    EXPECT_EQ(c.insert(0x0200), kNoAddr);
-    const Addr victim = c.insert(0x0400);
+    EXPECT_EQ(c.fill(0x0000), kNoAddr);
+    EXPECT_EQ(c.fill(0x0200), kNoAddr);
+    const Addr victim = c.fill(0x0400);
     EXPECT_EQ(victim, 0x0000u);
 }
 
 TEST(Cache, ReinsertIsRefreshNotEviction)
 {
     Cache c(tiny());
-    c.insert(0x0000);
-    EXPECT_EQ(c.insert(0x0000), kNoAddr);
+    c.fill(0x0000);
+    EXPECT_EQ(c.fill(0x0000), kNoAddr);
     EXPECT_EQ(c.evictions(), 0u);
 }
 
@@ -91,8 +91,8 @@ TEST(Cache, WayReporting)
     Cache c(tiny());
     unsigned w0 = 99;
     unsigned w1 = 99;
-    c.insert(0x0000, &w0);
-    c.insert(0x0200, &w1);
+    c.fill(0x0000, &w0);
+    c.fill(0x0200, &w1);
     EXPECT_NE(w0, w1);
     EXPECT_LT(w0, 2u);
     EXPECT_LT(w1, 2u);
@@ -104,8 +104,8 @@ TEST(Cache, WayReporting)
 TEST(Cache, InvalidateAndReset)
 {
     Cache c(tiny());
-    c.insert(0x1000);
-    c.insert(0x2000);
+    c.fill(0x1000);
+    c.fill(0x2000);
     c.invalidate(0x1000);
     EXPECT_FALSE(c.contains(0x1000));
     EXPECT_TRUE(c.contains(0x2000));
@@ -144,7 +144,7 @@ TEST_P(CacheGeometry, InclusionAndCapacityInvariant)
     for (int i = 0; i < 20000; ++i) {
         const Addr line = rng.below(4096) * kCacheLineBytes;
         if (rng.below(2) == 0) {
-            c.insert(line);
+            c.fill(line);
             inserted.insert(line);
         } else {
             const bool hit = c.access(line).has_value();

@@ -103,7 +103,7 @@ TEST(Invariant, CircularQueueMisuseIsCaught)
     REQUIRE_CHECKS_ENABLED();
     CircularQueue<int> q(2);
     EXPECT_THROW(q.popFront(), InvariantViolation);
-    EXPECT_THROW(q.at(0), InvariantViolation);
+    EXPECT_THROW(static_cast<void>(q.at(0)), InvariantViolation);
     q.pushBack(1);
     q.pushBack(2);
     EXPECT_THROW(q.pushBack(3), InvariantViolation);
@@ -335,7 +335,7 @@ TEST(Invariant, CacheConservationHoldsAndViolationsThrow)
     REQUIRE_CHECKS_ENABLED();
     Cache cache(CacheConfig{});
     cache.access(0x1000);
-    cache.insert(0x1000);
+    cache.fill(0x1000);
     cache.access(0x1000);
     EXPECT_NO_THROW(checkCacheConservation(cache));
     // There is no way to corrupt a Cache's counters through its public

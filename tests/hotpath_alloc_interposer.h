@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Counting global operator new/delete interposer.
+ *
+ * Include this header in EXACTLY ONE test translation unit per binary:
+ * it defines the program-wide replacement allocation functions
+ * ([new.delete.single]), which makes every heap allocation in the
+ * process tick a counter. tests/core_hotpath_test.cc uses it as the
+ * runtime ground truth for the hot-path discipline: a snapshot of the
+ * counter before and after steady-state Core::run must not move.
+ *
+ * The replacements forward to std::malloc/std::free and are
+ * deliberately not inline (replacement allocation functions must not
+ * be). Counters are plain integers: the simulator's tick loop is
+ * single-threaded by design (the concurrency audit enforces it), and
+ * the gtest main thread is the only allocator during a measurement
+ * window.
+ */
+
+#ifndef FDIP_TESTS_HOTPATH_ALLOC_INTERPOSER_H_
+#define FDIP_TESTS_HOTPATH_ALLOC_INTERPOSER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace fdip
+{
+namespace test
+{
+
+inline std::uint64_t g_alloc_calls = 0;
+inline std::uint64_t g_alloc_bytes = 0;
+inline std::uint64_t g_dealloc_calls = 0;
+
+/** Allocations performed since process start. */
+inline std::uint64_t
+allocCalls()
+{
+    return g_alloc_calls;
+}
+
+/** Bytes requested since process start. */
+inline std::uint64_t
+allocBytes()
+{
+    return g_alloc_bytes;
+}
+
+/** Deallocations performed since process start. */
+inline std::uint64_t
+deallocCalls()
+{
+    return g_dealloc_calls;
+}
+
+namespace alloc_detail
+{
+
+inline void *
+countedAlloc(std::size_t n)
+{
+    ++g_alloc_calls;
+    g_alloc_bytes += n;
+    return std::malloc(n == 0 ? 1 : n);
+}
+
+inline void *
+countedAlignedAlloc(std::size_t n, std::size_t align)
+{
+    ++g_alloc_calls;
+    g_alloc_bytes += n;
+    void *p = nullptr;
+    if (posix_memalign(&p, align < sizeof(void *) ? sizeof(void *) : align,
+                       n == 0 ? 1 : n) != 0)
+        return nullptr;
+    return p;
+}
+
+// GCC pairs a visible `new` expression with the std::free it inlines
+// from here and reports -Wmismatched-new-delete; routing delete to
+// free IS the interposition, so the warning is a false positive.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+inline void
+countedFree(void *p)
+{
+    if (p != nullptr)
+        ++g_dealloc_calls;
+    std::free(p);
+}
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+} // namespace alloc_detail
+} // namespace test
+} // namespace fdip
+
+// ---- Replacement allocation functions (single-TU; see file comment).
+
+void *
+operator new(std::size_t n)
+{
+    void *p = fdip::test::alloc_detail::countedAlloc(n);
+    if (p == nullptr)
+        throw std::bad_alloc{};
+    return p;
+}
+
+void *
+operator new[](std::size_t n)
+{
+    return operator new(n);
+}
+
+void *
+operator new(std::size_t n, const std::nothrow_t &) noexcept
+{
+    return fdip::test::alloc_detail::countedAlloc(n);
+}
+
+void *
+operator new[](std::size_t n, const std::nothrow_t &) noexcept
+{
+    return fdip::test::alloc_detail::countedAlloc(n);
+}
+
+void *
+operator new(std::size_t n, std::align_val_t align)
+{
+    void *p = fdip::test::alloc_detail::countedAlignedAlloc(
+        n, static_cast<std::size_t>(align));
+    if (p == nullptr)
+        throw std::bad_alloc{};
+    return p;
+}
+
+void *
+operator new[](std::size_t n, std::align_val_t align)
+{
+    return operator new(n, align);
+}
+
+void *
+operator new(std::size_t n, std::align_val_t align,
+             const std::nothrow_t &) noexcept
+{
+    return fdip::test::alloc_detail::countedAlignedAlloc(
+        n, static_cast<std::size_t>(align));
+}
+
+void *
+operator new[](std::size_t n, std::align_val_t align,
+               const std::nothrow_t &) noexcept
+{
+    return fdip::test::alloc_detail::countedAlignedAlloc(
+        n, static_cast<std::size_t>(align));
+}
+
+void
+operator delete(void *p) noexcept
+{
+    fdip::test::alloc_detail::countedFree(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    fdip::test::alloc_detail::countedFree(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    fdip::test::alloc_detail::countedFree(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    fdip::test::alloc_detail::countedFree(p);
+}
+
+void
+operator delete(void *p, std::align_val_t) noexcept
+{
+    fdip::test::alloc_detail::countedFree(p);
+}
+
+void
+operator delete[](void *p, std::align_val_t) noexcept
+{
+    fdip::test::alloc_detail::countedFree(p);
+}
+
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    fdip::test::alloc_detail::countedFree(p);
+}
+
+void
+operator delete[](void *p, std::size_t, std::align_val_t) noexcept
+{
+    fdip::test::alloc_detail::countedFree(p);
+}
+
+void
+operator delete(void *p, const std::nothrow_t &) noexcept
+{
+    fdip::test::alloc_detail::countedFree(p);
+}
+
+void
+operator delete[](void *p, const std::nothrow_t &) noexcept
+{
+    fdip::test::alloc_detail::countedFree(p);
+}
+
+#endif // FDIP_TESTS_HOTPATH_ALLOC_INTERPOSER_H_

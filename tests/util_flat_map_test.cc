@@ -1,0 +1,134 @@
+/** @file Unit and property tests for util/flat_map.h.
+ *
+ *  FlatMap replaces std::unordered_map on the tick path (in-flight
+ *  fill tables, prefetch tracking) because put/erase must be
+ *  allocation-free in steady state (docs/ANALYSIS.md §7). The churn
+ *  test below exercises the backward-shift deletion against a
+ *  reference map, which is where open-addressing bugs hide.
+ */
+
+#include "util/flat_map.h"
+
+#include <cstdint>
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace fdip
+{
+namespace
+{
+
+TEST(FlatMap, StartsEmpty)
+{
+    FlatMap<std::uint64_t, int> m(16);
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.size(), 0u);
+    EXPECT_GE(m.capacity(), 16u);
+    EXPECT_EQ(m.find(42), nullptr);
+    EXPECT_FALSE(m.contains(42));
+}
+
+TEST(FlatMap, PutFindOverwrite)
+{
+    FlatMap<std::uint64_t, int> m(8);
+    m.put(1, 10);
+    m.put(2, 20);
+    ASSERT_NE(m.find(1), nullptr);
+    EXPECT_EQ(*m.find(1), 10);
+    EXPECT_EQ(*m.find(2), 20);
+    EXPECT_EQ(m.size(), 2u);
+
+    m.put(1, 11); // overwrite, not a second entry
+    EXPECT_EQ(*m.find(1), 11);
+    EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(FlatMap, EraseReportsPresence)
+{
+    FlatMap<std::uint64_t, int> m(8);
+    m.put(7, 70);
+    EXPECT_FALSE(m.erase(8));
+    EXPECT_TRUE(m.erase(7));
+    EXPECT_FALSE(m.contains(7));
+    EXPECT_TRUE(m.empty());
+    EXPECT_FALSE(m.erase(7)); // already gone
+}
+
+TEST(FlatMap, ClearKeepsCapacity)
+{
+    FlatMap<std::uint64_t, int> m(8);
+    for (std::uint64_t k = 0; k < 8; ++k)
+        m.put(k, static_cast<int>(k));
+    const std::size_t cap = m.capacity();
+    m.clear();
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.capacity(), cap);
+    EXPECT_EQ(m.find(3), nullptr);
+}
+
+TEST(FlatMap, GrowthPreservesEntries)
+{
+    // Sized for 4 entries, then loaded with 64: every put beyond
+    // capacity doubles the table, and no entry may be lost or
+    // corrupted across rehashes.
+    FlatMap<std::uint64_t, int> m(4);
+    for (std::uint64_t k = 0; k < 64; ++k)
+        m.put(k * 0x10001, static_cast<int>(k));
+    EXPECT_EQ(m.size(), 64u);
+    for (std::uint64_t k = 0; k < 64; ++k) {
+        ASSERT_NE(m.find(k * 0x10001), nullptr) << k;
+        EXPECT_EQ(*m.find(k * 0x10001), static_cast<int>(k));
+    }
+}
+
+TEST(FlatMap, ConstFind)
+{
+    FlatMap<std::uint64_t, int> m(4);
+    m.put(5, 50);
+    const auto &cm = m;
+    ASSERT_NE(cm.find(5), nullptr);
+    EXPECT_EQ(*cm.find(5), 50);
+    EXPECT_TRUE(cm.contains(5));
+    EXPECT_EQ(cm.find(6), nullptr);
+}
+
+TEST(FlatMap, ChurnMatchesReferenceMap)
+{
+    // Backward-shift deletion property test: a small, collision-heavy
+    // table under random put/erase churn must agree with
+    // std::unordered_map at every step. A shift bug (moving an entry
+    // whose home slot is not on the probe path, or leaving a hole that
+    // breaks a chain) shows up as a lost or phantom key.
+    FlatMap<std::uint64_t, int> m(8);
+    std::unordered_map<std::uint64_t, int> ref;
+    Rng rng(0xF1A7'0000'0000'0001ULL);
+
+    for (int step = 0; step < 20000; ++step) {
+        // Keys from a tiny universe so probe chains constantly overlap.
+        const std::uint64_t key = rng.below(24);
+        if (rng.below(100) < 60) {
+            const int value = static_cast<int>(rng.below(1 << 20));
+            m.put(key, value);
+            ref[key] = value;
+        } else {
+            EXPECT_EQ(m.erase(key), ref.erase(key) == 1) << "step " << step;
+        }
+        ASSERT_EQ(m.size(), ref.size()) << "step " << step;
+    }
+    for (std::uint64_t key = 0; key < 24; ++key) {
+        const auto it = ref.find(key);
+        const int *got = m.find(key);
+        if (it == ref.end()) {
+            EXPECT_EQ(got, nullptr) << "key " << key;
+        } else {
+            ASSERT_NE(got, nullptr) << "key " << key;
+            EXPECT_EQ(*got, it->second) << "key " << key;
+        }
+    }
+}
+
+} // namespace
+} // namespace fdip

@@ -38,14 +38,14 @@ Exit status: 0 when clean, 1 with findings listed on stderr.
 
 from __future__ import annotations
 
-import argparse
 import re
 import sys
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
-from check_sources import (REPO, rel, source_files,
-                           strip_comments_and_strings)
+from lintlib import (REPO, blank_preprocessor_lines, line_of, make_parser,
+                     rel, report, source_files, stale_allowlist_findings,
+                     strip_comments_and_strings)
 
 # The one place raw primitives may appear: the annotated wrappers.
 PRIMITIVE_ALLOWLIST = {"src/util/sync.h"}
@@ -99,21 +99,6 @@ RE_STATIC = re.compile(r"\bstatic\b")
 RE_THREAD_LOCAL = re.compile(r"\bthread_local\b")
 
 
-def blank_preprocessor_lines(text: str) -> str:
-    """Blanks #-directives (incl. continuations), keeping line count."""
-    out: list[str] = []
-    in_directive = False
-    for line in text.split("\n"):
-        stripped = line.lstrip()
-        if in_directive or stripped.startswith("#"):
-            in_directive = stripped.endswith("\\")
-            out.append("")
-        else:
-            in_directive = False
-            out.append(line)
-    return "\n".join(out)
-
-
 def statement_head(text: str, start: int) -> str:
     """The statement text from @p start up to the first ';' or '{'."""
     end = len(text)
@@ -150,10 +135,6 @@ def is_mutable_state_decl(stmt: str) -> bool:
         return False
     # A declaration needs at least a type and a name.
     return len(RE_WORD.findall(body)) >= 2
-
-
-def line_of(text: str, pos: int) -> int:
-    return text.count("\n", 0, pos) + 1
 
 
 def lint_static_state(findings: list[str], name: str, text: str) -> None:
@@ -251,30 +232,15 @@ def collect_findings(root: Path = REPO,
                     f"is ambient per-thread state; plumb per-run state "
                     f"explicitly")
 
-    # A stale allowlist silently widens the escape hatch: every listed
-    # file must still exist.
-    for listed in sorted(primitives | statics | tls):
-        if not (root / listed).is_file():
-            findings.append(f"{listed}: allowlisted file does not exist")
-
+    findings.extend(stale_allowlist_findings(root, primitives, statics,
+                                             tls))
     return findings
 
 
 def main() -> int:
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--root", type=Path, default=REPO,
-                    help="tree to lint (default: the repository)")
-    args = ap.parse_args()
-
-    findings = collect_findings(args.root.resolve())
-    if findings:
-        print(f"check_concurrency: {len(findings)} finding(s)",
-              file=sys.stderr)
-        for f in findings:
-            print(f"  {f}", file=sys.stderr)
-        return 1
-    print("check_concurrency: clean")
-    return 0
+    args = make_parser(__doc__).parse_args()
+    return report("check_concurrency",
+                  collect_findings(args.root.resolve()))
 
 
 if __name__ == "__main__":

@@ -31,14 +31,13 @@ Exit status: 0 when clean, 1 with findings listed on stderr.
 
 from __future__ import annotations
 
-import argparse
 import re
 import sys
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
-from check_sources import (REPO, rel, source_files,
-                           strip_comments_and_strings)
+from lintlib import (REPO, make_parser, rel, report, source_files,
+                     stale_allowlist_findings, strip_comments_and_strings)
 
 # Seedable-RNG implementation: the one place libc-style primitives and
 # entropy sources may appear.
@@ -100,30 +99,14 @@ def collect_findings(root: Path = REPO,
                 if name not in allowlist and pattern.search(line):
                     findings.append(f"{name}:{lineno}: {message}")
 
-    # A stale allowlist silently widens the escape hatch: every listed
-    # file must still exist.
-    for listed in sorted(rng | wallclock | getenv):
-        if not (root / listed).is_file():
-            findings.append(f"{listed}: allowlisted file does not exist")
-
+    findings.extend(stale_allowlist_findings(root, rng, wallclock, getenv))
     return findings
 
 
 def main() -> int:
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--root", type=Path, default=REPO,
-                    help="tree to lint (default: the repository)")
-    args = ap.parse_args()
-
-    findings = collect_findings(args.root.resolve())
-    if findings:
-        print(f"check_determinism: {len(findings)} finding(s)",
-              file=sys.stderr)
-        for f in findings:
-            print(f"  {f}", file=sys.stderr)
-        return 1
-    print("check_determinism: clean")
-    return 0
+    args = make_parser(__doc__).parse_args()
+    return report("check_determinism",
+                  collect_findings(args.root.resolve()))
 
 
 if __name__ == "__main__":

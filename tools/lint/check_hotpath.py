@@ -1,0 +1,209 @@
+#!/usr/bin/env python3
+"""Hot-path lint: the tick loop must not allocate, throw, or block.
+
+src/util/hotpath.h marks the per-tick call graph two ways:
+
+  FDIP_HOT_PATH       on a function definition - the whole body is hot.
+  FDIP_HOT_REGION_BEGIN(name) / FDIP_HOT_REGION_END(name)
+                      around a span inside an otherwise-cold function
+                      (e.g. the tick loop inside Core::run).
+
+This lint parses those annotations out of the stripped source text and
+bans, inside every hot function body and hot region:
+
+  1. heap allocation    `new`, make_unique/make_shared, and growing
+                        std-container calls (push_back, emplace*,
+                        insert, resize, reserve, assign). The repo's
+                        fixed-capacity types (FixedVector, FlatMap,
+                        CircularQueue) use camelCase members precisely
+                        so steady-state mutation does not collide with
+                        these bans.
+  2. std::string        construction and formatting (std::string,
+                        std::to_string, stringstreams) - every one
+                        allocates.
+  3. std::function      type-erased callables allocate on capture;
+                        hot callbacks use direct calls or refs bound
+                        at setup time.
+  4. throw              hot code reports invariant violations through
+                        FDIP_CHECK / fdip_panic (which the macro layer
+                        owns), never ad-hoc throws.
+  5. iostream/printf    formatting and I/O (std::cout/cerr/clog,
+                        std::format, printf-family).
+  6. lock acquisition   std::mutex/lock_guard/unique_lock/scoped_lock
+                        and .lock() calls - the tick loop is
+                        single-threaded by design; blocking in it is a
+                        structural bug.
+
+A FDIP_HOT_PATH token must annotate a *definition*: annotating a bare
+declaration is itself a finding, because the lint (and the reader)
+would otherwise believe a body is covered when it is not.
+
+Files with a justified exception live in HOT_ALLOWLIST with a written
+rationale (docs/ANALYSIS.md section 7 has the procedure); an
+allowlisted path that no longer exists is a finding, so the escape
+hatch cannot outlive the file it excused.
+
+Runtime ground truth for ban 1 is tests/core_hotpath_test.cc, which
+interposes a counting operator new/delete and proves Core::run does
+zero steady-state heap allocations; this lint is the layer that names
+the offending line before anyone runs a binary.
+
+Exit status: 0 when clean, 1 with findings listed on stderr.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from lintlib import (REPO, blank_preprocessor_lines, line_of, make_parser,
+                     rel, report, source_files, stale_allowlist_findings,
+                     strip_comments_and_strings)
+
+# Exact-path exceptions to every hot-path ban. Each entry needs a
+# written justification here and in docs/ANALYSIS.md section 7.
+# (Currently empty: the whole annotated tick path complies.)
+HOT_ALLOWLIST: set[str] = set()
+
+# (pattern, message) applied to stripped code inside hot spans.
+BAN_RULES: list[tuple[re.Pattern[str], str]] = [
+    (re.compile(r"\bnew\b"),
+     "heap allocation (`new`) is banned on the hot path"),
+    (re.compile(r"\bmake_(?:unique|shared)\s*<"),
+     "heap allocation (make_unique/make_shared) is banned on the "
+     "hot path"),
+    (re.compile(r"(?:\.|->)(?:push_back|emplace_back|emplace_front|"
+                r"emplace|push_front|insert|resize|reserve|assign)"
+                r"\s*\("),
+     "growing std-container call is banned on the hot path; use the "
+     "fixed-capacity types (FixedVector/FlatMap/CircularQueue)"),
+    (re.compile(r"\bstd::(?:string|to_string|[io]?stringstream)\b"),
+     "std::string construction is banned on the hot path"),
+    (re.compile(r"\bstd::function\b"),
+     "std::function is banned on the hot path; bind callables at "
+     "setup time"),
+    (re.compile(r"\bthrow\b"),
+     "`throw` is banned on the hot path; report via FDIP_CHECK or "
+     "fdip_panic"),
+    (re.compile(r"\bstd::(?:cout|cerr|clog|format)\b|"
+                r"(?<![\w:])(?:printf|fprintf|sprintf|snprintf|puts|"
+                r"fputs)\s*\("),
+     "iostream/printf formatting is banned on the hot path"),
+    (re.compile(r"\bstd::(?:mutex|lock_guard|unique_lock|scoped_lock|"
+                r"condition_variable)\b|(?:\.|->)lock\s*\("),
+     "lock acquisition is banned on the hot path (the tick loop is "
+     "single-threaded)"),
+]
+
+HOT_PATH_TOKEN = re.compile(r"\bFDIP_HOT_PATH\b")
+REGION_BEGIN = re.compile(r"\bFDIP_HOT_REGION_BEGIN\s*\(\s*(\w+)\s*\)")
+REGION_END = re.compile(r"\bFDIP_HOT_REGION_END\s*\(\s*(\w+)\s*\)")
+
+
+def match_brace_span(text: str, open_pos: int) -> int | None:
+    """End offset (exclusive) of the brace block opening at @p open_pos.
+
+    @p text must already be stripped of comments and strings, so every
+    brace is structural. Returns None if the block never closes.
+    """
+    depth = 0
+    for i in range(open_pos, len(text)):
+        c = text[i]
+        if c == "{":
+            depth += 1
+        elif c == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return None
+
+
+def hot_function_spans(name: str, text: str,
+                       findings: list[str]) -> list[tuple[int, int]]:
+    """(start, end) body spans of FDIP_HOT_PATH functions in @p text."""
+    spans: list[tuple[int, int]] = []
+    for tok in HOT_PATH_TOKEN.finditer(text):
+        lineno = line_of(text, tok.start())
+        brace = text.find("{", tok.end())
+        semi = text.find(";", tok.end())
+        if brace < 0 or (0 <= semi < brace):
+            findings.append(
+                f"{name}:{lineno}: FDIP_HOT_PATH annotates a "
+                "declaration; annotate the definition so the lint can "
+                "check the body")
+            continue
+        end = match_brace_span(text, brace)
+        if end is None:
+            findings.append(
+                f"{name}:{lineno}: unbalanced braces after "
+                "FDIP_HOT_PATH (cannot find end of function body)")
+            continue
+        spans.append((brace, end))
+    return spans
+
+
+def hot_region_spans(name: str, text: str,
+                     findings: list[str]) -> list[tuple[int, int]]:
+    """(start, end) spans between region BEGIN/END markers."""
+    marks = sorted(
+        [(m.start(), m.end(), "begin", m.group(1))
+         for m in REGION_BEGIN.finditer(text)] +
+        [(m.start(), m.end(), "end", m.group(1))
+         for m in REGION_END.finditer(text)])
+    spans: list[tuple[int, int]] = []
+    stack: list[tuple[int, str]] = []  # (end offset of BEGIN, name)
+    for start, end, kind, region in marks:
+        lineno = line_of(text, start)
+        if kind == "begin":
+            stack.append((end, region))
+        elif not stack:
+            findings.append(
+                f"{name}:{lineno}: FDIP_HOT_REGION_END({region}) "
+                "without a matching BEGIN")
+        else:
+            begin_end, begin_name = stack.pop()
+            if begin_name != region:
+                findings.append(
+                    f"{name}:{lineno}: FDIP_HOT_REGION_END({region}) "
+                    f"closes FDIP_HOT_REGION_BEGIN({begin_name})")
+            spans.append((begin_end, start))
+    for begin_end, region in stack:
+        findings.append(
+            f"{name}:{line_of(text, begin_end)}: "
+            f"FDIP_HOT_REGION_BEGIN({region}) is never closed")
+    return spans
+
+
+def collect_findings(root: Path = REPO,
+                     hot_allowlist: set[str] | None = None) -> list[str]:
+    """Runs the lint over <root>/src and returns the findings."""
+    allow = HOT_ALLOWLIST if hot_allowlist is None else hot_allowlist
+
+    findings: list[str] = []
+    for path in source_files(root):
+        name = rel(path, root)
+        if name in allow:
+            continue
+        text = blank_preprocessor_lines(
+            strip_comments_and_strings(path.read_text()))
+        spans = (hot_function_spans(name, text, findings) +
+                 hot_region_spans(name, text, findings))
+        for start, end in spans:
+            for pattern, message in BAN_RULES:
+                for m in pattern.finditer(text, start, end):
+                    findings.append(
+                        f"{name}:{line_of(text, m.start())}: {message}")
+    findings.sort()
+    findings.extend(stale_allowlist_findings(root, allow))
+    return findings
+
+
+def main() -> int:
+    args = make_parser(__doc__).parse_args()
+    return report("check_hotpath", collect_findings(args.root.resolve()))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,14 +23,16 @@ Exit status: 0 when clean, 1 with findings listed on stderr.
 
 from __future__ import annotations
 
-import argparse
 import re
 import subprocess
 import sys
 import tempfile
 from pathlib import Path
 
-REPO = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from lintlib import (REPO, make_parser, rel, report, source_files,
+                     strip_comments_and_strings)
+
 SRC = REPO / "src"
 
 # Files allowed to use primitives the rest of the tree must not.
@@ -44,43 +46,6 @@ RE_C_CAST = re.compile(
     r"(?:std::)?(?:uint8_t|uint16_t|uint32_t|int8_t|int16_t|int32_t|"
     r"short|char)\s*\)\s*[\w(*&]"
 )
-
-
-def strip_comments_and_strings(text: str) -> str:
-    """Blanks comments and string/char literals, preserving line count."""
-    out: list[str] = []
-    i, n = 0, len(text)
-    while i < n:
-        c = text[i]
-        if text.startswith("//", i):
-            j = text.find("\n", i)
-            j = n if j < 0 else j
-            i = j
-        elif text.startswith("/*", i):
-            j = text.find("*/", i + 2)
-            j = n - 2 if j < 0 else j
-            out.append("\n" * text.count("\n", i, j + 2))
-            i = j + 2
-        elif c in "\"'":
-            j = i + 1
-            while j < n and text[j] != c:
-                j += 2 if text[j] == "\\" else 1
-            out.append(" ")
-            i = j + 1
-        else:
-            out.append(c)
-            i += 1
-    return "".join(out)
-
-
-def rel(path: Path, root: Path = REPO) -> str:
-    return path.relative_to(root).as_posix()
-
-
-def source_files(root: Path) -> list[Path]:
-    """All lintable C++ files under <root>/src, headers first."""
-    src = root / "src"
-    return sorted(src.rglob("*.h")) + sorted(src.rglob("*.cc"))
 
 
 def expected_guard(path: Path, root: Path) -> str:
@@ -160,9 +125,7 @@ def collect_findings(root: Path = REPO, jobs: int = 8,
 
 
 def main() -> int:
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--root", type=Path, default=REPO,
-                    help="tree to lint (default: the repository)")
+    ap = make_parser(__doc__)
     ap.add_argument("--skip-syntax", action="store_true",
                     help="skip the (slower) self-contained-header pass")
     ap.add_argument("-j", "--jobs", type=int, default=8,
@@ -171,13 +134,7 @@ def main() -> int:
 
     findings = collect_findings(args.root.resolve(), args.jobs,
                                 args.skip_syntax)
-    if findings:
-        print(f"check_sources: {len(findings)} finding(s)", file=sys.stderr)
-        for f in findings:
-            print(f"  {f}", file=sys.stderr)
-        return 1
-    print("check_sources: clean")
-    return 0
+    return report("check_sources", findings)
 
 
 if __name__ == "__main__":

@@ -2,9 +2,9 @@
 """Self-tests for the lint suite (stdlib only, run by ctest + CI).
 
 A lint that silently stops firing is worse than no lint: the tree
-drifts while CI stays green. This suite runs all four lint scripts
-(check_sources, check_determinism, check_concurrency, check_trace)
-against known-good and known-bad fixture trees under
+drifts while CI stays green. This suite runs all five lint scripts
+(check_sources, check_determinism, check_concurrency, check_hotpath,
+check_trace) against known-good and known-bad fixture trees under
 tools/lint/tests/fixtures/ and asserts both directions:
 
   - the clean tree produces zero findings (false-positive regression),
@@ -34,6 +34,7 @@ TRACES = FIXTURES / "traces"
 sys.path.insert(0, str(LINT_DIR))
 import check_concurrency  # noqa: E402
 import check_determinism  # noqa: E402
+import check_hotpath  # noqa: E402
 import check_sources  # noqa: E402
 import check_trace  # noqa: E402
 
@@ -77,6 +78,14 @@ class CleanTreeIsClean(LintAssertions):
                 thread_local_allowlist=NO_ALLOW),
             [])
 
+    def test_check_hotpath(self):
+        # good_hotpath.cc keeps banned-looking tokens outside the hot
+        # spans (cold reserve/push_back, string-literal mentions); none
+        # may fire.
+        self.assertEqual(
+            check_hotpath.collect_findings(CLEAN, hot_allowlist=NO_ALLOW),
+            [])
+
 
 class DirtyTreeIsCaught(LintAssertions):
     """False-negative regression: every planted violation is found."""
@@ -90,6 +99,8 @@ class DirtyTreeIsCaught(LintAssertions):
         cls.concurrency = check_concurrency.collect_findings(
             DIRTY, primitive_allowlist=NO_ALLOW,
             static_allowlist=NO_ALLOW, thread_local_allowlist=NO_ALLOW)
+        cls.hotpath = check_hotpath.collect_findings(
+            DIRTY, hot_allowlist=NO_ALLOW)
 
     # --- check_sources rules -----------------------------------------
     def test_libc_rand(self):
@@ -176,6 +187,54 @@ class DirtyTreeIsCaught(LintAssertions):
         self.assertFinding(self.concurrency, "src/util/bad_sync.cc",
                            "thread_local is ambient", count=1)
 
+    # --- check_hotpath rules -----------------------------------------
+    def test_hot_raw_new(self):
+        self.assertFinding(self.hotpath, "src/util/bad_hotpath.cc",
+                           "heap allocation (`new`)", count=1)
+
+    def test_hot_make_unique(self):
+        self.assertFinding(self.hotpath, "src/util/bad_hotpath.cc",
+                           "make_unique/make_shared", count=1)
+
+    def test_hot_growing_container(self):
+        # One push_back in a hot function, one inside a hot region.
+        self.assertFinding(self.hotpath, "src/util/bad_hotpath.cc",
+                           "growing std-container", count=2)
+
+    def test_hot_string(self):
+        self.assertFinding(self.hotpath, "src/util/bad_hotpath.cc",
+                           "std::string construction", count=1)
+
+    def test_hot_function_callable(self):
+        self.assertFinding(self.hotpath, "src/util/bad_hotpath.cc",
+                           "std::function is banned", count=1)
+
+    def test_hot_throw(self):
+        self.assertFinding(self.hotpath, "src/util/bad_hotpath.cc",
+                           "`throw` is banned", count=1)
+
+    def test_hot_printf(self):
+        self.assertFinding(self.hotpath, "src/util/bad_hotpath.cc",
+                           "iostream/printf formatting", count=1)
+
+    def test_hot_lock(self):
+        self.assertFinding(self.hotpath, "src/util/bad_hotpath.cc",
+                           "lock acquisition", count=1)
+
+    def test_hot_annotated_declaration(self):
+        self.assertFinding(self.hotpath, "src/util/bad_hotpath.cc",
+                           "annotates a declaration", count=1)
+
+    def test_hot_region_end_without_begin(self):
+        self.assertFinding(self.hotpath, "src/util/bad_hotpath.cc",
+                           "without a matching BEGIN", count=1)
+
+    def test_hot_region_name_mismatch(self):
+        self.assertFinding(
+            self.hotpath, "src/util/bad_hotpath.cc",
+            "FDIP_HOT_REGION_END(beta) closes "
+            "FDIP_HOT_REGION_BEGIN(alpha)", count=1)
+
 
 class AllowlistGuards(LintAssertions):
     """A stale allowlist entry is itself a finding."""
@@ -201,6 +260,20 @@ class AllowlistGuards(LintAssertions):
             thread_local_allowlist={"src/util/bad_sync.cc"})
         self.assertEqual(
             [f for f in findings if f.startswith("src/util/bad_sync.cc")],
+            [])
+
+    def test_hotpath_stale_entry(self):
+        findings = check_hotpath.collect_findings(
+            CLEAN, hot_allowlist={"src/util/missing_hot.cc"})
+        self.assertFinding(findings, "src/util/missing_hot.cc",
+                           "allowlisted file does not exist", count=1)
+
+    def test_hotpath_allowlisted_violation_is_silent(self):
+        findings = check_hotpath.collect_findings(
+            DIRTY, hot_allowlist={"src/util/bad_hotpath.cc"})
+        self.assertEqual(
+            [f for f in findings
+             if f.startswith("src/util/bad_hotpath.cc")],
             [])
 
 
@@ -259,6 +332,14 @@ class CliExitCodes(LintAssertions):
         self.assertEqual(
             self.run_script("check_concurrency.py", "--root", str(DIRTY)),
             1)
+
+    def test_check_hotpath_cli(self):
+        # check_hotpath's default allowlist is empty, so both fixture
+        # trees run under production settings.
+        self.assertEqual(
+            self.run_script("check_hotpath.py", "--root", str(CLEAN)), 0)
+        self.assertEqual(
+            self.run_script("check_hotpath.py", "--root", str(DIRTY)), 1)
 
     def test_check_trace_cli(self):
         self.assertEqual(
