@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "prefetch/factory.h"
+#include "sim/campaign_store.h"
 #include "sim/experiment.h"
 #include "sim/parallel.h"
 #include "util/table.h"
@@ -110,14 +111,43 @@ writeBenchJson(const char *bench_name,
  * effective parallel speedup), and simulated-instruction throughput.
  * When @p bench_name is given, also writes BENCH_<name>.json (see
  * writeBenchJson).
+ *
+ * With FDIP_SPOOL set, the campaign drains through the
+ * content-addressed result spool (sim/campaign_store.h): completed
+ * runs are cache hits, a killed bench resumes where it stopped, and
+ * re-running a finished bench re-simulates nothing. Results are
+ * bit-identical either way.
  */
 inline std::vector<SuiteResult>
 runTimed(const Campaign &campaign, std::size_t suite_size,
          const char *bench_name = nullptr)
 {
     const unsigned jobs = jobsFromEnv();
+    const std::string spool = spoolFromEnv();
     const auto t0 = std::chrono::steady_clock::now();
-    auto results = campaign.run(jobs);
+    std::vector<SuiteResult> results;
+    if (!spool.empty()) {
+        SpoolOptions options;
+        options.spoolDir = spool;
+        options.warmupFraction = campaign.warmupFraction();
+        options.jobs = jobs;
+        // A bench re-run after a crash is the resume case; claims of
+        // live sibling processes are still never touched.
+        options.reclaimDeadClaims = true;
+        SpoolSummary summary;
+        results = runCampaignSpooled(campaign.entries(),
+                                     campaign.suite(), options,
+                                     &summary);
+        std::fprintf(stderr,
+                     "spool: %s: %zu runs, %zu simulated, %zu cached, "
+                     "%zu claimed elsewhere, %zu quarantined, %s\n",
+                     spool.c_str(), summary.totalRuns,
+                     summary.simulated, summary.cacheHits,
+                     summary.claimedElsewhere, summary.quarantined,
+                     summary.complete ? "complete" : "incomplete");
+    } else {
+        results = campaign.run(jobs);
+    }
     const auto t1 = std::chrono::steady_clock::now();
     const double elapsed = std::chrono::duration<double>(t1 - t0).count();
 

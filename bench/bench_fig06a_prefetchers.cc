@@ -52,7 +52,8 @@ main()
 
     std::vector<Row> rows;
     for (const Pf &pf : pfs) {
-        rows.push_back({c.add(pf.label, noFdpConfig(), prefetcher(pf.name)),
+        rows.push_back({c.add(pf.label, noFdpConfig(), prefetcher(pf.name),
+                              pf.name),
                         std::string(pf.label) + " (no FDP)", pf.paperNoFdp});
     }
     {
@@ -65,7 +66,8 @@ main()
                     "FDP alone", "+41.0%"});
     for (const Pf &pf : pfs) {
         rows.push_back({c.add(std::string("FDP+") + pf.label,
-                              paperBaselineConfig(), prefetcher(pf.name)),
+                              paperBaselineConfig(), prefetcher(pf.name),
+                              pf.name),
                         std::string("FDP + ") + pf.label, pf.paperFdp});
     }
     {

@@ -12,7 +12,9 @@
  * PFC helps every configuration.
  *
  * All 13 configurations (baseline + 6 policies x PFC on/off) are one
- * campaign, parallelized under FDIP_JOBS.
+ * campaign, parallelized under FDIP_JOBS; with FDIP_SPOOL set the
+ * campaign drains through the content-addressed result spool, so an
+ * interrupted sweep resumes and a finished one re-simulates nothing.
  */
 
 #include "bench/bench_common.h"

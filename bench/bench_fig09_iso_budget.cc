@@ -45,7 +45,7 @@ main()
     for (const Config &cc : configs) {
         CoreConfig cfg = paperBaselineConfig();
         cfg.bpu.btb.numEntries = cc.btbEntries;
-        indices.push_back(c.add(cc.label, cfg, prefetcher(cc.pf)));
+        indices.push_back(c.add(cc.label, cfg, prefetcher(cc.pf), cc.pf));
     }
 
     const auto results = runTimed(c, workloads.size(), "fig09_iso_budget");

@@ -7,7 +7,9 @@
  * partially exposed, and a 24-entry FTQ removes 90.6% of those exposed
  * misses.
  *
- * The whole FTQ sweep is one campaign, parallelized under FDIP_JOBS.
+ * The whole FTQ sweep is one campaign, parallelized under FDIP_JOBS;
+ * with FDIP_SPOOL set it drains through the content-addressed result
+ * spool (resumable, dedup'd — see docs/CAMPAIGN.md).
  */
 
 #include "bench/bench_common.h"

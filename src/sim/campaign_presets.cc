@@ -1,0 +1,120 @@
+#include "sim/campaign_presets.h"
+
+#include "prefetch/factory.h"
+#include "util/log.h"
+
+namespace fdip
+{
+
+namespace
+{
+
+/** Factory adapter for named prefetchers (mirrors bench_common.h). */
+PrefetcherFactory
+named(const std::string &name)
+{
+    return [name](const Trace &) { return makePrefetcher(name); };
+}
+
+/** Adds one entry with an explicit prefetcher identity. */
+void
+add(std::vector<CampaignEntry> &out, std::string label, CoreConfig cfg,
+    const std::string &prefetcher)
+{
+    out.push_back(CampaignEntry{std::move(label), std::move(cfg),
+                                named(prefetcher), prefetcher});
+}
+
+/** Fig. 6a core: prefetchers with and without FDP. */
+std::vector<CampaignEntry>
+prefetchersCampaign()
+{
+    std::vector<CampaignEntry> out;
+    add(out, "baseline", noFdpConfig(), "none");
+    add(out, "NL1", noFdpConfig(), "nl1");
+    add(out, "EIP-27KB", noFdpConfig(), "eip-27");
+    add(out, "FDP", paperBaselineConfig(), "none");
+    add(out, "FDP+NL1", paperBaselineConfig(), "nl1");
+    add(out, "FDP+EIP-27KB", paperBaselineConfig(), "eip-27");
+    return out;
+}
+
+/** Fig. 14 core: the FTQ size sweep. */
+std::vector<CampaignEntry>
+ftqCampaign()
+{
+    std::vector<CampaignEntry> out;
+    add(out, "ftq2", noFdpConfig(), "none");
+    for (unsigned entries : {4u, 8u, 12u, 16u, 24u, 32u}) {
+        CoreConfig cfg = paperBaselineConfig();
+        cfg.ftqEntries = entries;
+        add(out, "ftq-" + std::to_string(entries), cfg, "none");
+    }
+    return out;
+}
+
+/** Fig. 8 core: history-management policies (PFC on). */
+std::vector<CampaignEntry>
+historyCampaign()
+{
+    std::vector<CampaignEntry> out;
+    add(out, "base", noFdpConfig(), "none");
+    for (HistoryScheme scheme :
+         {HistoryScheme::kIdeal, HistoryScheme::kThr, HistoryScheme::kGhr0,
+          HistoryScheme::kGhr1, HistoryScheme::kGhr2,
+          HistoryScheme::kGhr3}) {
+        CoreConfig cfg = paperBaselineConfig();
+        cfg.historyScheme = scheme;
+        add(out, historySchemeName(scheme), cfg, "none");
+    }
+    return out;
+}
+
+/** A two-config smoke campaign, small enough for CI kill/resume. */
+std::vector<CampaignEntry>
+smokeCampaign()
+{
+    std::vector<CampaignEntry> out;
+    add(out, "baseline", noFdpConfig(), "none");
+    add(out, "FDP", paperBaselineConfig(), "none");
+    return out;
+}
+
+} // namespace
+
+std::vector<CampaignPreset>
+campaignPresets()
+{
+    return {
+        {"prefetchers",
+         "Fig. 6a core: NL1/EIP with and without FDP (6 configs)"},
+        {"ftq", "Fig. 14: FTQ size sweep (7 configs)"},
+        {"history",
+         "Fig. 8: history-management policies, PFC on (7 configs)"},
+        {"smoke", "baseline vs FDP (2 configs; CI kill/resume smoke)"},
+    };
+}
+
+std::vector<CampaignEntry>
+buildCampaignEntries(const std::string &name)
+{
+    if (name == "prefetchers")
+        return prefetchersCampaign();
+    if (name == "ftq")
+        return ftqCampaign();
+    if (name == "history")
+        return historyCampaign();
+    if (name == "smoke")
+        return smokeCampaign();
+
+    std::string known;
+    for (const CampaignPreset &p : campaignPresets()) {
+        if (!known.empty())
+            known += ", ";
+        known += p.name;
+    }
+    fdip_fatal("unknown campaign '%s' (valid: %s)", name.c_str(),
+               known.c_str());
+}
+
+} // namespace fdip

@@ -4,6 +4,7 @@
 
 #include "obs/obs_config.h"
 #include "obs/trace_events.h"
+#include "util/fnv.h"
 #include "util/log.h"
 #include "util/stats.h"
 
@@ -127,6 +128,147 @@ benchSuite(std::size_t default_insts)
 {
     return buildStandardSuite(suiteInstsFromEnv(default_insts),
                               suiteSmallFromEnv());
+}
+
+namespace
+{
+
+/** Appends one canonical "key=value\n" line. Integral and bool knobs
+ *  all serialize through uint64 (bool as 0/1), so every width of
+ *  config field spells its value exactly one way. */
+template <typename T>
+void
+kv(std::string &out, const char *key, T value)
+{
+    out += key;
+    out += '=';
+    out += std::to_string(static_cast<std::uint64_t>(value));
+    out += '\n';
+}
+
+/** One cache geometry as canonical lines under a @p prefix. */
+void
+kvCache(std::string &out, const std::string &prefix,
+        const CacheConfig &c)
+{
+    kv(out, (prefix + ".sizeBytes").c_str(), c.sizeBytes);
+    kv(out, (prefix + ".ways").c_str(), c.ways);
+    kv(out, (prefix + ".lineBytes").c_str(), c.lineBytes);
+    kv(out, (prefix + ".replacement").c_str(),
+       static_cast<std::uint64_t>(c.replacement));
+}
+
+} // namespace
+
+std::string
+canonicalConfigText(const CoreConfig &cfg)
+{
+    std::string out = "fdip-config-v1\n";
+
+    kv(out, "ftqEntries", cfg.ftqEntries);
+    kv(out, "predictBandwidth", cfg.predictBandwidth);
+    kv(out, "maxTakenPerCycle", cfg.maxTakenPerCycle);
+    kv(out, "fetchBandwidth", cfg.fetchBandwidth);
+    kv(out, "btbLatency", cfg.btbLatency);
+    kv(out, "fetchProbesPerCycle", cfg.fetchProbesPerCycle);
+
+    kv(out, "pfcEnabled", cfg.pfcEnabled);
+    kv(out, "pfcUnconditionalOnly", cfg.pfcUnconditionalOnly);
+    kv(out, "historyScheme",
+       static_cast<std::uint64_t>(cfg.historyScheme));
+
+    kv(out, "decodeQueueEntries", cfg.decodeQueueEntries);
+    kv(out, "decodeLatency", cfg.decodeLatency);
+    kv(out, "commitWidth", cfg.commitWidth);
+    kv(out, "robEntries", cfg.robEntries);
+    kv(out, "branchResolveLatency", cfg.branchResolveLatency);
+
+    kvCache(out, "l1i", cfg.l1i);
+    kv(out, "l1iHitLatency", cfg.l1iHitLatency);
+    kv(out, "l1iMshrs", cfg.l1iMshrs);
+    kv(out, "itlbEntries", cfg.itlbEntries);
+    kv(out, "itlbMissPenalty", cfg.itlbMissPenalty);
+    kvCache(out, "mem.l1d", cfg.mem.l1d);
+    kvCache(out, "mem.l2", cfg.mem.l2);
+    kvCache(out, "mem.llc", cfg.mem.llc);
+    kv(out, "mem.l1dLatency", cfg.mem.l1dLatency);
+    kv(out, "mem.l2Latency", cfg.mem.l2Latency);
+    kv(out, "mem.llcLatency", cfg.mem.llcLatency);
+    kv(out, "mem.dramLatency", cfg.mem.dramLatency);
+    kv(out, "mem.dramOccupancy", cfg.mem.dramOccupancy);
+
+    kv(out, "bpu.historyPolicy",
+       static_cast<std::uint64_t>(cfg.bpu.historyPolicy));
+    kv(out, "bpu.direction",
+       static_cast<std::uint64_t>(cfg.bpu.direction));
+    kv(out, "bpu.tageKilobytes", cfg.bpu.tageKilobytes);
+    kv(out, "bpu.directionHistoryBits", cfg.bpu.directionHistoryBits);
+    kv(out, "bpu.btb.numEntries", cfg.bpu.btb.numEntries);
+    kv(out, "bpu.btb.ways", cfg.bpu.btb.ways);
+    kv(out, "bpu.btb.allocateTakenOnly", cfg.bpu.btb.allocateTakenOnly);
+    kv(out, "bpu.btb.bytesPerEntry", cfg.bpu.btb.bytesPerEntry);
+    kv(out, "bpu.btbHierarchy.enabled", cfg.bpu.btbHierarchy.enabled);
+    kv(out, "bpu.btbHierarchy.l1Entries", cfg.bpu.btbHierarchy.l1Entries);
+    kv(out, "bpu.btbHierarchy.l1Ways", cfg.bpu.btbHierarchy.l1Ways);
+    kv(out, "bpu.btbHierarchy.l2ExtraLatency",
+       cfg.bpu.btbHierarchy.l2ExtraLatency);
+    kv(out, "bpu.ittage.numTables", cfg.bpu.ittage.numTables);
+    kv(out, "bpu.ittage.minHistory", cfg.bpu.ittage.minHistory);
+    kv(out, "bpu.ittage.maxHistory", cfg.bpu.ittage.maxHistory);
+    kv(out, "bpu.ittage.logEntries", cfg.bpu.ittage.logEntries);
+    kv(out, "bpu.ittage.tagBits", cfg.bpu.ittage.tagBits);
+    kv(out, "bpu.ittage.logBaseEntries", cfg.bpu.ittage.logBaseEntries);
+    kv(out, "bpu.rasDepth", cfg.bpu.rasDepth);
+    kv(out, "bpu.useLoopPredictor", cfg.bpu.useLoopPredictor);
+    kv(out, "bpu.loopPredictor.logEntries",
+       cfg.bpu.loopPredictor.logEntries);
+    kv(out, "bpu.loopPredictor.ways", cfg.bpu.loopPredictor.ways);
+    kv(out, "bpu.loopPredictor.confidenceMax",
+       cfg.bpu.loopPredictor.confidenceMax);
+    kv(out, "bpu.loopPredictor.maxTrip", cfg.bpu.loopPredictor.maxTrip);
+    kv(out, "bpu.perfectBtb", cfg.bpu.perfectBtb);
+    kv(out, "bpu.perfectIndirect", cfg.bpu.perfectIndirect);
+
+    kv(out, "perfectPrefetch", cfg.perfectPrefetch);
+    kv(out, "perfectICache", cfg.perfectICache);
+    kv(out, "prefetchesPerCycle", cfg.prefetchesPerCycle);
+    kv(out, "usePrefetchBuffer", cfg.usePrefetchBuffer);
+    kv(out, "prefetchBufferLines", cfg.prefetchBufferLines);
+
+    return out;
+}
+
+std::uint64_t
+configDigest(const CoreConfig &cfg)
+{
+    return fnv1a64(canonicalConfigText(cfg));
+}
+
+std::uint64_t
+traceDigest(const SuiteEntry &entry)
+{
+    std::uint64_t h = fnv1a64("fdip-trace-v1\n");
+    h = fnv1a64(entry.name, h);
+    h = fnv1aByte(0, h); // Name/content separator.
+
+    const ProgramImage &image = entry.trace.image();
+    h = fnv1aMix(image.baseAddr(), h);
+    h = fnv1aMix(image.numInsts(), h);
+    for (std::uint32_t i = 0; i < image.numInsts(); ++i) {
+        const StaticInst &si = image.inst(i);
+        h = fnv1aMix(static_cast<std::uint64_t>(si.cls), h);
+        h = fnv1aMix(static_cast<std::uint64_t>(si.param), h);
+        h = fnv1aMix(si.target, h);
+    }
+
+    // The dynamic stream hashes as raw bytes: DynInst's 16-byte layout
+    // is static_asserted stable and its padding is explicitly zeroed.
+    h = fnv1aMix(entry.trace.insts.size(), h);
+    if (!entry.trace.insts.empty()) {
+        h = fnv1a64Bytes(entry.trace.insts.data(),
+                         entry.trace.insts.size() * sizeof(DynInst), h);
+    }
+    return h;
 }
 
 } // namespace fdip

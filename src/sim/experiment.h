@@ -8,6 +8,7 @@
 #ifndef FDIP_SIM_EXPERIMENT_H_
 #define FDIP_SIM_EXPERIMENT_H_
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -93,6 +94,39 @@ SuiteResult runSuite(const std::string &label, CoreConfig cfg,
 /** Default suite sizing for bench binaries: FDIP_SIM_INSTRS override,
  *  FDIP_SUITE=small override, defaults to @p default_insts / full. */
 std::vector<SuiteEntry> benchSuite(std::size_t default_insts = 1000000);
+
+/// @{ Manifest hashing: the content-addressing layer the campaign
+/// spool (sim/campaign_store.h) is keyed by. Purely functional over
+/// explicit inputs — no clocks, no pointers, no environment — so the
+/// same experiment hashes identically on any host, which is what lets
+/// independent workers share one spool and lets finished work be
+/// skipped byte-verifiably.
+
+/**
+ * Canonical text serialization of every *architectural* knob of
+ * @p cfg (observability options are excluded by design: they never
+ * affect simulated state). One "key=value\n" line per field, in a
+ * fixed order, prefixed with a format-version line, so the digest is
+ * stable across rebuilds and hosts.
+ *
+ * When adding a CoreConfig field, add its line here: the
+ * sim_campaign_store_test digest-sensitivity tests are the reminder.
+ */
+std::string canonicalConfigText(const CoreConfig &cfg);
+
+/** FNV-1a 64 digest of canonicalConfigText(). */
+std::uint64_t configDigest(const CoreConfig &cfg);
+
+/**
+ * FNV-1a 64 digest of a suite entry's full simulation input: the
+ * workload name, the program image (base address + every static
+ * instruction), and the committed dynamic-instruction stream (raw
+ * DynInst records; their 16-byte layout is static_asserted stable
+ * with explicit zeroed padding). The seed and instruction count are
+ * covered transitively: they determine this content.
+ */
+std::uint64_t traceDigest(const SuiteEntry &entry);
+/// @}
 
 } // namespace fdip
 

@@ -33,6 +33,9 @@ struct WorkItem
     /** Exclusively owned output: slot i is touched only by whichever
      *  worker claimed item i from the cursor, never concurrently. */
     RunResult *slot;
+    /** (entry, workload) indices reported to the campaign hooks. */
+    std::size_t entryIdx;
+    std::size_t workloadIdx;
 };
 
 /**
@@ -48,8 +51,9 @@ struct WorkItem
 class WorkPool
 {
   public:
-    WorkPool(const std::vector<WorkItem> &items, double warmup_fraction)
-        : items_(items), warmupFraction_(warmup_fraction)
+    WorkPool(const std::vector<WorkItem> &items, double warmup_fraction,
+             const CampaignHooks &hooks)
+        : items_(items), warmupFraction_(warmup_fraction), hooks_(hooks)
     {
     }
 
@@ -67,9 +71,16 @@ class WorkPool
                 return;
             const WorkItem &item = items_[i];
             try {
+                if (hooks_.claimRun &&
+                    !hooks_.claimRun(item.entryIdx, item.workloadIdx))
+                    continue;
                 *item.slot =
                     runOne(item.entry->cfg, *item.workload,
                            item.entry->makePrefetcher, warmupFraction_);
+                if (hooks_.onRunComplete) {
+                    hooks_.onRunComplete(item.entryIdx,
+                                         item.workloadIdx, *item.slot);
+                }
             } catch (...) {
                 recordError(std::current_exception());
                 return;
@@ -101,9 +112,12 @@ class WorkPool
         failed_.store(true, std::memory_order_relaxed);
     }
 
-    /// @{ Shared read-only (safe to alias across workers).
+    /// @{ Shared read-only (safe to alias across workers). The hooks
+    /// are invoked concurrently and are documented thread-safe
+    /// (parallel.h: CampaignHooks).
     const std::vector<WorkItem> &items_;
     const double warmupFraction_;
+    const CampaignHooks &hooks_;
     /// @}
 
     /// @{ Lock-free claim protocol.
@@ -118,9 +132,9 @@ class WorkPool
 /** Executes @p items over @p jobs workers (see WorkPool). */
 void
 drainPool(const std::vector<WorkItem> &items, double warmup_fraction,
-          unsigned jobs)
+          unsigned jobs, const CampaignHooks &hooks)
 {
-    WorkPool pool(items, warmup_fraction);
+    WorkPool pool(items, warmup_fraction, hooks);
 
     if (jobs <= 1 || items.size() <= 1) {
         // Exact serial fallback: same claim loop, calling thread only.
@@ -165,9 +179,10 @@ jobsFromEnv(unsigned fallback)
 }
 
 std::vector<SuiteResult>
-runCampaign(const std::vector<CampaignEntry> &entries,
-            const std::vector<SuiteEntry> &suite, double warmup_fraction,
-            unsigned jobs)
+runCampaignHooked(const std::vector<CampaignEntry> &entries,
+                  const std::vector<SuiteEntry> &suite,
+                  double warmup_fraction, unsigned jobs,
+                  const CampaignHooks &hooks)
 {
     // Resolve configs and the worker count up front, on the calling
     // thread: applyHistoryScheme() mutates the config and getenv() is
@@ -193,12 +208,21 @@ runCampaign(const std::vector<CampaignEntry> &entries,
     for (std::size_t c = 0; c < resolved.size(); ++c) {
         for (std::size_t w = 0; w < suite.size(); ++w) {
             items.push_back(WorkItem{&resolved[c], &suite[w],
-                                     &results[c].runs[w]});
+                                     &results[c].runs[w], c, w});
         }
     }
 
-    drainPool(items, warmup_fraction, jobs);
+    drainPool(items, warmup_fraction, jobs, hooks);
     return results;
+}
+
+std::vector<SuiteResult>
+runCampaign(const std::vector<CampaignEntry> &entries,
+            const std::vector<SuiteEntry> &suite, double warmup_fraction,
+            unsigned jobs)
+{
+    return runCampaignHooked(entries, suite, warmup_fraction, jobs,
+                             CampaignHooks{});
 }
 
 SuiteResult
@@ -208,17 +232,20 @@ runSuiteParallel(const std::string &label, CoreConfig cfg,
                  double warmup_fraction, unsigned jobs)
 {
     std::vector<CampaignEntry> one;
-    one.push_back(CampaignEntry{label, std::move(cfg), make_prefetcher});
+    one.push_back(
+        CampaignEntry{label, std::move(cfg), make_prefetcher, {}});
     auto results = runCampaign(one, suite, warmup_fraction, jobs);
     return std::move(results.front());
 }
 
 std::size_t
 Campaign::add(std::string label, CoreConfig cfg,
-              PrefetcherFactory make_prefetcher)
+              PrefetcherFactory make_prefetcher,
+              std::string prefetcher_id)
 {
     entries_.push_back(CampaignEntry{std::move(label), std::move(cfg),
-                                     std::move(make_prefetcher)});
+                                     std::move(make_prefetcher),
+                                     std::move(prefetcher_id)});
     return entries_.size() - 1;
 }
 

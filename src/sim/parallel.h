@@ -77,6 +77,46 @@ struct CampaignEntry
     std::string label;
     CoreConfig cfg;
     PrefetcherFactory makePrefetcher;
+
+    /**
+     * Stable identity of the prefetcher behind makePrefetcher (the
+     * factory name, e.g. "eip-27"), woven into the campaign manifest
+     * hash. std::function is opaque, so content addressing needs the
+     * caller to say which prefetcher a config runs; empty falls back
+     * to `label`, which is correct whenever distinct prefetchers carry
+     * distinct labels (every bench does).
+     */
+    std::string prefetcherId;
+};
+
+/**
+ * Per-run callbacks for campaign engines that need to observe or
+ * filter individual (config, workload) runs — the spooled campaign
+ * service (sim/campaign_store.h) implements claim files and
+ * crash-safe result records with exactly these two hooks.
+ *
+ * Both callbacks are invoked on *worker threads*, at most once per
+ * (entry, workload) pair, and must be thread-safe. They must not
+ * touch shared mutable state except through util/sync.h primitives or
+ * by writing distinct per-run files.
+ */
+struct CampaignHooks
+{
+    /**
+     * Claim filter, called when a worker picks the pair up. Return
+     * false to skip simulating it — its preallocated result slot is
+     * left default-constructed. Null means "claim everything".
+     */
+    std::function<bool(std::size_t entry, std::size_t workload)> claimRun;
+
+    /**
+     * Completion callback, called right after a run finishes (before
+     * the worker claims its next item), so results can be persisted
+     * incrementally — a crash loses at most the runs in flight.
+     */
+    std::function<void(std::size_t entry, std::size_t workload,
+                       const RunResult &result)>
+        onRunComplete;
 };
 
 /**
@@ -92,6 +132,18 @@ std::vector<SuiteResult>
 runCampaign(const std::vector<CampaignEntry> &entries,
             const std::vector<SuiteEntry> &suite,
             double warmup_fraction = 0.2, unsigned jobs = 0);
+
+/**
+ * runCampaign() with per-run hooks (see CampaignHooks). Pairs whose
+ * claimRun returns false are skipped: their result slots stay
+ * default-constructed and the caller is expected to fill them from
+ * its own store. Hook-free calls are exactly runCampaign().
+ */
+std::vector<SuiteResult>
+runCampaignHooked(const std::vector<CampaignEntry> &entries,
+                  const std::vector<SuiteEntry> &suite,
+                  double warmup_fraction, unsigned jobs,
+                  const CampaignHooks &hooks);
 
 /**
  * Builder over runCampaign(): accumulate labeled configs against one
@@ -115,14 +167,27 @@ class Campaign
     {
     }
 
-    /** Adds a labeled config; returns its index into run()'s result. */
+    /** Adds a labeled config; returns its index into run()'s result.
+     *  @p prefetcher_id names the prefetcher for content addressing
+     *  (see CampaignEntry::prefetcherId; empty = use the label). */
     std::size_t add(std::string label, CoreConfig cfg,
-                    PrefetcherFactory make_prefetcher);
+                    PrefetcherFactory make_prefetcher,
+                    std::string prefetcher_id = {});
 
     std::size_t size() const { return entries_.size(); }
 
     /** Runs all configs; results in add() order. 0 = jobsFromEnv(). */
     std::vector<SuiteResult> run(unsigned jobs = 0) const;
+
+    /** The accumulated entries (for spooled runs; see
+     *  sim/campaign_store.h). */
+    const std::vector<CampaignEntry> &entries() const { return entries_; }
+
+    /** The borrowed suite. */
+    const std::vector<SuiteEntry> &suite() const { return suite_; }
+
+    /** The warmup fraction every run uses. */
+    double warmupFraction() const { return warmupFraction_; }
 
   private:
     const std::vector<SuiteEntry> &suite_;

@@ -1,0 +1,248 @@
+#include "util/atomic_file.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+namespace fdip
+{
+
+namespace
+{
+
+void
+setError(std::string *error, const std::string &what,
+         const std::string &path)
+{
+    if (error != nullptr)
+        *error = what + " '" + path + "': " + std::strerror(errno);
+}
+
+/** Parent directory of @p path ("." when the path has no slash). */
+std::string
+parentDir(const std::string &path)
+{
+    const std::size_t slash = path.find_last_of('/');
+    if (slash == std::string::npos)
+        return ".";
+    if (slash == 0)
+        return "/";
+    return path.substr(0, slash);
+}
+
+/** Writes all of @p contents to @p fd, EINTR-safe. */
+bool
+writeAll(int fd, const std::string &contents)
+{
+    std::size_t off = 0;
+    while (off < contents.size()) {
+        const ssize_t n =
+            ::write(fd, contents.data() + off, contents.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/** fsync with EINTR retry; EINVAL (fsync-less fs) is not fatal. */
+bool
+syncFd(int fd)
+{
+    while (::fsync(fd) != 0) {
+        if (errno == EINTR)
+            continue;
+        return errno == EINVAL;
+    }
+    return true;
+}
+
+/** Opens @p dir and fsyncs it so a rename inside it is durable. */
+void
+syncDirectory(const std::string &dir)
+{
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0)
+        return; // Durability is best-effort on exotic filesystems.
+    (void)syncFd(fd);
+    ::close(fd);
+}
+
+/** Writes + fsyncs + closes @p fd; false on any failure. */
+bool
+finishFd(int fd, const std::string &contents)
+{
+    const bool ok = writeAll(fd, contents) && syncFd(fd);
+    if (::close(fd) != 0)
+        return false;
+    return ok;
+}
+
+} // namespace
+
+bool
+writeFileAtomic(const std::string &path, const std::string &contents,
+                std::string *error)
+{
+    const std::string tmp =
+        path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+    const int fd =
+        ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+        setError(error, "cannot create temp file", tmp);
+        return false;
+    }
+    if (!finishFd(fd, contents)) {
+        setError(error, "cannot write temp file", tmp);
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        setError(error, "cannot publish", path);
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    syncDirectory(parentDir(path));
+    return true;
+}
+
+ExclusiveCreate
+createFileExclusive(const std::string &path, const std::string &contents,
+                    std::string *error)
+{
+    const int fd =
+        ::open(path.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+    if (fd < 0) {
+        if (errno == EEXIST)
+            return ExclusiveCreate::kExists;
+        setError(error, "cannot create", path);
+        return ExclusiveCreate::kError;
+    }
+    if (!finishFd(fd, contents)) {
+        setError(error, "cannot write", path);
+        ::unlink(path.c_str());
+        return ExclusiveCreate::kError;
+    }
+    syncDirectory(parentDir(path));
+    return ExclusiveCreate::kCreated;
+}
+
+bool
+readFileToString(const std::string &path, std::string *out,
+                 std::string *error)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+        setError(error, "cannot open", path);
+        return false;
+    }
+    out->clear();
+    char buf[1 << 16];
+    for (;;) {
+        const ssize_t n = ::read(fd, buf, sizeof(buf));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            setError(error, "cannot read", path);
+            ::close(fd);
+            return false;
+        }
+        if (n == 0)
+            break;
+        out->append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return true;
+}
+
+bool
+ensureDirectory(const std::string &path, std::string *error)
+{
+    if (path.empty()) {
+        if (error != nullptr)
+            *error = "empty directory path";
+        return false;
+    }
+    // Walk the components, creating each missing prefix.
+    std::size_t pos = 0;
+    while (pos != std::string::npos) {
+        pos = path.find('/', pos + 1);
+        const std::string prefix =
+            pos == std::string::npos ? path : path.substr(0, pos);
+        if (prefix.empty() || prefix == "/" || prefix == ".")
+            continue;
+        if (::mkdir(prefix.c_str(), 0755) == 0 || errno == EEXIST)
+            continue;
+        setError(error, "cannot create directory", prefix);
+        return false;
+    }
+    struct stat st{};
+    if (::stat(path.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) {
+        if (error != nullptr)
+            *error = "'" + path + "' exists but is not a directory";
+        return false;
+    }
+    return true;
+}
+
+bool
+fileExists(const std::string &path)
+{
+    struct stat st{};
+    return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+bool
+removeFile(const std::string &path)
+{
+    return ::unlink(path.c_str()) == 0 || errno == ENOENT;
+}
+
+bool
+renameFile(const std::string &from, const std::string &to,
+           std::string *error)
+{
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+        setError(error, "cannot rename", from);
+        return false;
+    }
+    return true;
+}
+
+std::vector<std::string>
+listDirectory(const std::string &dir)
+{
+    std::vector<std::string> names;
+    DIR *d = ::opendir(dir.c_str());
+    if (d == nullptr)
+        return names;
+    for (;;) {
+        errno = 0;
+        const struct dirent *e = ::readdir(d);
+        if (e == nullptr)
+            break;
+        const std::string name = e->d_name;
+        if (name == "." || name == "..")
+            continue;
+        const std::string full = dir + "/" + name;
+        struct stat st{};
+        if (::stat(full.c_str(), &st) == 0 && S_ISREG(st.st_mode))
+            names.push_back(name);
+    }
+    ::closedir(d);
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
+} // namespace fdip

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Crash-safe file primitives for the campaign spool: atomic
+ * publication (temp file + fsync + rename), exclusive claim creation
+ * (O_EXCL), and plain read/list/remove helpers.
+ *
+ * Contract
+ * --------
+ * - writeFileAtomic() guarantees readers observe either the complete
+ *   previous state or the complete new contents, never a partial
+ *   write — a process killed at any instant leaves only an orphaned
+ *   `*.tmp.*` file, which spool recovery removes.
+ * - createFileExclusive() is the multi-process claim primitive: of N
+ *   racing processes exactly one observes kCreated; the rest observe
+ *   kExists. This is POSIX O_CREAT|O_EXCL, which is atomic on local
+ *   filesystems and on NFSv3+.
+ *
+ * All helpers are stateless free functions (no statics, no ambient
+ * state — clean under tools/lint/check_concurrency.py) and are safe to
+ * call concurrently from worker threads as long as each call targets a
+ * distinct path, which is how the spool uses them (one file per
+ * content hash).
+ */
+
+#ifndef FDIP_UTIL_ATOMIC_FILE_H_
+#define FDIP_UTIL_ATOMIC_FILE_H_
+
+#include <string>
+#include <vector>
+
+namespace fdip
+{
+
+/**
+ * Writes @p contents to @p path atomically: the data lands in
+ * `path.tmp.<pid>`, is fsync'd, and is renamed over @p path; the
+ * parent directory is fsync'd so the rename itself survives a crash.
+ *
+ * @return true on success; on failure @p error (if non-null) receives
+ *         a human-readable reason and any temp file is removed.
+ */
+bool writeFileAtomic(const std::string &path, const std::string &contents,
+                     std::string *error = nullptr);
+
+/** Outcome of an exclusive-create attempt. */
+enum class ExclusiveCreate
+{
+    kCreated, ///< This call created the file (the claim is ours).
+    kExists,  ///< Another process/thread holds the file already.
+    kError,   ///< I/O failure (permissions, missing directory, ...).
+};
+
+/**
+ * Creates @p path with O_CREAT|O_EXCL and writes @p contents (fsync'd).
+ * Exactly one of N racing callers wins.
+ */
+ExclusiveCreate createFileExclusive(const std::string &path,
+                                    const std::string &contents,
+                                    std::string *error = nullptr);
+
+/** Reads the whole file into @p out; false (with @p error) on failure. */
+bool readFileToString(const std::string &path, std::string *out,
+                      std::string *error = nullptr);
+
+/**
+ * Creates @p path and any missing parents (mkdir -p). Existing
+ * directories are fine; an existing non-directory is an error.
+ */
+bool ensureDirectory(const std::string &path, std::string *error = nullptr);
+
+/** True when @p path names an existing regular file. */
+bool fileExists(const std::string &path);
+
+/** Removes @p path; true when removed or already absent. */
+bool removeFile(const std::string &path);
+
+/** Renames @p from to @p to; false (with @p error) on failure. */
+bool renameFile(const std::string &from, const std::string &to,
+                std::string *error = nullptr);
+
+/**
+ * Names of the regular files directly inside @p dir, sorted
+ * lexicographically (deterministic scan order regardless of the
+ * filesystem's readdir order). Missing/unreadable directories return
+ * an empty list.
+ */
+std::vector<std::string> listDirectory(const std::string &dir);
+
+} // namespace fdip
+
+#endif // FDIP_UTIL_ATOMIC_FILE_H_

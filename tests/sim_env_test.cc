@@ -1,15 +1,18 @@
 /**
  * @file
  * Environment-override handling for the bench/experiment layer:
- * FDIP_SIM_INSTRS, FDIP_SUITE, and FDIP_JOBS. Invalid values (0,
- * garbage, negative, huge) must fall back to the default with a
- * warning — never crash, hang, or silently misconfigure a campaign.
+ * FDIP_SIM_INSTRS, FDIP_SUITE, FDIP_JOBS, and FDIP_SPOOL. Invalid
+ * values (0, garbage, negative, huge) must fall back to the default
+ * with a warning — never crash, hang, or silently misconfigure a
+ * campaign — and an unusable spool path must fail fast with a clear
+ * message rather than quietly recomputing or crashing.
  */
 
 #include <cstdlib>
 
 #include <gtest/gtest.h>
 
+#include "sim/campaign_store.h"
 #include "sim/experiment.h"
 #include "sim/parallel.h"
 
@@ -18,7 +21,7 @@ namespace fdip
 namespace
 {
 
-/** Restores the three env vars to "unset" around each test. */
+/** Restores the env vars to "unset" around each test. */
 class EnvTest : public ::testing::Test
 {
   protected:
@@ -28,6 +31,7 @@ class EnvTest : public ::testing::Test
         ::unsetenv("FDIP_SIM_INSTRS");
         ::unsetenv("FDIP_SUITE");
         ::unsetenv("FDIP_JOBS");
+        ::unsetenv("FDIP_SPOOL");
     }
     void
     TearDown() override
@@ -52,13 +56,27 @@ TEST_F(EnvTest, JobsParsesValidCounts)
 
 TEST_F(EnvTest, JobsInvalidValuesFallBack)
 {
-    for (const char *bad : {"0", "garbage", "-2", "2x", "", " ", "1.5",
+    for (const char *bad : {"0", "garbage", "-2", "2x", " ", "1.5",
                             "99999999999999999999", "4097"}) {
         ::setenv("FDIP_JOBS", bad, 1);
+        ::testing::internal::CaptureStderr();
         EXPECT_EQ(jobsFromEnv(7), 7u) << "FDIP_JOBS='" << bad << "'";
+        const std::string warning =
+            ::testing::internal::GetCapturedStderr();
+        // The fallback must be loud, and the warning must name the
+        // variable and the rejected value.
+        EXPECT_NE(warning.find("FDIP_JOBS"), std::string::npos)
+            << "no warning for FDIP_JOBS='" << bad << "'";
+        EXPECT_NE(warning.find(bad), std::string::npos) << warning;
     }
     ::setenv("FDIP_JOBS", std::to_string(kMaxJobs + 1).c_str(), 1);
     EXPECT_EQ(jobsFromEnv(7), 7u);
+
+    // The empty string means "unset": silent fallback, no warning.
+    ::setenv("FDIP_JOBS", "", 1);
+    ::testing::internal::CaptureStderr();
+    EXPECT_EQ(jobsFromEnv(7), 7u);
+    EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
 }
 
 TEST_F(EnvTest, SimInstrsParsesValidCounts)
@@ -124,6 +142,39 @@ TEST_F(EnvTest, BenchSuiteInvalidInstrsUsesBenchDefault)
     ASSERT_EQ(suite.size(), 3u);
     for (const auto &e : suite)
         EXPECT_EQ(e.trace.size(), 2000u) << e.name;
+}
+
+TEST_F(EnvTest, SpoolFromEnvReflectsTheVariable)
+{
+    EXPECT_EQ(spoolFromEnv(), "");
+    ::setenv("FDIP_SPOOL", "/some/spool/dir", 1);
+    EXPECT_EQ(spoolFromEnv(), "/some/spool/dir");
+    ::unsetenv("FDIP_SPOOL");
+    EXPECT_EQ(spoolFromEnv(), "");
+}
+
+// openSpool on an unusable path must exit(1) with a message naming
+// the spool, not crash and not silently recompute. "/dev/null/..." is
+// unusable for every user, root included (ENOTDIR), unlike
+// permission-based fixtures.
+TEST_F(EnvTest, OpenSpoolUnusablePathFailsWithClearMessage)
+{
+    EXPECT_EXIT(openSpool("/dev/null/spool"),
+                ::testing::ExitedWithCode(1), "spool");
+}
+
+TEST_F(EnvTest, OpenSpoolEmptyPathFailsWithClearMessage)
+{
+    EXPECT_EXIT(openSpool(""), ::testing::ExitedWithCode(1),
+                "no spool directory");
+}
+
+TEST_F(EnvTest, OpenSpoolUnwritableDirectoryFailsWithClearMessage)
+{
+    // A directory that exists but rejects writes: /proc is a kernel
+    // filesystem, so even root cannot create files in it.
+    EXPECT_EXIT(openSpool("/proc/fdip-spool"),
+                ::testing::ExitedWithCode(1), "spool");
 }
 
 } // namespace

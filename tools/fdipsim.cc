@@ -15,7 +15,10 @@
 
 #include "check/certify.h"
 #include "prefetch/factory.h"
+#include "sim/campaign_presets.h"
+#include "sim/campaign_store.h"
 #include "sim/experiment.h"
+#include "sim/parallel.h"
 #include "sim/report.h"
 #include "trace/champsim.h"
 #include "util/log.h"
@@ -40,6 +43,13 @@ struct Options
     std::string dumpStatsPath;
     bool compareBaseline = false;
     CoreConfig cfg = paperBaselineConfig();
+
+    // Campaign mode (see sim/campaign_store.h).
+    std::string campaign;
+    std::string spoolDir;
+    unsigned jobs = 0;
+    bool resume = false;
+    bool merge = false;
 };
 
 void
@@ -71,6 +81,19 @@ usage()
         "  --perfect-icache   every L1I access hits\n"
         "  --perfect-prefetch instantaneous prefetching (with traffic)\n"
         "  --perfect-btb      oracle branch detection\n"
+        "\n"
+        "campaign mode (sharded, resumable, content-addressed; see\n"
+        "docs/CAMPAIGN.md — env: FDIP_SPOOL, FDIP_JOBS):\n"
+        "  --campaign NAME    drain a named campaign through a spool:\n"
+        "                     prefetchers | ftq | history | smoke\n"
+        "  --spool DIR        spool directory (default: $FDIP_SPOOL)\n"
+        "  --resume           reclaim claims left by dead local workers\n"
+        "  --merge            assemble + verify the report from spool\n"
+        "                     records only (no simulation); exit 1 if\n"
+        "                     any manifest entry lacks a record\n"
+        "  --jobs N           worker threads for --campaign (FDIP_JOBS)\n"
+        "  Campaign workloads come from --workload suite|suite-small,\n"
+        "  --insts, and --warmup-frac; reports from --json/--csv.\n"
         "\n"
         "output:\n"
         "  --compare-baseline also run the no-FDP baseline\n"
@@ -181,6 +204,17 @@ parseArgs(int argc, char **argv)
             opt.cfg.perfectPrefetch = true;
         } else if (a == "--perfect-btb") {
             opt.cfg.bpu.perfectBtb = true;
+        } else if (a == "--campaign") {
+            opt.campaign = need(i);
+        } else if (a == "--spool") {
+            opt.spoolDir = need(i);
+        } else if (a == "--resume") {
+            opt.resume = true;
+        } else if (a == "--merge") {
+            opt.merge = true;
+        } else if (a == "--jobs") {
+            opt.jobs = static_cast<unsigned>(
+                std::strtoul(need(i), nullptr, 10));
         } else if (a == "--compare-baseline") {
             opt.compareBaseline = true;
         } else if (a == "--json") {
@@ -238,12 +272,75 @@ buildInputs(const Options &opt)
     return suite;
 }
 
+/**
+ * `fdipsim --campaign`: drains (or, with --merge, assembles) a named
+ * campaign through the content-addressed spool. Exit status 0 only
+ * when every manifest entry ended with a verified record.
+ */
+int
+campaignMain(const Options &opt)
+{
+    if (opt.workload != "suite" && opt.workload != "suite-small") {
+        fdip_fatal("--campaign needs --workload suite|suite-small, "
+                   "not '%s'",
+                   opt.workload.c_str());
+    }
+    const std::vector<CampaignEntry> entries =
+        buildCampaignEntries(opt.campaign);
+    const std::vector<SuiteEntry> suite =
+        buildStandardSuite(opt.insts, opt.workload == "suite-small");
+    const std::string spool =
+        opt.spoolDir.empty() ? spoolFromEnv() : opt.spoolDir;
+
+    SpoolSummary summary;
+    std::vector<SuiteResult> results;
+    std::string merge_error;
+    if (opt.merge) {
+        mergeCampaignSpool(entries, suite, spool, opt.warmupFrac,
+                           &results, &summary, &merge_error);
+    } else {
+        SpoolOptions options;
+        options.spoolDir = spool;
+        options.warmupFraction = opt.warmupFrac;
+        options.jobs = opt.jobs;
+        options.reclaimDeadClaims = opt.resume;
+        results = runCampaignSpooled(entries, suite, options, &summary);
+    }
+
+    std::printf("campaign '%s': %zu runs, %zu simulated, %zu cached, "
+                "%zu claimed elsewhere, %zu reclaimed, %zu quarantined, "
+                "%s\n",
+                opt.campaign.c_str(), summary.totalRuns,
+                summary.simulated, summary.cacheHits,
+                summary.claimedElsewhere, summary.reclaimed,
+                summary.quarantined,
+                summary.complete ? "complete" : "incomplete");
+    if (!summary.complete) {
+        std::fprintf(stderr, "campaign: incomplete%s%s\n",
+                     merge_error.empty() ? "" : ": ",
+                     merge_error.c_str());
+        return 1;
+    }
+
+    if (!opt.jsonPath.empty() &&
+        !writeSuiteResultsJson(opt.jsonPath, results)) {
+        fdip_fatal("cannot write %s", opt.jsonPath.c_str());
+    }
+    if (!opt.csvPath.empty() &&
+        !writeSuiteResultsCsv(opt.csvPath, results)) {
+        fdip_fatal("cannot write %s", opt.csvPath.c_str());
+    }
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     Options opt = parseArgs(argc, argv);
+    if (!opt.campaign.empty() || opt.merge)
+        return campaignMain(opt);
     const auto suite = buildInputs(opt);
 
     // With one run there is nothing to clobber, so honor the trace

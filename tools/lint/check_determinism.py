@@ -50,6 +50,7 @@ WALLCLOCK_ALLOWLIST = {"src/sim/experiment.cc"}
 # Env-var opt-ins read once on the coordinating thread, before any
 # worker runs (observability toggles and suite sizing).
 GETENV_ALLOWLIST = {
+    "src/sim/campaign_store.cc",
     "src/sim/parallel.cc",
     "src/obs/obs_config.cc",
     "src/obs/heartbeat.cc",
