@@ -45,6 +45,21 @@ prefetcher(const std::string &name)
     return [name](const Trace &) { return makePrefetcher(name); };
 }
 
+/** JSON string escaping for labels woven into bench summaries. */
+inline std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        if (static_cast<unsigned char>(c) >= 0x20)
+            out.push_back(c);
+    }
+    return out;
+}
+
 /** Formats a speedup fraction as "+41.0%". */
 inline std::string
 speedupStr(double ratio)
@@ -64,12 +79,21 @@ banner(const char *experiment, const char *description)
     std::printf("=============================================================\n");
 }
 
+/** Bench-summary schema version. v2: labels are JSON-escaped, the
+ *  version is explicit, and summaries carry hostPhaseBreakdown when
+ *  the tick-phase profiler sampled anything (tools/bench_trend.py and
+ *  tools/perf_gate.py validate this schema). v1 files have no
+ *  schemaVersion key. */
+inline constexpr int kBenchJsonSchemaVersion = 2;
+
 /**
  * Writes a machine-readable bench summary to BENCH_<name>.json: one
- * entry per configuration (label + geomean IPC) plus host throughput,
- * so CI and plotting scripts can diff bench output without scraping
- * the human-readable tables. FDIP_BENCH_JSON_DIR overrides the output
- * directory (default: current directory); FDIP_BENCH_JSON=0 disables.
+ * entry per configuration (label + geomean IPC) plus host throughput
+ * and, when profiling sampled any tick, the merged host tick-phase
+ * breakdown — so CI and plotting scripts can diff bench output
+ * without scraping the human-readable tables. FDIP_BENCH_JSON_DIR
+ * overrides the output directory (default: current directory);
+ * FDIP_BENCH_JSON=0 disables.
  */
 inline void
 writeBenchJson(const char *bench_name,
@@ -90,17 +114,42 @@ writeBenchJson(const char *bench_name,
         return;
     }
     std::fprintf(f,
-                 "{\n  \"bench\": \"%s\",\n  \"jobs\": %u,\n"
+                 "{\n  \"bench\": \"%s\",\n  \"schemaVersion\": %d,\n"
+                 "  \"jobs\": %u,\n"
                  "  \"elapsedSeconds\": %.3f,\n"
                  "  \"hostInstrsPerSecond\": %.0f,\n  \"results\": [\n",
-                 bench_name, jobs, elapsed_seconds,
+                 jsonEscape(bench_name).c_str(),
+                 kBenchJsonSchemaVersion, jobs, elapsed_seconds,
                  host_insts_per_second);
     for (std::size_t i = 0; i < results.size(); ++i) {
         std::fprintf(f, "    {\"label\": \"%s\", \"geomeanIpc\": %.6f}%s\n",
-                     results[i].label.c_str(), results[i].geomeanIpc(),
+                     jsonEscape(results[i].label).c_str(),
+                     results[i].geomeanIpc(),
                      i + 1 < results.size() ? "," : "");
     }
-    std::fprintf(f, "  ]\n}\n");
+    std::fprintf(f, "  ]");
+
+    TickProfile merged;
+    for (const SuiteResult &r : results)
+        for (const RunResult &run : r.runs)
+            merged.merge(run.hostPhases);
+    if (merged.sampledTicks > 0) {
+        std::fprintf(f,
+                     ",\n  \"hostPhaseBreakdown\": {\n"
+                     "    \"interval\": %llu, \"sampledTicks\": %llu, "
+                     "\"totalTicks\": %llu,\n    \"phases\": {",
+                     static_cast<unsigned long long>(merged.interval),
+                     static_cast<unsigned long long>(merged.sampledTicks),
+                     static_cast<unsigned long long>(merged.totalTicks));
+        for (std::size_t i = 0; i < kTickPhaseCount; ++i) {
+            std::fprintf(
+                f, "%s\"%s\": %.6f", i == 0 ? "" : ", ",
+                kTickPhaseName[i],
+                merged.fraction(static_cast<TickPhase>(i)));
+        }
+        std::fprintf(f, "}\n  }");
+    }
+    std::fprintf(f, "\n}\n");
     std::fclose(f);
     std::fprintf(stderr, "bench: wrote %s\n", path.c_str());
 }
@@ -124,6 +173,11 @@ runTimed(const Campaign &campaign, std::size_t suite_size,
 {
     const unsigned jobs = jobsFromEnv();
     const std::string spool = spoolFromEnv();
+    // Benches self-profile by default (every 64th tick; ~1.5% sample
+    // rate keeps the hot loop honest) so BENCH_*.json always carries a
+    // host phase breakdown; an explicit FDIP_PROFILE (including 0)
+    // wins. Architecturally invisible — sim_determinism_test pins it.
+    ::setenv("FDIP_PROFILE", "64", /*overwrite=*/0);
     const auto t0 = std::chrono::steady_clock::now();
     std::vector<SuiteResult> results;
     if (!spool.empty()) {

@@ -218,6 +218,14 @@ checkSimStatsFinal(const SimStats &s)
                "more useful prefetches than issued prefetches");
     FDIP_CHECK(s.committedInsts <= s.deliveredInsts,
                "more committed than delivered correct-path instructions");
+    // Cycle accounting (obs/cycle_account.h). Not valid mid-run or
+    // across a warmup reset: the backend counts starvationCycles from
+    // tick 0, but buckets are charged only once warm — Core::run
+    // checks the post-warmup per-tick form itself.
+    FDIP_CHECK(s.stallCycleSum() == s.starvationCycles,
+               "stall buckets do not sum to starvation cycles");
+    FDIP_CHECK(s.cycleBucketSum() == s.cycles,
+               "cycle buckets do not sum to total cycles");
 }
 
 } // namespace fdip

@@ -37,9 +37,14 @@ Backend::tick(Cycle now) FDIP_HOT_NOEXCEPT
 {
     // ---- Dispatch: in-order, up to commitWidth per cycle, gated by
     // decode latency and ROB space.
+    dispatchBlocked_ = false;
     for (unsigned n = 0; n < cfg_.commitWidth; ++n) {
-        if (dq_.empty() || rob_.full())
+        if (dq_.empty() || rob_.full()) {
+            // Back-pressure signal for the cycle accounting: decoded
+            // work was waiting but the ROB refused it.
+            dispatchBlocked_ = !dq_.empty() && rob_.full();
             break;
+        }
         const DeliveredInst &d = dq_.front();
         if (d.deliverCycle + cfg_.decodeLatency > now)
             break;

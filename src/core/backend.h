@@ -104,6 +104,11 @@ class Backend
     /** Current decode-queue occupancy. */
     std::size_t decodeQueueSize() const { return dq_.size(); }
 
+    /** True when the last tick's dispatch stage stopped on a full ROB
+     *  with decoded instructions still waiting (cycle-accounting
+     *  back-pressure signal; see obs/cycle_account.h). */
+    bool dispatchBlocked() const { return dispatchBlocked_; }
+
   private:
     struct RobEntry
     {
@@ -121,6 +126,7 @@ class Backend
     CircularQueue<DeliveredInst> dq_;
     CircularQueue<RobEntry> rob_;
     std::uint64_t committed_ = 0;
+    bool dispatchBlocked_ = false; ///< Last tick: ROB-full back-pressure.
     Cycle lastCommitDone_ = 0; ///< Completion time of last committed inst.
 
     /** In-flight divergence tokens awaiting execution (tiny; every

@@ -14,13 +14,16 @@ Core::Core(const CoreConfig &cfg, const Trace &trace,
       mem_(cfg_.mem),
       prefetcher_(std::move(prefetcher)),
       backend_(cfg_, mem_, stats_),
-      frontend_(cfg_, trace_, bpu_, backend_, mem_, *prefetcher_, stats_)
+      frontend_(cfg_, trace_, bpu_, backend_, mem_, *prefetcher_, stats_),
+      profiler_(cfg_.obs.profileInterval)
 {
     backend_.setResolveCallback(
         [this](std::uint64_t token, std::uint64_t seq, Cycle now) {
             frontend_.onResolve(token, seq, now);
         });
     prefetcher_->bind(bpu_, trace_.image());
+    if (profiler_.enabled())
+        frontend_.attachProfiler(&profiler_);
 }
 
 SimStats
@@ -63,11 +66,23 @@ Core::run(std::uint64_t warmup_insts)
 
     FDIP_HOT_REGION_BEGIN(tick_loop);
     while (backend_.committed() < total) {
+        profiler_.beginTick(now);
+        profiler_.begin(TickPhase::kFrontend);
         frontend_.tick(now);
+        profiler_.end(TickPhase::kFrontend);
+        profiler_.begin(TickPhase::kBackend);
         backend_.tick(now);
+        profiler_.end(TickPhase::kBackend);
+        profiler_.begin(TickPhase::kObs);
 
+        // The warmup-boundary tick: counted in cycles (and charged to
+        // base.committed below — its starvation increment is discarded
+        // with the rest of the reset, so any stall charge would break
+        // the stall-sum conservation law).
+        bool boundary_tick = false;
         if (!warm && backend_.committed() >= warmup_insts) {
             warm = true;
+            boundary_tick = true;
             warm_start_cycle = now;
             const std::uint64_t kept_commits = backend_.committed();
             stats_ = SimStats{};
@@ -76,6 +91,38 @@ Core::run(std::uint64_t warmup_insts)
             warmup_insts = kept_commits;
             btb_lookups0 = bpu_.btb().lookups();
             btb_hits0 = bpu_.btb().hits();
+        }
+
+        if (warm) {
+            // Top-down fetch-slot accounting: charge this cycle to its
+            // unique leaf bucket. The starved gate re-evaluates exactly
+            // the condition Backend::tick used for starvationCycles
+            // (decode-queue occupancy is stable between the backend
+            // tick and here), so the conservation laws below hold
+            // tick-by-tick, not just at the end of the run.
+            CycleBucket bucket = CycleBucket::kBaseCommitted;
+            if (!boundary_tick) {
+                CycleSignals sig = frontend_.cycleSignals(now);
+                sig.starved =
+                    backend_.decodeQueueSize() < cfg_.fetchBandwidth;
+                sig.dispatchBlocked = backend_.dispatchBlocked();
+                bucket = classifyCycle(sig);
+            }
+            chargeCycle(stats_, bucket);
+            FDIP_CHECK(stats_.cycleBucketSum() ==
+                           now - warm_start_cycle + 1,
+                       "cycle buckets (%llu) != elapsed post-warmup "
+                       "cycles (%llu)",
+                       static_cast<unsigned long long>(
+                           stats_.cycleBucketSum()),
+                       static_cast<unsigned long long>(
+                           now - warm_start_cycle + 1));
+            FDIP_CHECK(stats_.stallCycleSum() == stats_.starvationCycles,
+                       "stall buckets (%llu) != starvation cycles (%llu)",
+                       static_cast<unsigned long long>(
+                           stats_.stallCycleSum()),
+                       static_cast<unsigned long long>(
+                           stats_.starvationCycles));
         }
 
         if (hb != 0 && warm) {
@@ -96,6 +143,11 @@ Core::run(std::uint64_t warmup_insts)
                     stats_.prefetchesIssued - hb_prev.prefetchesIssued;
                 s.prefetchesUseful =
                     stats_.prefetchesUseful - hb_prev.prefetchesUseful;
+                for (std::size_t b = 0; b < kCycleBucketCount; ++b) {
+                    s.cycleBuckets[b] =
+                        stats_.*kCycleBucketField[b] -
+                        hb_prev.*kCycleBucketField[b];
+                }
                 FDIP_CHECK(hb_count < heartbeats_.size(),
                            "heartbeat series overflow at sample %zu",
                            hb_count);
@@ -118,6 +170,7 @@ Core::run(std::uint64_t warmup_insts)
                        static_cast<unsigned long long>(total));
         }
 
+        profiler_.end(TickPhase::kObs);
         ++now;
     }
     FDIP_HOT_REGION_END(tick_loop);
@@ -131,9 +184,8 @@ Core::run(std::uint64_t warmup_insts)
 }
 
 void
-Core::registerStats(StatRegistry &reg) const
+registerCoreSimStats(StatRegistry &reg, const SimStats &s)
 {
-    const SimStats &s = stats_;
     const auto add = [&reg, &s](const char *name,
                                 std::uint64_t SimStats::*field) {
         reg.addCounter(std::string("core.") + name,
@@ -169,6 +221,7 @@ Core::registerStats(StatRegistry &reg) const
     add("miss_covered", &SimStats::missCovered);
     add("btb_lookups", &SimStats::btbLookups);
     add("btb_hits", &SimStats::btbHits);
+    registerCycleStats(reg, s); // core.cycles.* buckets + fractions.
 
     reg.addDerived("core.ipc", [&s] { return s.ipc(); });
     reg.addDerived("core.branch_mpki", [&s] { return s.branchMpki(); });
@@ -183,7 +236,12 @@ Core::registerStats(StatRegistry &reg) const
                    [&s] { return s.prefetchCoverage(); });
     reg.addDerived("core.prefetch_redundant_rate",
                    [&s] { return s.prefetchRedundantRate(); });
+}
 
+void
+Core::registerStats(StatRegistry &reg) const
+{
+    registerCoreSimStats(reg, stats_);
     frontend_.registerStats(reg, "frontend");
     bpu_.registerStats(reg, "bpu");
     mem_.registerStats(reg, "mem");

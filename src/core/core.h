@@ -16,14 +16,26 @@
 #include "core/core_config.h"
 #include "core/frontend.h"
 #include "core/sim_stats.h"
+#include "obs/cycle_account.h"
 #include "obs/heartbeat.h"
 #include "obs/stat_registry.h"
+#include "obs/tick_profiler.h"
 #include "obs/trace_events.h"
 #include "prefetch/prefetcher.h"
 #include "trace/trace_gen.h"
 
 namespace fdip
 {
+
+/**
+ * Registers the "core.*" slice of @p s: every raw SimStats counter,
+ * the core.cycles.* accounting buckets, and the derived metrics. This
+ * is the SimStats-only subtree of Core::registerStats, exposed as a
+ * free function so reports can synthesize a stat dump from bare
+ * SimStats (campaign-spool cache hits carry counters but no registry
+ * snapshot). @p s must outlive any snapshot of @p reg.
+ */
+void registerCoreSimStats(StatRegistry &reg, const SimStats &s);
 
 /**
  * One simulated core instance, bound to a trace.
@@ -71,6 +83,11 @@ class Core
      *  emitted by the frontend while run() executes. */
     void attachTrace(TraceWriter *w) { frontend_.attachTrace(w); }
 
+    /** Host tick-phase profile accumulated by run() when
+     *  cfg.obs.profileInterval is non-zero (host telemetry only; see
+     *  obs/tick_profiler.h). */
+    const TickProfile &hostProfile() const { return profiler_.profile(); }
+
     /** Registers the whole core's stats tree: "core.*" (the SimStats
      *  counters and derived metrics), "frontend.*", "bpu.*", "mem.*",
      *  and "pf.<prefetcher>.*". */
@@ -86,6 +103,7 @@ class Core
     Backend backend_;
     Frontend frontend_;
     std::vector<HeartbeatSample> heartbeats_;
+    TickProfiler profiler_; ///< Host-side; never touches stats_.
 };
 
 } // namespace fdip

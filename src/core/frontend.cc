@@ -62,10 +62,22 @@ Frontend::tick(Cycle now) FDIP_HOT_NOEXCEPT
         }
     }
 
+    if (profiler_ != nullptr)
+        profiler_->begin(TickPhase::kIcache);
     processFills(now);
     fetchCycle(now);
+    if (profiler_ != nullptr) {
+        profiler_->end(TickPhase::kIcache);
+        profiler_->begin(TickPhase::kPrefetcher);
+    }
     drainPrefetchQueue(now);
+    if (profiler_ != nullptr) {
+        profiler_->end(TickPhase::kPrefetcher);
+        profiler_->begin(TickPhase::kBpu);
+    }
     predictCycle(now);
+    if (profiler_ != nullptr)
+        profiler_->end(TickPhase::kBpu);
 
     ftqOccupancy_.add(ftq_.size());
     if (tracer_.on() && ftq_.size() != lastTracedOccupancy_) {
@@ -76,6 +88,26 @@ Frontend::tick(Cycle now) FDIP_HOT_NOEXCEPT
 
     if constexpr (kInvariantChecksEnabled)
         checkTickInvariants(now);
+}
+
+FDIP_HOT_PATH CycleSignals
+Frontend::cycleSignals(Cycle now) const FDIP_HOT_NOEXCEPT
+{
+    CycleSignals sig;
+    // A redirect bubble (flush restart, PFC/fixup re-steer, or an
+    // L2-BTB re-steer) holds the predict stage; that is the classic
+    // recovery shadow.
+    sig.flushRestart = now < predStallUntil_;
+    // An unresolved divergence whose cause was an undetected taken
+    // branch: the frontend is running down a BTB-miss wrong path, so
+    // any fetch stall until resolution is the BTB's fault.
+    sig.btbMissWrongPath =
+        pending_.has_value() && pending_->cause == kCauseBtbMissTaken;
+    sig.itlbWait = now < itlbStallUntil_;
+    sig.l1iWait =
+        !ftq_.empty() && ftq_.at(0).state == FtqState::kFilling;
+    sig.redirectShadow = now < redirectShadowUntil_;
+    return sig;
 }
 
 void
@@ -510,6 +542,10 @@ Frontend::probeEntry(FtqEntry &entry, std::size_t pos, Cycle now)
         itlb_.fill(page);
         ++stats_.itlbMisses;
         entry.readyAt = now + cfg_.itlbMissPenalty;
+        // Cycle-accounting signal: a head-blocking ITLB refill is a
+        // distinct stall cause (observation-only; never read back).
+        if (pos == 0 && entry.readyAt > itlbStallUntil_)
+            itlbStallUntil_ = entry.readyAt;
         return;
     }
 
@@ -791,6 +827,7 @@ Frontend::triggerPfc(FtqEntry &entry, std::uint8_t offset,
 
     predPc_ = target;
     predStallUntil_ = now + 1;
+    redirectShadowUntil_ = now + cfg_.btbLatency + 1;
 
     // Oracle accounting.
     const bool inst_correct =
@@ -904,6 +941,7 @@ Frontend::triggerGhrFixup(FtqEntry &entry, std::uint8_t offset, Cycle now)
     ftq_.truncateAfter(1);
     predPc_ = pc + kInstBytes;
     predStallUntil_ = now + 1;
+    redirectShadowUntil_ = now + cfg_.btbLatency + 1;
 
     // Resume the correct path only when this instruction is strictly
     // before any divergence: a fixup branch *at* the divergence offset
@@ -967,6 +1005,7 @@ Frontend::onResolve(std::uint64_t token, std::uint64_t seq, Cycle now)
     tracePos_ = p.traceIdx + 1;
     onCorrectPath_ = true;
     predStallUntil_ = now + 1;
+    redirectShadowUntil_ = now + cfg_.btbLatency + 1;
 }
 
 // ---------------------------------------------------------------------

@@ -28,7 +28,9 @@
 #include "core/core_config.h"
 #include "core/ftq.h"
 #include "core/sim_stats.h"
+#include "obs/cycle_account.h"
 #include "obs/stat_registry.h"
+#include "obs/tick_profiler.h"
 #include "obs/trace_events.h"
 #include "prefetch/prefetcher.h"
 #include "trace/trace_gen.h"
@@ -72,6 +74,15 @@ class Frontend
 
     /** Attaches (or detaches, nullptr) the run's trace sink. */
     void attachTrace(TraceWriter *w) { tracer_.attach(w); }
+
+    /** Attaches (or detaches, nullptr) the host tick-phase profiler;
+     *  tick() then brackets its predict/I-cache/prefetch sub-phases. */
+    void attachProfiler(TickProfiler *p) { profiler_ = p; }
+
+    /** The fetch-side cycle-accounting signals as of the end of this
+     *  tick (Core::run adds the backend's view and classifies). Pure
+     *  read of frontend state — observation never mutates the model. */
+    CycleSignals cycleSignals(Cycle now) const FDIP_HOT_NOEXCEPT;
 
     /** Registers the frontend's stats tree under @p prefix: the FTQ
      *  (plus its occupancy histogram), L1I, ITLB, optional prefetch
@@ -192,6 +203,7 @@ class Frontend
     StatHistogram ftqOccupancy_;  ///< Per-tick FTQ occupancy.
     StatHistogram fillLatency_;   ///< Demand-touched fill latencies.
     std::size_t lastTracedOccupancy_ = static_cast<std::size_t>(-1);
+    TickProfiler *profiler_ = nullptr; ///< Host-phase sink (Core's).
     /// @}
 
     /// @{ Prediction stream state.
@@ -205,6 +217,12 @@ class Frontend
     std::uint64_t nextToken_ = 1;
     Cycle predStallUntil_ = 0; ///< Redirect bubble.
     unsigned l2BtbBubble_ = 0; ///< Pending two-level-BTB re-steer bubble.
+    /// @}
+
+    /// @{ Cycle-accounting signal state (observation-only: consumed by
+    /// cycleSignals(), never read back by the model).
+    Cycle itlbStallUntil_ = 0;  ///< Head FTQ entry's ITLB refill wait.
+    Cycle redirectShadowUntil_ = 0; ///< FTQ-refill window after a redirect.
     /// @}
 
     /** Whether the last fill of a line was a prefetch (usefulness).

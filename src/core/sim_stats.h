@@ -27,7 +27,7 @@ struct SimStats
      * tuple, this constant, and (by reading this comment) the parallel
      * determinism contract together.
      */
-    static constexpr std::size_t kArchitecturalCounters = 30;
+    static constexpr std::size_t kArchitecturalCounters = 38;
 
     /// @{ Progress.
     std::uint64_t cycles = 0;
@@ -83,6 +83,21 @@ struct SimStats
     std::uint64_t btbHits = 0;
     /// @}
 
+    /// @{ Top-down cycle accounting: every post-warmup cycle is
+    /// charged to exactly one of these leaf buckets (one-hot, fixed
+    /// precedence; see obs/cycle_account.h and docs/OBSERVABILITY.md).
+    /// Invariants, FDIP_CHECKed every tick: the six starved-slot
+    /// buckets sum to starvationCycles, and all eight sum to cycles.
+    std::uint64_t cyclesBaseCommitted = 0;      ///< Decode fed; no stall.
+    std::uint64_t cyclesBackendBackpressure = 0; ///< ROB full blocked dispatch.
+    std::uint64_t cyclesRecoveryFlushRestart = 0; ///< Post-flush predict restart.
+    std::uint64_t cyclesFetchL1iMiss = 0;       ///< Head waiting on a fill.
+    std::uint64_t cyclesFetchItlbMiss = 0;      ///< Head waiting on the ITLB.
+    std::uint64_t cyclesFetchFtqEmptyBtbMiss = 0; ///< BTB-miss wrong path.
+    std::uint64_t cyclesFetchFtqEmptyRedirect = 0; ///< Redirect refill shadow.
+    std::uint64_t cyclesFetchPipeline = 0;      ///< Residual fetch stall.
+    /// @}
+
     /// @{ Host-side telemetry. Measured on the machine running the
     /// simulator, NOT part of the simulated architectural state: two
     /// runs of the same (config, trace) are the same experiment even
@@ -114,7 +129,11 @@ struct SimStats
                         l1iDemandMisses, l1iTagAccesses, prefetchesIssued,
                         prefetchesRedundant, prefetchesUseful, itlbMisses,
                         missFullyExposed, missPartiallyExposed, missCovered,
-                        btbLookups, btbHits);
+                        btbLookups, btbHits, cyclesBaseCommitted,
+                        cyclesBackendBackpressure, cyclesRecoveryFlushRestart,
+                        cyclesFetchL1iMiss, cyclesFetchItlbMiss,
+                        cyclesFetchFtqEmptyBtbMiss, cyclesFetchFtqEmptyRedirect,
+                        cyclesFetchPipeline);
     }
 
     /**
@@ -208,6 +227,28 @@ struct SimStats
                    ? 0.0
                    : static_cast<double>(prefetchesRedundant) /
                          static_cast<double>(prefetchesIssued);
+    }
+    /// @}
+
+    /// @{ Cycle-accounting sums (the conservation laws the per-tick
+    /// FDIP_CHECK in Core::run and checkSimStats() both enforce).
+
+    /** Sum of the six starved-slot buckets; must equal
+     *  starvationCycles. */
+    [[nodiscard]] std::uint64_t
+    stallCycleSum() const
+    {
+        return cyclesRecoveryFlushRestart + cyclesFetchL1iMiss +
+               cyclesFetchItlbMiss + cyclesFetchFtqEmptyBtbMiss +
+               cyclesFetchFtqEmptyRedirect + cyclesFetchPipeline;
+    }
+
+    /** Sum of all eight leaf buckets; must equal cycles. */
+    [[nodiscard]] std::uint64_t
+    cycleBucketSum() const
+    {
+        return cyclesBaseCommitted + cyclesBackendBackpressure +
+               stallCycleSum();
     }
     /// @}
 };

@@ -1,0 +1,33 @@
+#include "obs/cycle_account.h"
+
+#include <string>
+
+namespace fdip
+{
+
+void
+registerCycleStats(StatRegistry &reg, const SimStats &s)
+{
+    for (std::size_t i = 0; i < kCycleBucketCount; ++i) {
+        const auto field = kCycleBucketField[i];
+        reg.addCounter(std::string("core.cycles.") + kCycleBucketName[i],
+                       [&s, field] { return s.*field; });
+    }
+    // One derived fraction per bucket: share of all post-warmup
+    // cycles. Analysis scripts get the stacked breakdown without
+    // re-deriving the denominator (and the eight fractions sum to 1
+    // by the per-tick conservation law).
+    for (std::size_t i = 0; i < kCycleBucketCount; ++i) {
+        const auto field = kCycleBucketField[i];
+        reg.addDerived(std::string("core.cycles.") + kCycleBucketName[i] +
+                           ".frac",
+                       [&s, field] {
+                           return s.cycles == 0
+                                      ? 0.0
+                                      : static_cast<double>(s.*field) /
+                                            static_cast<double>(s.cycles);
+                       });
+    }
+}
+
+} // namespace fdip

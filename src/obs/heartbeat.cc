@@ -68,6 +68,18 @@ appendHeartbeatJson(std::string &out, const HeartbeatSample &s)
         static_cast<unsigned long long>(s.prefetchesIssued),
         static_cast<unsigned long long>(s.prefetchesUseful));
     out += buf;
+    // The stall-attribution deltas ride every sample as a nested
+    // object keyed by bucket leaf name (schema shared with the
+    // report/CSV columns).
+    out.back() = ',';
+    out += " \"cycleBuckets\": {";
+    for (std::size_t i = 0; i < kCycleBucketCount; ++i) {
+        std::snprintf(buf, sizeof(buf), "%s\"%s\": %llu",
+                      i == 0 ? "" : ", ", kCycleBucketName[i],
+                      static_cast<unsigned long long>(s.cycleBuckets[i]));
+        out += buf;
+    }
+    out += "}}";
 }
 
 std::uint64_t

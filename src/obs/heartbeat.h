@@ -17,6 +17,8 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/cycle_account.h"
+
 namespace fdip
 {
 
@@ -41,6 +43,10 @@ struct HeartbeatSample
     std::uint64_t pfcFires = 0;
     std::uint64_t prefetchesIssued = 0;
     std::uint64_t prefetchesUseful = 0;
+    /** Cycle-accounting bucket deltas, CycleBucket order: where this
+     *  interval's fetch slots went. Sums exactly to dCycles (the
+     *  per-tick conservation law restricted to the interval). */
+    std::uint64_t cycleBuckets[kCycleBucketCount] = {};
     /// @}
 
     /// @{ Interval-derived metrics.

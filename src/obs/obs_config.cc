@@ -1,14 +1,38 @@
 #include "obs/obs_config.h"
 
+#include <cerrno>
 #include <cstdlib>
 
 #include "obs/heartbeat.h"
+#include "util/log.h"
 
 namespace fdip
 {
 
 namespace
 {
+
+/** FDIP_PROFILE: ticks between profiler samples; unset/empty = off,
+ *  garbage warns and disables (same contract as FDIP_HEARTBEAT). */
+std::uint64_t
+profileIntervalFromEnv()
+{
+    // Coordinating-thread opt-in, resolved before workers fork.
+    const char *v = // NOLINT(concurrency-mt-unsafe)
+        std::getenv("FDIP_PROFILE");
+    if (v == nullptr || *v == '\0')
+        return 0;
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long n = std::strtoull(v, &end, 10);
+    if (errno != 0 || end == v || *end != '\0' || *v == '-' || n == 0) {
+        fdip_warn("FDIP_PROFILE='%s' is not a positive tick interval; "
+                  "profiling disabled",
+                  v);
+        return 0;
+    }
+    return n;
+}
 
 /** Makes @p s safe to embed in a filename. */
 std::string
@@ -29,6 +53,8 @@ resolveObsEnv(ObsConfig base)
 {
     if (base.heartbeatInterval == 0)
         base.heartbeatInterval = heartbeatIntervalFromEnv();
+    if (base.profileInterval == 0)
+        base.profileInterval = profileIntervalFromEnv();
     if (base.tracePath.empty()) {
         // Coordinating-thread opt-in, resolved before workers fork.
         const char *v = // NOLINT(concurrency-mt-unsafe)

@@ -21,6 +21,11 @@ struct ObsConfig
     /** Committed instructions between heartbeat samples; 0 = off. */
     std::uint64_t heartbeatInterval = 0;
 
+    /** Ticks between host tick-phase profiler samples; 0 = off.
+     *  Host telemetry only (obs/tick_profiler.h): never touches
+     *  simulated state. */
+    std::uint64_t profileInterval = 0;
+
     /**
      * Base path for the Chrome-trace file; empty = off. Unless
      * traceExactPath is set, the run's label/workload are woven into
@@ -40,9 +45,10 @@ struct ObsConfig
 };
 
 /**
- * Fills unset fields from the environment: FDIP_HEARTBEAT (interval)
- * and FDIP_TRACE (trace path). Explicitly-set fields win. Called once
- * per suite/campaign on the coordinating thread, never from workers.
+ * Fills unset fields from the environment: FDIP_HEARTBEAT (interval),
+ * FDIP_PROFILE (tick-profiler sampling interval), and FDIP_TRACE
+ * (trace path). Explicitly-set fields win. Called once per
+ * suite/campaign on the coordinating thread, never from workers.
  */
 ObsConfig resolveObsEnv(ObsConfig base);
 

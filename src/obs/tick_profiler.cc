@@ -1,0 +1,22 @@
+#include "obs/tick_profiler.h"
+
+#include <chrono>
+
+namespace fdip
+{
+
+// The simulator's single host-clock read outside experiment.cc's
+// whole-run timer. Host telemetry only: the value never reaches
+// SimStats or any model structure, so profiled and unprofiled runs
+// stay architecturally bit-identical (the determinism lint allowlists
+// exactly this file for wall-clock use).
+std::uint64_t
+TickProfiler::hostNowNs() noexcept
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace fdip

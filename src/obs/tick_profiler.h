@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Host-side tick-phase self-profiler: attributes the simulator's own
+ * wall-clock time to pipeline phases (predict, fetch/I-cache,
+ * prefetch drain, backend, observability) so "make a run as fast as
+ * the hardware allows" starts from a ranked target list instead of a
+ * single instrs/s scalar.
+ *
+ * Design constraints, in order:
+ *
+ *  - **Architectural silence.** The profiler reads the host clock and
+ *    nothing else; it never touches SimStats or any model structure.
+ *    Profiling on vs. off is bit-identical architecturally
+ *    (sim_determinism_test pins this).
+ *  - **Hot-path compliance.** All per-tick methods are allocation-,
+ *    lock- and I/O-free: fixed arrays, a branch when disarmed. The
+ *    host clock is read only on *sampled* ticks (every `interval`
+ *    ticks, CoreConfig::obs.profileInterval / FDIP_PROFILE), so the
+ *    steady-state cost is one predictable branch per phase boundary.
+ *  - **One clock site.** The only wall-clock read lives in
+ *    tick_profiler.cc, allowlisted by the determinism lint the same
+ *    way experiment.cc's throughput timer is.
+ *
+ * Core::run brackets the frontend/backend/observability sections;
+ * Frontend::tick brackets its predict, I-cache, and prefetch-drain
+ * sub-phases inside the frontend section. The frontend's *exclusive*
+ * time (FTQ bookkeeping, invariant checks, tracing) is recovered at
+ * reporting time by subtracting the nested phases.
+ */
+
+#ifndef FDIP_OBS_TICK_PROFILER_H_
+#define FDIP_OBS_TICK_PROFILER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fdip
+{
+
+/** Profiled phases of one simulator tick. */
+enum class TickPhase : std::uint8_t
+{
+    kFrontend = 0, ///< Frontend::tick (includes the three below).
+    kBpu,          ///< Predict pipeline (Frontend::predictCycle).
+    kIcache,       ///< Fills + fetch (processFills/fetchCycle).
+    kPrefetcher,   ///< Prefetch-queue drain.
+    kBackend,      ///< Backend::tick.
+    kObs,          ///< Heartbeat + cycle-accounting block in Core::run.
+};
+
+inline constexpr std::size_t kTickPhaseCount = 6;
+
+/** Reporting-order names (frontend reported exclusive of nested). */
+inline constexpr const char *kTickPhaseName[kTickPhaseCount] = {
+    "frontend", "bpu", "icache", "prefetcher", "backend", "obs",
+};
+
+/** Accumulated result of one (or, after merge(), many) runs. */
+struct TickProfile
+{
+    std::uint64_t phaseNs[kTickPhaseCount] = {};
+    std::uint64_t sampledTicks = 0;
+    std::uint64_t totalTicks = 0;
+    std::uint64_t interval = 0; ///< 0: profiling was disabled.
+
+    /** Frontend time minus its nested bpu/icache/prefetcher phases. */
+    [[nodiscard]] std::uint64_t
+    frontendExclusiveNs() const
+    {
+        const std::uint64_t nested =
+            phaseNs[static_cast<std::size_t>(TickPhase::kBpu)] +
+            phaseNs[static_cast<std::size_t>(TickPhase::kIcache)] +
+            phaseNs[static_cast<std::size_t>(TickPhase::kPrefetcher)];
+        const std::uint64_t total =
+            phaseNs[static_cast<std::size_t>(TickPhase::kFrontend)];
+        return total > nested ? total - nested : 0;
+    }
+
+    /** @p phase's time with kFrontend made exclusive (disjoint
+     *  phases; the six values partition the sampled time). */
+    [[nodiscard]] std::uint64_t
+    exclusiveNs(TickPhase phase) const
+    {
+        return phase == TickPhase::kFrontend
+                   ? frontendExclusiveNs()
+                   : phaseNs[static_cast<std::size_t>(phase)];
+    }
+
+    /** Sum of the disjoint per-phase times. */
+    [[nodiscard]] std::uint64_t
+    totalExclusiveNs() const
+    {
+        std::uint64_t sum = 0;
+        for (std::size_t i = 0; i < kTickPhaseCount; ++i)
+            sum += exclusiveNs(static_cast<TickPhase>(i));
+        return sum;
+    }
+
+    /** @p phase's fraction of the sampled time (sums to 1 across
+     *  phases whenever any tick was sampled). */
+    [[nodiscard]] double
+    fraction(TickPhase phase) const
+    {
+        const std::uint64_t total = totalExclusiveNs();
+        return total == 0 ? 0.0
+                          : static_cast<double>(exclusiveNs(phase)) /
+                                static_cast<double>(total);
+    }
+
+    /** Folds another run's profile into this one (bench aggregation
+     *  across campaign runs; intervals are expected to match). */
+    void
+    merge(const TickProfile &o)
+    {
+        for (std::size_t i = 0; i < kTickPhaseCount; ++i)
+            phaseNs[i] += o.phaseNs[i];
+        sampledTicks += o.sampledTicks;
+        totalTicks += o.totalTicks;
+        if (interval == 0)
+            interval = o.interval;
+    }
+};
+
+/**
+ * The per-core profiler. All methods are safe to call on every tick;
+ * with interval 0 (disabled) or on non-sampled ticks they reduce to a
+ * branch. Not thread-safe by design: each Core owns one, exactly like
+ * its Tracer.
+ */
+class TickProfiler
+{
+  public:
+    /** @p interval 0 disables sampling entirely. */
+    explicit TickProfiler(std::uint64_t interval) : profile_{}
+    {
+        profile_.interval = interval;
+    }
+
+    /** Marks the start of tick @p tick; decides whether this tick is
+     *  sampled. */
+    void
+    beginTick(std::uint64_t tick) noexcept
+    {
+        ++profile_.totalTicks;
+        sampling_ =
+            profile_.interval != 0 && tick % profile_.interval == 0;
+        if (sampling_)
+            ++profile_.sampledTicks;
+    }
+
+    /** Opens @p phase (no-op unless this tick is sampled). */
+    void
+    begin(TickPhase phase) noexcept
+    {
+        if (sampling_)
+            startNs_[static_cast<std::size_t>(phase)] = hostNowNs();
+    }
+
+    /** Closes @p phase (no-op unless this tick is sampled). */
+    void
+    end(TickPhase phase) noexcept
+    {
+        if (sampling_) {
+            const auto i = static_cast<std::size_t>(phase);
+            profile_.phaseNs[i] += hostNowNs() - startNs_[i];
+        }
+    }
+
+    [[nodiscard]] bool sampling() const noexcept { return sampling_; }
+    [[nodiscard]] bool
+    enabled() const noexcept
+    {
+        return profile_.interval != 0;
+    }
+    [[nodiscard]] const TickProfile &profile() const { return profile_; }
+
+  private:
+    /** Monotonic host clock in nanoseconds — the profiler's single
+     *  wall-clock site, defined in tick_profiler.cc (determinism-lint
+     *  allowlisted there; nothing it returns feeds simulated state). */
+    static std::uint64_t hostNowNs() noexcept;
+
+    TickProfile profile_;
+    std::uint64_t startNs_[kTickPhaseCount] = {};
+    bool sampling_ = false;
+};
+
+} // namespace fdip
+
+#endif // FDIP_OBS_TICK_PROFILER_H_

@@ -63,6 +63,14 @@ constexpr CounterField kCounterFields[] = {
     {"missCovered", &SimStats::missCovered},
     {"btbLookups", &SimStats::btbLookups},
     {"btbHits", &SimStats::btbHits},
+    {"cyclesBaseCommitted", &SimStats::cyclesBaseCommitted},
+    {"cyclesBackendBackpressure", &SimStats::cyclesBackendBackpressure},
+    {"cyclesRecoveryFlushRestart", &SimStats::cyclesRecoveryFlushRestart},
+    {"cyclesFetchL1iMiss", &SimStats::cyclesFetchL1iMiss},
+    {"cyclesFetchItlbMiss", &SimStats::cyclesFetchItlbMiss},
+    {"cyclesFetchFtqEmptyBtbMiss", &SimStats::cyclesFetchFtqEmptyBtbMiss},
+    {"cyclesFetchFtqEmptyRedirect", &SimStats::cyclesFetchFtqEmptyRedirect},
+    {"cyclesFetchPipeline", &SimStats::cyclesFetchPipeline},
 };
 
 static_assert(sizeof(kCounterFields) / sizeof(kCounterFields[0]) ==

@@ -3,7 +3,7 @@
  * The campaign-at-scale service layer: a sharded, resumable,
  * content-addressed result store over the parallel experiment engine.
  *
- * Spool format v1 (see docs/CAMPAIGN.md for the full specification)
+ * Spool format v2 (see docs/CAMPAIGN.md for the full specification)
  * -----------------------------------------------------------------
  * A campaign is a *manifest*: the cross product of labeled configs and
  * suite workloads, each pair keyed by an FNV-1a content hash over the
@@ -54,8 +54,10 @@
 namespace fdip
 {
 
-/** Spool record format version this build reads and writes. */
-inline constexpr int kCampaignRecordVersion = 1;
+/** Spool record format version this build reads and writes.
+ *  v2: SimStats grew the eight cycle-accounting buckets (38 counters);
+ *  v1 records are quarantined as unknown-version and recomputed. */
+inline constexpr int kCampaignRecordVersion = 2;
 
 /** One completed (config, workload) run, as stored in the spool. */
 struct CampaignRecord
@@ -68,7 +70,7 @@ struct CampaignRecord
     SimStats stats;         ///< All architectural counters + host time.
 };
 
-/** FNV-1a checksum over the 30 architectural counters, in
+/** FNV-1a checksum over the 38 architectural counters, in
  *  architecturalState() order. Host telemetry is excluded: the
  *  checksum certifies the *experiment result*, not the machine. */
 std::uint64_t architecturalChecksum(const SimStats &stats);

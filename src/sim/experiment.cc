@@ -97,6 +97,8 @@ runOne(const CoreConfig &cfg, const SuiteEntry &entry,
         std::chrono::duration<double>(t1 - t0).count();
 
     run.heartbeats = core.heartbeats();
+    if (cfg.obs.profileInterval != 0)
+        run.hostPhases = core.hostProfile();
     if (cfg.obs.collectStats) {
         StatRegistry reg;
         core.registerStats(reg);

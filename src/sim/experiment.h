@@ -19,6 +19,7 @@
 #include "core/sim_stats.h"
 #include "obs/heartbeat.h"
 #include "obs/stat_registry.h"
+#include "obs/tick_profiler.h"
 #include "prefetch/prefetcher.h"
 #include "trace/suite.h"
 
@@ -45,6 +46,10 @@ struct RunResult
     /** Full stat-registry snapshot (empty unless cfg.obs.collectStats
      *  was set). */
     std::vector<StatSample> statDump;
+
+    /** Host tick-phase profile (all-zero unless cfg.obs.profileInterval
+     *  was set). Host telemetry only — never architectural. */
+    TickProfile hostPhases;
 };
 
 /** Result of one configuration across the suite. */

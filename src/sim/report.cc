@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <memory>
 
+#include "core/core.h"
+#include "obs/cycle_account.h"
 #include "obs/heartbeat.h"
 
 namespace fdip
@@ -31,6 +33,22 @@ escape(const std::string &s)
             out.push_back(c);
     }
     return out;
+}
+
+/**
+ * Fallback stat dump for runs that carry only SimStats (campaign
+ * cache hits, and `--campaign` runs generally, never snapshot a live
+ * registry): synthesize the "core.*" subtree — all raw counters, the
+ * cycle buckets, and the derived metrics — from the counters alone.
+ * Subsystem trees (frontend.*, bpu.*, ...) need live components and
+ * are necessarily absent here.
+ */
+std::vector<StatSample>
+synthesizeStatDump(const SimStats &s)
+{
+    StatRegistry reg;
+    registerCoreSimStats(reg, s);
+    return reg.snapshot();
 }
 
 } // namespace
@@ -63,6 +81,13 @@ writeSuiteResultsJson(const std::string &path,
                 s.starvationPerKi(), s.tagAccessesPerKi(), s.l1iMpki(),
                 static_cast<unsigned long long>(s.pfcFires),
                 static_cast<unsigned long long>(s.ghrFixups));
+            std::fprintf(f.get(), ", \"cycleBuckets\": {");
+            for (std::size_t b = 0; b < kCycleBucketCount; ++b)
+                std::fprintf(f.get(), "%s\"%s\": %llu",
+                             b == 0 ? "" : ", ", kCycleBucketName[b],
+                             static_cast<unsigned long long>(
+                                 s.*kCycleBucketField[b]));
+            std::fprintf(f.get(), "}");
             if (!run.heartbeats.empty()) {
                 std::fprintf(f.get(), ", \"heartbeats\": [");
                 for (std::size_t k = 0; k < run.heartbeats.size(); ++k) {
@@ -90,25 +115,39 @@ writeSuiteResultsCsv(const std::string &path,
     FileHandle f(std::fopen(path.c_str(), "w"));
     if (!f)
         return false;
+    // Cycle-accounting columns sit between the counter block and the
+    // derived prefetch metrics; their names come from the bucket table
+    // ("." -> "_", "cycles_" prefix) so the column set can never drift
+    // from the buckets themselves.
     std::fprintf(f.get(),
                  "label,workload,ipc,mpki,starvation_per_ki,"
-                 "tag_accesses_per_ki,l1i_mpki,pfc_fires,ghr_fixups,"
-                 "prefetch_accuracy,prefetch_coverage,"
-                 "prefetch_redundant_rate\n");
+                 "tag_accesses_per_ki,l1i_mpki,pfc_fires,ghr_fixups,");
+    for (std::size_t b = 0; b < kCycleBucketCount; ++b) {
+        std::string col = std::string("cycles_") + kCycleBucketName[b];
+        for (char &c : col)
+            if (c == '.')
+                c = '_';
+        std::fprintf(f.get(), "%s,", col.c_str());
+    }
+    std::fprintf(f.get(), "prefetch_accuracy,prefetch_coverage,"
+                          "prefetch_redundant_rate\n");
     for (const SuiteResult &r : results) {
         for (const RunResult &run : r.runs) {
             const SimStats &s = run.stats;
             std::fprintf(
-                f.get(),
-                "%s,%s,%.6f,%.4f,%.3f,%.3f,%.4f,%llu,%llu,"
-                "%.4f,%.4f,%.4f\n",
+                f.get(), "%s,%s,%.6f,%.4f,%.3f,%.3f,%.4f,%llu,%llu,",
                 r.label.c_str(), run.workload.c_str(), s.ipc(),
                 s.branchMpki(), s.starvationPerKi(),
                 s.tagAccessesPerKi(), s.l1iMpki(),
                 static_cast<unsigned long long>(s.pfcFires),
-                static_cast<unsigned long long>(s.ghrFixups),
-                s.prefetchAccuracy(), s.prefetchCoverage(),
-                s.prefetchRedundantRate());
+                static_cast<unsigned long long>(s.ghrFixups));
+            for (std::size_t b = 0; b < kCycleBucketCount; ++b)
+                std::fprintf(f.get(), "%llu,",
+                             static_cast<unsigned long long>(
+                                 s.*kCycleBucketField[b]));
+            std::fprintf(f.get(), "%.4f,%.4f,%.4f\n",
+                         s.prefetchAccuracy(), s.prefetchCoverage(),
+                         s.prefetchRedundantRate());
         }
     }
     return true;
@@ -154,8 +193,13 @@ writeStatDumpsJson(const std::string &path,
                          first_run ? "" : ",\n", escape(r.label).c_str(),
                          escape(run.workload).c_str());
             first_run = false;
-            for (std::size_t i = 0; i < run.statDump.size(); ++i) {
-                const StatSample &s = run.statDump[i];
+            std::vector<StatSample> synth;
+            if (run.statDump.empty())
+                synth = synthesizeStatDump(run.stats);
+            const std::vector<StatSample> &dump =
+                run.statDump.empty() ? synth : run.statDump;
+            for (std::size_t i = 0; i < dump.size(); ++i) {
+                const StatSample &s = dump[i];
                 if (s.kind == StatKind::kCounter)
                     std::fprintf(f.get(), "%s\"%s\": %llu",
                                  i == 0 ? "" : ", ",

@@ -170,6 +170,20 @@ TEST(CoreHotpath, FeatureVariantsRunWithoutHeapAllocation)
         << "GHR3 fixup path allocated";
 }
 
+/** The tick-phase profiler's per-tick work is fixed arrays plus a
+ *  clock read on sampled ticks — with it armed (even at interval 1,
+ *  every tick sampled), Core::run must still not allocate. */
+TEST(CoreHotpath, ProfilerRunsWithoutHeapAllocation)
+{
+    for (std::uint64_t interval : {std::uint64_t{1}, std::uint64_t{64}}) {
+        CoreConfig cfg = measured(paperBaselineConfig());
+        cfg.obs.profileInterval = interval;
+        EXPECT_EQ(runAllocDelta(cfg, "none"), 0u)
+            << "profiler at interval " << interval
+            << " allocated during Core::run";
+    }
+}
+
 /** With heartbeats ON, run() may allocate only the preallocated
  *  sample series -- a bounded, O(1)-count setup cost outside the tick
  *  loop -- and the per-tick sampling itself must stay alloc-free.

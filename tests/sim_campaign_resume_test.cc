@@ -255,7 +255,8 @@ TEST(CampaignResume, CorruptRecordsAreQuarantinedAndRecomputed)
     //  [1] unknown (future) record version,
     const std::string p1 = spool + "/" + manifest[1].hash + ".json";
     std::string r1 = slurp(p1);
-    const std::string vkey = "\"fdipCampaignRecord\": 1";
+    const std::string vkey = "\"fdipCampaignRecord\": " +
+                             std::to_string(kCampaignRecordVersion);
     const std::size_t vp = r1.find(vkey);
     ASSERT_NE(vp, std::string::npos);
     r1.replace(vp, vkey.size(), "\"fdipCampaignRecord\": 999");

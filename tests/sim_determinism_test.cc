@@ -107,6 +107,34 @@ TEST(Determinism, PerfectModesRepeatExactly)
     }
 }
 
+/** The host tick-phase profiler reads the wall clock, so determinism
+ *  rests entirely on it never feeding simulated state: profiling on
+ *  (any interval) vs. off must be architecturally bit-identical, and
+ *  a profiled run must actually have sampled (the comparison is not
+ *  vacuous). */
+TEST(Determinism, ProfilerOnVsOffIsArchitecturallyInvisible)
+{
+    const Trace trace = tinyTrace();
+    for (const char *pf : {"none", "eip-27", "sn4l+dis+btb"}) {
+        CoreConfig off = paperBaselineConfig();
+        off.applyHistoryScheme();
+        Core core_off(off, trace, makePrefetcher(pf));
+        const SimStats s_off = core_off.run(/*warmup_insts=*/5000);
+
+        CoreConfig on = off;
+        on.obs.profileInterval = 7; // Odd, to hit varied tick phases.
+        Core core_on(on, trace, makePrefetcher(pf));
+        const SimStats s_on = core_on.run(/*warmup_insts=*/5000);
+
+        EXPECT_GT(core_on.hostProfile().sampledTicks, 0u)
+            << pf << ": profiler never sampled — comparison is vacuous";
+        EXPECT_TRUE(s_off.architecturallyEqual(s_on))
+            << pf << ": host profiling changed architectural results";
+        EXPECT_EQ(core_off.hostProfile().sampledTicks, 0u)
+            << pf << ": disabled profiler sampled anyway";
+    }
+}
+
 TEST(Determinism, TraceIsNotMutatedByARun)
 {
     const Trace trace = tinyTrace(777, 20000);

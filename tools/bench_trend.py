@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Trend and validity checker for BENCH_*.json summaries.
+
+The bench binaries (bench/bench_common.h, writeBenchJson) emit one
+machine-readable summary per figure: configuration labels, geomean
+IPC, host throughput, and — since schema v2 — the merged host
+tick-phase breakdown sampled by the self-profiler
+(src/obs/tick_profiler.h). This tool consumes any number of those
+files:
+
+  bench_trend.py BENCH_a.json [BENCH_b.json ...]
+      Print a per-file table: throughput plus the phase shares, so a
+      ranked "where does the host time go" answer is one command away,
+      and two runs of the same bench can be diffed by eye.
+
+  bench_trend.py --check BENCH_a.json [...]
+      Validate instead of display; used by CI on freshly produced
+      artifacts. A file passes when:
+        - schemaVersion, when present, is 2;
+        - bench name, results, and hostInstrsPerSecond are present;
+        - every result has a non-empty label and a finite geomeanIpc;
+        - hostInstrsPerSecond > 0;
+        - hostPhaseBreakdown, when present, covers exactly the known
+          phases with fractions in [0, 1] summing to 1 (+/- 1e-3), and
+          sampledTicks/interval are consistent (> 0).
+
+Exit status: 0 pass, 1 validation failure, 2 bad invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+
+# Reporting-order phase names; mirrors kTickPhaseName in
+# src/obs/tick_profiler.h (the check below fails on drift).
+PHASES = ("frontend", "bpu", "icache", "prefetcher", "backend", "obs")
+
+SCHEMA_VERSION = 2
+FRACTION_TOLERANCE = 1e-3
+
+
+def load(path: Path) -> dict:
+    try:
+        with path.open() as f:
+            return json.load(f)
+    except OSError as e:
+        sys.exit(f"bench_trend: cannot read {path}: {e}")
+    except json.JSONDecodeError as e:
+        sys.exit(f"bench_trend: {path} is not valid JSON: {e}")
+
+
+def validate(path: Path, bench: dict) -> list[str]:
+    """Returns the list of problems with one bench summary."""
+    problems: list[str] = []
+
+    schema = bench.get("schemaVersion")
+    if schema is not None and schema != SCHEMA_VERSION:
+        problems.append(f"schemaVersion is {schema}, expected "
+                        f"{SCHEMA_VERSION}")
+
+    for key in ("bench", "hostInstrsPerSecond", "results"):
+        if key not in bench:
+            problems.append(f"missing '{key}'")
+    if problems:
+        return problems
+
+    if not isinstance(bench["results"], list) or not bench["results"]:
+        problems.append("'results' is empty")
+    else:
+        for i, r in enumerate(bench["results"]):
+            if not r.get("label"):
+                problems.append(f"results[{i}] has no label")
+            ipc = r.get("geomeanIpc")
+            if (not isinstance(ipc, (int, float))
+                    or not math.isfinite(ipc) or ipc <= 0):
+                problems.append(
+                    f"results[{i}] ('{r.get('label')}') geomeanIpc "
+                    f"{ipc!r} is not a positive finite number")
+
+    tput = bench["hostInstrsPerSecond"]
+    if (not isinstance(tput, (int, float)) or not math.isfinite(tput)
+            or tput <= 0):
+        problems.append(f"hostInstrsPerSecond {tput!r} is not positive")
+
+    hpb = bench.get("hostPhaseBreakdown")
+    if hpb is not None:
+        problems.extend(validate_phases(hpb))
+    return problems
+
+
+def validate_phases(hpb: dict) -> list[str]:
+    problems: list[str] = []
+    phases = hpb.get("phases")
+    if not isinstance(phases, dict):
+        return ["hostPhaseBreakdown has no 'phases' object"]
+    got = tuple(sorted(phases))
+    want = tuple(sorted(PHASES))
+    if got != want:
+        problems.append(
+            f"phase set {got} != expected {want} (kTickPhaseName in "
+            "src/obs/tick_profiler.h changed without updating this "
+            "tool?)")
+    total = 0.0
+    for name, frac in phases.items():
+        if (not isinstance(frac, (int, float))
+                or not math.isfinite(frac) or not 0.0 <= frac <= 1.0):
+            problems.append(f"phase '{name}' fraction {frac!r} is not "
+                            "in [0, 1]")
+        else:
+            total += frac
+    if abs(total - 1.0) > FRACTION_TOLERANCE:
+        problems.append(f"phase fractions sum to {total:.6f}, not 1.0 "
+                        f"(tolerance {FRACTION_TOLERANCE})")
+    for key in ("interval", "sampledTicks", "totalTicks"):
+        v = hpb.get(key)
+        if not isinstance(v, int) or v <= 0:
+            problems.append(f"hostPhaseBreakdown.{key} {v!r} is not a "
+                            "positive integer")
+    if (isinstance(hpb.get("sampledTicks"), int)
+            and isinstance(hpb.get("totalTicks"), int)
+            and hpb["sampledTicks"] > hpb["totalTicks"]):
+        problems.append("sampledTicks exceeds totalTicks")
+    return problems
+
+
+def show(path: Path, bench: dict) -> None:
+    name = bench.get("bench", path.stem)
+    tput = bench.get("hostInstrsPerSecond", 0.0)
+    nres = len(bench.get("results", []))
+    line = f"{name}: {tput:,.0f} instrs/s, {nres} configs"
+    hpb = bench.get("hostPhaseBreakdown")
+    if hpb and isinstance(hpb.get("phases"), dict):
+        phases = hpb["phases"]
+        ranked = sorted(phases.items(), key=lambda kv: -kv[1])
+        shares = ", ".join(f"{k} {v:.1%}" for k, v in ranked)
+        line += (f"\n  host phases (every {hpb.get('interval')} ticks, "
+                 f"{hpb.get('sampledTicks')} sampled): {shares}")
+    print(line)
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("bench_json", nargs="+", type=Path,
+                    help="BENCH_*.json files to inspect")
+    ap.add_argument("--check", action="store_true",
+                    help="validate instead of display (CI mode)")
+    args = ap.parse_args()
+
+    failures = 0
+    for path in args.bench_json:
+        bench = load(path)
+        if args.check:
+            problems = validate(path, bench)
+            if problems:
+                failures += 1
+                print(f"bench_trend: {path}: FAIL", file=sys.stderr)
+                for p in problems:
+                    print(f"  {p}", file=sys.stderr)
+            else:
+                print(f"bench_trend: {path}: OK")
+        else:
+            show(path, bench)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

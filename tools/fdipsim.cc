@@ -102,9 +102,13 @@ usage()
         "  --certify          print the iso-storage budget certificate\n"
         "                     (JSON) and exit; status 1 if over budget\n"
         "\n"
-        "observability (env: FDIP_HEARTBEAT, FDIP_TRACE):\n"
+        "observability (env: FDIP_HEARTBEAT, FDIP_TRACE, "
+        "FDIP_PROFILE):\n"
         "  --heartbeat N      sample telemetry every N committed "
         "instructions\n"
+        "  --profile N        sample host tick-phase timings every N "
+        "ticks and print the phase breakdown (host telemetry only; "
+        "architecturally invisible)\n"
         "  --heartbeat-jsonl P write heartbeat samples as JSON Lines\n"
         "  --trace PATH       write a Chrome trace-event file "
         "(chrome://tracing, Perfetto); used verbatim for a single "
@@ -224,6 +228,9 @@ parseArgs(int argc, char **argv)
         } else if (a == "--heartbeat") {
             opt.cfg.obs.heartbeatInterval =
                 std::strtoull(need(i), nullptr, 10);
+        } else if (a == "--profile") {
+            opt.cfg.obs.profileInterval =
+                std::strtoull(need(i), nullptr, 10);
         } else if (a == "--heartbeat-jsonl") {
             opt.heartbeatJsonlPath = need(i);
         } else if (a == "--trace") {
@@ -330,7 +337,48 @@ campaignMain(const Options &opt)
         !writeSuiteResultsCsv(opt.csvPath, results)) {
         fdip_fatal("cannot write %s", opt.csvPath.c_str());
     }
+    // Cache-hit runs carry only counters (no heartbeats, no registry
+    // snapshot); writeStatDumpsJson synthesizes the core.* dump from
+    // SimStats, so a fully-cached campaign still yields a complete
+    // per-run stats file.
+    if (!opt.heartbeatJsonlPath.empty() &&
+        !writeHeartbeatsJsonl(opt.heartbeatJsonlPath, results)) {
+        fdip_fatal("cannot write %s", opt.heartbeatJsonlPath.c_str());
+    }
+    if (!opt.dumpStatsPath.empty() &&
+        !writeStatDumpsJson(opt.dumpStatsPath, results)) {
+        fdip_fatal("cannot write %s", opt.dumpStatsPath.c_str());
+    }
     return 0;
+}
+
+/** Prints the merged host tick-phase breakdown of @p results. */
+void
+printHostProfile(const std::vector<SuiteResult> &results)
+{
+    TickProfile merged;
+    for (const SuiteResult &r : results)
+        for (const RunResult &run : r.runs)
+            merged.merge(run.hostPhases);
+    if (merged.sampledTicks == 0)
+        return;
+    std::printf("\nhost tick-phase profile (every %llu ticks, "
+                "%llu of %llu sampled):\n",
+                static_cast<unsigned long long>(merged.interval),
+                static_cast<unsigned long long>(merged.sampledTicks),
+                static_cast<unsigned long long>(merged.totalTicks));
+    TextTable t({"phase", "share", "ns/sampled-tick"});
+    for (std::size_t i = 0; i < kTickPhaseCount; ++i) {
+        const auto phase = static_cast<TickPhase>(i);
+        t.addRow({kTickPhaseName[i],
+                  TextTable::num(100.0 * merged.fraction(phase), 1) +
+                      "%",
+                  TextTable::num(
+                      static_cast<double>(merged.exclusiveNs(phase)) /
+                          static_cast<double>(merged.sampledTicks),
+                      1)});
+    }
+    t.print();
 }
 
 } // namespace
@@ -372,6 +420,7 @@ main(int argc, char **argv)
         }
     }
     t.print();
+    printHostProfile(results);
     std::printf("\ngeomean IPC: %.3f\n", results[0].geomeanIpc());
     if (opt.compareBaseline) {
         std::printf("speedup over no-FDP baseline: %+.1f%%\n",

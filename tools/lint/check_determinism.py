@@ -44,8 +44,14 @@ from lintlib import (REPO, make_parser, rel, report, source_files,
 RNG_ALLOWLIST = {"src/util/rng.h"}
 
 # Coordinating-thread wall-clock use: host-time measurement around a
-# whole experiment (throughput reporting, never simulated state).
-WALLCLOCK_ALLOWLIST = {"src/sim/experiment.cc"}
+# whole experiment (throughput reporting, never simulated state), plus
+# the tick-phase self-profiler's single clock site (host telemetry
+# only; sim_determinism_test pins that profiling on vs. off is
+# architecturally bit-identical).
+WALLCLOCK_ALLOWLIST = {
+    "src/sim/experiment.cc",
+    "src/obs/tick_profiler.cc",
+}
 
 # Env-var opt-ins read once on the coordinating thread, before any
 # worker runs (observability toggles and suite sizing).

@@ -1,0 +1,22 @@
+// Models the tick-profiler pattern (src/obs/tick_profiler.cc): a
+// single std::chrono host-clock read in an observability-only
+// translation unit. The determinism lint must flag it when the file
+// is not allowlisted and stay silent when it is — run_lint_tests.py
+// exercises both directions.
+
+#include <chrono>
+#include <cstdint>
+
+namespace fdip
+{
+
+std::uint64_t
+profilerNowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace fdip

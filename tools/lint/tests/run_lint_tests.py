@@ -148,6 +148,14 @@ class DirtyTreeIsCaught(LintAssertions):
         self.assertFinding(self.determinism, "src/util/bad_content.cc",
                            "getenv() is banned", count=1)
 
+    def test_profiler_clock_site_is_caught_when_not_allowlisted(self):
+        # The tick-profiler pattern (one chrono read in an
+        # observability TU) is still a violation unless the file is
+        # explicitly wallclock-allowlisted.
+        self.assertFinding(self.determinism,
+                           "src/util/profiler_clock.cc",
+                           "chrono host clocks", count=1)
+
     # --- check_concurrency rules -------------------------------------
     def test_raw_mutex(self):
         self.assertFinding(self.concurrency, "src/util/bad_sync.cc",
@@ -261,6 +269,24 @@ class AllowlistGuards(LintAssertions):
         self.assertEqual(
             [f for f in findings if f.startswith("src/util/bad_sync.cc")],
             [])
+
+    def test_wallclock_allowlisted_clock_site_is_silent(self):
+        # Allowlisting the profiler-pattern file silences exactly its
+        # clock finding (the real entry is src/obs/tick_profiler.cc).
+        findings = check_determinism.collect_findings(
+            DIRTY, rng_allowlist=NO_ALLOW,
+            wallclock_allowlist={"src/util/profiler_clock.cc"},
+            getenv_allowlist=NO_ALLOW)
+        self.assertEqual(
+            [f for f in findings
+             if f.startswith("src/util/profiler_clock.cc")],
+            [])
+
+    def test_repo_allowlist_covers_tick_profiler(self):
+        # The production allowlist must keep the profiler's single
+        # clock site; dropping it would fail the repo lint run.
+        self.assertIn("src/obs/tick_profiler.cc",
+                      check_determinism.WALLCLOCK_ALLOWLIST)
 
     def test_hotpath_stale_entry(self):
         findings = check_hotpath.collect_findings(

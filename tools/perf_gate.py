@@ -94,6 +94,11 @@ def main() -> int:
         if key not in bench:
             sys.exit(f"perf_gate: {args.bench_json} has no '{key}' "
                      "field; was it written by writeBenchJson?")
+    schema = bench.get("schemaVersion")
+    if schema is not None and schema != 2:
+        sys.exit(f"perf_gate: {args.bench_json} has schemaVersion "
+                 f"{schema}; this gate understands version 2 "
+                 "(bench_common.h kBenchJsonSchemaVersion)")
 
     if args.update:
         return update_baseline(bench, args.baseline,
