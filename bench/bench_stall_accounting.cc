@@ -20,7 +20,7 @@
 
 #include "bench/bench_common.h"
 
-#include "obs/cycle_account.h"
+#include "core/cycle_stats.h"
 
 namespace
 {

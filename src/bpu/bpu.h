@@ -22,6 +22,7 @@
 #include "bpu/perceptron.h"
 #include "bpu/ras.h"
 #include "bpu/tage.h"
+#include "util/hotpath.h"
 #include "util/types.h"
 
 namespace fdip
@@ -73,12 +74,12 @@ class Bpu
 
     const BpuConfig &config() const { return cfg_; }
 
-    BranchHistory &history() { return history_; }
-    const BranchHistory &history() const { return history_; }
-    Btb &btb() { return *btb_; }
-    const Btb &btb() const { return *btb_; }
-    Ras &ras() { return ras_; }
-    const Ras &ras() const { return ras_; }
+    FDIP_HOT_PATH BranchHistory &history() { return history_; }
+    FDIP_HOT_PATH const BranchHistory &history() const { return history_; }
+    FDIP_HOT_PATH Btb &btb() { return *btb_; }
+    FDIP_HOT_PATH const Btb &btb() const { return *btb_; }
+    FDIP_HOT_PATH Ras &ras() { return ras_; }
+    FDIP_HOT_PATH const Ras &ras() const { return ras_; }
 
     /** The two-level hierarchy, or nullptr when single-level. */
     const BtbHierarchy *btbHierarchy() const { return btbHier_.get(); }

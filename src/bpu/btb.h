@@ -20,6 +20,7 @@
 #include "obs/stat_registry.h"
 #include "trace/inst.h"
 #include "util/bits.h"
+#include "util/hotpath.h"
 #include "util/types.h"
 
 namespace fdip
@@ -91,7 +92,7 @@ class Btb
     /** Removes the entry for @p pc if present (testing/invalidation). */
     void invalidate(Addr pc);
 
-    const BtbConfig &config() const { return cfg_; }
+    FDIP_HOT_PATH const BtbConfig &config() const { return cfg_; }
 
     /** The set the branch at @p pc maps to (16B-indexed; for tests). */
     std::uint32_t setIndexOf(Addr pc) const { return setOf(pc); }

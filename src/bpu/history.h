@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "check/schema.h"
+#include "util/hotpath.h"
 #include "util/types.h"
 
 namespace fdip
@@ -109,7 +110,7 @@ class BranchHistory
     unsigned registerFold(unsigned length_bits, unsigned folded_bits);
 
     /** Current folded value of view @p fold_id. */
-    std::uint32_t
+    FDIP_HOT_PATH std::uint32_t
     folded(unsigned fold_id) const
     {
         return folds_[fold_id].comp;
@@ -165,7 +166,7 @@ class BranchHistory
   private:
     void pushBit(unsigned bit);
 
-    unsigned
+    FDIP_HOT_PATH unsigned
     bitAt(std::uint64_t pos) const
     {
         return (ring_[(pos / 64) % kRingWords] >> (pos % 64)) & 1;

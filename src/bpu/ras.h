@@ -23,7 +23,8 @@
 #include <string>
 #include <vector>
 
-#include "check/invariant.h"
+#include "util/hotpath.h"
+#include "util/invariant.h"
 #include "check/schema.h"
 #include "obs/stat_registry.h"
 #include "util/bits.h"
@@ -86,7 +87,7 @@ class Ras
     /** Restores pointer and top entry from @p snap. */
     void restore(const RasSnapshot &snap);
 
-    unsigned depth() const
+    FDIP_HOT_PATH unsigned depth() const
     {
         return static_cast<unsigned>(stack_.size());
     }

@@ -47,10 +47,10 @@ class Cache
   public:
     explicit Cache(const CacheConfig &cfg);
 
-    const CacheConfig &config() const { return cfg_; }
+    FDIP_HOT_PATH const CacheConfig &config() const { return cfg_; }
 
     /** Line-aligns an address. */
-    Addr
+    FDIP_HOT_PATH Addr
     lineOf(Addr addr) const FDIP_HOT_NOEXCEPT
     {
         return addr & ~static_cast<Addr>(cfg_.lineBytes - 1);
@@ -109,9 +109,9 @@ class Cache
     StorageSchema storageSchema() const { return storageSchemaFor(cfg_); }
 
     /// @{ Statistics.
-    std::uint64_t tagAccesses() const { return tagAccesses_; }
-    std::uint64_t hits() const { return hits_; }
-    std::uint64_t misses() const { return misses_; }
+    FDIP_HOT_PATH std::uint64_t tagAccesses() const { return tagAccesses_; }
+    FDIP_HOT_PATH std::uint64_t hits() const { return hits_; }
+    FDIP_HOT_PATH std::uint64_t misses() const { return misses_; }
     std::uint64_t evictions() const { return evictions_; }
     void resetStats();
 

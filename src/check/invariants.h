@@ -28,11 +28,12 @@
 #include "bpu/btb.h"
 #include "bpu/ras.h"
 #include "cache/cache.h"
-#include "check/invariant.h"
 #include "core/core_config.h"
 #include "core/ftq.h"
 #include "core/sim_stats.h"
 #include "util/bits.h"
+#include "util/hotpath.h"
+#include "util/invariant.h"
 
 namespace fdip
 {
@@ -110,7 +111,7 @@ checkCoreConfig(const CoreConfig &cfg)
 }
 
 /** One FTQ entry's internal consistency. */
-inline void
+FDIP_HOT_PATH inline void
 checkFtqEntry(const FtqEntry &e)
 {
     FDIP_CHECK(e.termOffset < kInstsPerBlock,
@@ -134,7 +135,7 @@ checkFtqEntry(const FtqEntry &e)
  * FTQ integrity: occupancy within capacity, entries well-formed, and
  * block sequence numbers strictly increasing from head to tail.
  */
-inline void
+FDIP_HOT_PATH inline void
 checkFtqIntegrity(const Ftq &ftq)
 {
     InvariantScope scope("checkFtqIntegrity");
@@ -151,7 +152,7 @@ checkFtqIntegrity(const Ftq &ftq)
 }
 
 /** Tag-access conservation: every probe hits or misses, never both. */
-inline void
+FDIP_HOT_PATH inline void
 checkCacheConservation(const Cache &cache)
 {
     InvariantScope scope("checkCacheConservation");
@@ -181,7 +182,7 @@ checkRasSnapshot(const RasSnapshot &snap, const Ras &ras)
  * warmup-boundary stats reset are checked here (counters zeroed
  * together and incremented together).
  */
-inline void
+FDIP_HOT_PATH inline void
 checkSimStats(const SimStats &s)
 {
     InvariantScope scope("checkSimStats");

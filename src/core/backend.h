@@ -99,15 +99,15 @@ class Backend
     void setResolveCallback(ResolveCallback cb) { resolveCb_ = std::move(cb); }
 
     /** Committed correct-path instructions so far (monotonic). */
-    std::uint64_t committed() const { return committed_; }
+    FDIP_HOT_PATH std::uint64_t committed() const { return committed_; }
 
     /** Current decode-queue occupancy. */
-    std::size_t decodeQueueSize() const { return dq_.size(); }
+    FDIP_HOT_PATH std::size_t decodeQueueSize() const { return dq_.size(); }
 
     /** True when the last tick's dispatch stage stopped on a full ROB
      *  with decoded instructions still waiting (cycle-accounting
      *  back-pressure signal; see obs/cycle_account.h). */
-    bool dispatchBlocked() const { return dispatchBlocked_; }
+    FDIP_HOT_PATH bool dispatchBlocked() const { return dispatchBlocked_; }
 
   private:
     struct RobEntry

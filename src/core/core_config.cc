@@ -1,4 +1,5 @@
 #include "core/core_config.h"
+#include "util/hotpath.h"
 
 namespace fdip
 {
@@ -48,7 +49,7 @@ CoreConfig::applyHistoryScheme()
     }
 }
 
-bool
+FDIP_HOT_PATH bool
 CoreConfig::ghrFixup() const
 {
     return historyScheme == HistoryScheme::kGhr2 ||

@@ -1,4 +1,4 @@
-#include "obs/cycle_account.h"
+#include "core/cycle_stats.h"
 
 #include <string>
 

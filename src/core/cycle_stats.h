@@ -1,0 +1,60 @@
+/**
+ * @file
+ * SimStats binding for the top-down cycle-accounting taxonomy.
+ *
+ * The taxonomy itself (bucket enum, charge precedence, classifier,
+ * leaf names) lives in obs/cycle_account.h and is deliberately free
+ * of core types, so the obs module never includes upward into core.
+ * This header owns the other half: which SimStats counter each bucket
+ * charges, the hot-path increment, and the StatRegistry registration
+ * of the `core.cycles.*` counters and fractions.
+ */
+
+#ifndef FDIP_CORE_CYCLE_STATS_H_
+#define FDIP_CORE_CYCLE_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/sim_stats.h"
+#include "obs/cycle_account.h"
+#include "obs/stat_registry.h"
+#include "util/hotpath.h"
+
+namespace fdip
+{
+
+/** Bucket -> SimStats field, in CycleBucket order. */
+inline constexpr std::uint64_t SimStats::*
+    kCycleBucketField[kCycleBucketCount] = {
+        &SimStats::cyclesBaseCommitted,
+        &SimStats::cyclesBackendBackpressure,
+        &SimStats::cyclesRecoveryFlushRestart,
+        &SimStats::cyclesFetchL1iMiss,
+        &SimStats::cyclesFetchItlbMiss,
+        &SimStats::cyclesFetchFtqEmptyBtbMiss,
+        &SimStats::cyclesFetchFtqEmptyRedirect,
+        &SimStats::cyclesFetchPipeline,
+};
+
+/** Charges one cycle to @p bucket. Hot path: one indexed increment. */
+FDIP_HOT_PATH inline void
+chargeCycle(SimStats &s, CycleBucket bucket) noexcept
+{
+    ++(s.*kCycleBucketField[static_cast<std::size_t>(bucket)]);
+}
+
+/** Value of @p bucket's counter in @p s. */
+[[nodiscard]] inline std::uint64_t
+cycleBucket(const SimStats &s, CycleBucket bucket) noexcept
+{
+    return s.*kCycleBucketField[static_cast<std::size_t>(bucket)];
+}
+
+/** Registers all eight bucket counters plus the derived starved-slot
+ *  attribution fractions under `core.cycles.*`. */
+void registerCycleStats(StatRegistry &reg, const SimStats &s);
+
+} // namespace fdip
+
+#endif // FDIP_CORE_CYCLE_STATS_H_

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "check/invariant.h"
+#include "util/invariant.h"
 #include "check/invariants.h"
 #include "util/bits.h"
 #include "util/log.h"

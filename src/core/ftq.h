@@ -18,7 +18,7 @@
 
 #include "bpu/history.h"
 #include "bpu/ras.h"
-#include "check/invariant.h"
+#include "util/invariant.h"
 #include "check/schema.h"
 #include "obs/stat_registry.h"
 #include "trace/inst.h"
@@ -90,7 +90,7 @@ struct FtqEntry
     /// @}
 
     /** Offset of @p pc within this 32B block. */
-    static std::uint8_t
+    FDIP_HOT_PATH static std::uint8_t
     offsetOf(Addr pc)
     {
         return static_cast<std::uint8_t>((pc % kFetchBlockBytes) /
@@ -98,24 +98,24 @@ struct FtqEntry
     }
 
     /** 32B block base address. */
-    Addr
+    FDIP_HOT_PATH Addr
     blockBase() const
     {
         return startAddr & ~static_cast<Addr>(kFetchBlockBytes - 1);
     }
 
     /** First instruction offset within the block. */
-    std::uint8_t startOffset() const { return offsetOf(startAddr); }
+    FDIP_HOT_PATH std::uint8_t startOffset() const { return offsetOf(startAddr); }
 
     /** PC of the instruction at block @p offset. */
-    Addr
+    FDIP_HOT_PATH Addr
     pcAt(std::uint8_t offset) const
     {
         return blockBase() + static_cast<Addr>(offset) * kInstBytes;
     }
 
     /** Direction hint of the instruction at @p offset. */
-    bool
+    FDIP_HOT_PATH bool
     hintAt(std::uint8_t offset) const
     {
         return ((dirHints >> offset) & 1) != 0;
@@ -141,10 +141,10 @@ class Ftq
   public:
     explicit Ftq(unsigned entries) : q_(entries) {}
 
-    bool full() const { return q_.full(); }
-    bool empty() const { return q_.empty(); }
-    std::size_t size() const { return q_.size(); }
-    std::size_t capacity() const { return q_.capacity(); }
+    FDIP_HOT_PATH bool full() const { return q_.full(); }
+    FDIP_HOT_PATH bool empty() const { return q_.empty(); }
+    FDIP_HOT_PATH std::size_t size() const { return q_.size(); }
+    FDIP_HOT_PATH std::size_t capacity() const { return q_.capacity(); }
 
     FDIP_HOT_PATH void
     push(FtqEntry &&e) FDIP_HOT_NOEXCEPT
@@ -176,7 +176,7 @@ class Ftq
         q_.resizeTo(keep_count);
     }
 
-    void clear() { q_.clear(); }
+    FDIP_HOT_PATH void clear() { q_.clear(); }
 
     /** Total architectural storage in bytes (Table III: 195B for 24). */
     std::uint64_t

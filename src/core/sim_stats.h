@@ -14,6 +14,8 @@
 #include <tuple>
 #include <utility>
 
+#include "util/hotpath.h"
+
 namespace fdip
 {
 
@@ -235,7 +237,7 @@ struct SimStats
 
     /** Sum of the six starved-slot buckets; must equal
      *  starvationCycles. */
-    [[nodiscard]] std::uint64_t
+    [[nodiscard]] FDIP_HOT_PATH std::uint64_t
     stallCycleSum() const
     {
         return cyclesRecoveryFlushRestart + cyclesFetchL1iMiss +
@@ -244,7 +246,7 @@ struct SimStats
     }
 
     /** Sum of all eight leaf buckets; must equal cycles. */
-    [[nodiscard]] std::uint64_t
+    [[nodiscard]] FDIP_HOT_PATH std::uint64_t
     cycleBucketSum() const
     {
         return cyclesBaseCommitted + cyclesBackendBackpressure +

@@ -36,6 +36,13 @@
  * The buckets are architectural counters (deterministic functions of
  * simulated state), so they ride campaign records and spool caches
  * like every other SimStats field.
+ *
+ * This header is the core-type-free half of the accounting: the
+ * bucket taxonomy, the classifier, and the leaf names. The SimStats
+ * field binding (which counter each bucket charges, the hot-path
+ * increment, the `core.cycles.*` registration) lives in
+ * core/cycle_stats.h so that obs — which sits below core in the
+ * module layering — never includes upward.
  */
 
 #ifndef FDIP_OBS_CYCLE_ACCOUNT_H_
@@ -44,8 +51,7 @@
 #include <cstddef>
 #include <cstdint>
 
-#include "core/sim_stats.h"
-#include "obs/stat_registry.h"
+#include "util/hotpath.h"
 
 namespace fdip
 {
@@ -82,7 +88,7 @@ struct CycleSignals
 };
 
 /** Maps one tick's signals to its unique bucket (precedence above). */
-[[nodiscard]] constexpr CycleBucket
+[[nodiscard]] FDIP_HOT_PATH constexpr CycleBucket
 classifyCycle(const CycleSignals &sig) noexcept
 {
     if (!sig.starved) {
@@ -102,19 +108,6 @@ classifyCycle(const CycleSignals &sig) noexcept
     return CycleBucket::kFetchPipeline;
 }
 
-/** Bucket -> SimStats field, in CycleBucket order. */
-inline constexpr std::uint64_t SimStats::*
-    kCycleBucketField[kCycleBucketCount] = {
-        &SimStats::cyclesBaseCommitted,
-        &SimStats::cyclesBackendBackpressure,
-        &SimStats::cyclesRecoveryFlushRestart,
-        &SimStats::cyclesFetchL1iMiss,
-        &SimStats::cyclesFetchItlbMiss,
-        &SimStats::cyclesFetchFtqEmptyBtbMiss,
-        &SimStats::cyclesFetchFtqEmptyRedirect,
-        &SimStats::cyclesFetchPipeline,
-};
-
 /** Bucket leaf names, in CycleBucket order. The StatRegistry paths
  *  (and the stat-dump keys) are these prefixed with `core.cycles.`;
  *  heartbeats and report columns use them bare. */
@@ -128,24 +121,6 @@ inline constexpr const char *kCycleBucketName[kCycleBucketCount] = {
     "fetch.ftq_empty_redirect",
     "fetch.pipeline",
 };
-
-/** Charges one cycle to @p bucket. Hot path: one indexed increment. */
-inline void
-chargeCycle(SimStats &s, CycleBucket bucket) noexcept
-{
-    ++(s.*kCycleBucketField[static_cast<std::size_t>(bucket)]);
-}
-
-/** Value of @p bucket's counter in @p s. */
-[[nodiscard]] inline std::uint64_t
-cycleBucket(const SimStats &s, CycleBucket bucket) noexcept
-{
-    return s.*kCycleBucketField[static_cast<std::size_t>(bucket)];
-}
-
-/** Registers all eight bucket counters plus the derived starved-slot
- *  attribution fractions under `core.cycles.*`. */
-void registerCycleStats(StatRegistry &reg, const SimStats &s);
 
 } // namespace fdip
 

@@ -4,6 +4,7 @@
 #include <memory>
 #include <utility>
 
+#include "util/hotpath.h"
 #include "util/log.h"
 
 namespace fdip
@@ -24,7 +25,7 @@ StatHistogram::StatHistogram(unsigned num_buckets,
                    static_cast<unsigned long long>(bucket_width));
 }
 
-void
+FDIP_HOT_PATH void
 StatHistogram::add(std::uint64_t value)
 {
     // Width-1 histograms (e.g. the per-tick FTQ occupancy) sit on the

@@ -1,4 +1,5 @@
 #include "obs/tick_profiler.h"
+#include "util/hotpath.h"
 
 #include <chrono>
 
@@ -10,7 +11,7 @@ namespace fdip
 // SimStats or any model structure, so profiled and unprofiled runs
 // stay architecturally bit-identical (the determinism lint allowlists
 // exactly this file for wall-clock use).
-std::uint64_t
+FDIP_HOT_PATH std::uint64_t
 TickProfiler::hostNowNs() noexcept
 {
     return static_cast<std::uint64_t>(

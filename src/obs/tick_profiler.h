@@ -34,6 +34,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "util/hotpath.h"
+
 namespace fdip
 {
 
@@ -138,7 +140,7 @@ class TickProfiler
 
     /** Marks the start of tick @p tick; decides whether this tick is
      *  sampled. */
-    void
+    FDIP_HOT_PATH void
     beginTick(std::uint64_t tick) noexcept
     {
         ++profile_.totalTicks;
@@ -149,7 +151,7 @@ class TickProfiler
     }
 
     /** Opens @p phase (no-op unless this tick is sampled). */
-    void
+    FDIP_HOT_PATH void
     begin(TickPhase phase) noexcept
     {
         if (sampling_)
@@ -157,7 +159,7 @@ class TickProfiler
     }
 
     /** Closes @p phase (no-op unless this tick is sampled). */
-    void
+    FDIP_HOT_PATH void
     end(TickPhase phase) noexcept
     {
         if (sampling_) {

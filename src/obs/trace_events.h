@@ -22,6 +22,8 @@
 #include <memory>
 #include <string>
 
+#include "util/hotpath.h"
+
 /**
  * FDIP_ENABLE_TRACING is normally injected by the build system (the
  * FDIP_TRACING CMake option, default ON). Standalone inclusion keeps
@@ -125,15 +127,15 @@ class Tracer
 {
   public:
 #if FDIP_ENABLE_TRACING
-    [[nodiscard]] bool on() const { return sink_ != nullptr; }
-    [[nodiscard]] TraceWriter *writer() const { return sink_; }
+    [[nodiscard]] FDIP_HOT_PATH bool on() const { return sink_ != nullptr; }
+    [[nodiscard]] FDIP_HOT_PATH TraceWriter *writer() const { return sink_; }
     void attach(TraceWriter *w) { sink_ = w; }
 
   private:
     TraceWriter *sink_ = nullptr;
 #else
-    [[nodiscard]] constexpr bool on() const { return false; }
-    [[nodiscard]] constexpr TraceWriter *writer() const { return nullptr; }
+    [[nodiscard]] FDIP_HOT_PATH constexpr bool on() const { return false; }
+    [[nodiscard]] FDIP_HOT_PATH constexpr TraceWriter *writer() const { return nullptr; }
     void attach(TraceWriter *) {}
 #endif
 };

@@ -25,7 +25,7 @@ class NextLinePrefetcher final : public InstPrefetcher
     const char *name() const override { return "NL1"; }
     std::uint64_t storageBits() const override { return 0; }
 
-    void
+    FDIP_HOT_PATH void
     onDemandLookup(Addr line_addr, bool hit,
                    Cycle now) FDIP_HOT_NOEXCEPT override
     {

@@ -57,7 +57,7 @@ class InstPrefetcher
      * A demand L1I lookup for @p line_addr (64B-aligned) was performed.
      * @p hit tells the outcome. Called in fetch order.
      */
-    virtual void
+    FDIP_HOT_PATH virtual void
     onDemandLookup(Addr line_addr, bool hit, Cycle now) FDIP_HOT_NOEXCEPT
     {
         (void)line_addr;
@@ -67,7 +67,7 @@ class InstPrefetcher
 
     /** A fill for @p line_addr completed (@p was_prefetch tells how it
      *  was initiated). */
-    virtual void
+    FDIP_HOT_PATH virtual void
     onFillComplete(Addr line_addr, bool was_prefetch,
                    Cycle now) FDIP_HOT_NOEXCEPT
     {
@@ -80,7 +80,7 @@ class InstPrefetcher
      * A correct-path branch resolved. Used by call/return-correlated
      * prefetchers (D-JOLT) and the discontinuity predictor.
      */
-    virtual void
+    FDIP_HOT_PATH virtual void
     onBranch(Addr pc, InstClass kind, Addr target,
              bool taken) FDIP_HOT_NOEXCEPT
     {

@@ -4,7 +4,7 @@
 #include <memory>
 
 #include "core/core.h"
-#include "obs/cycle_account.h"
+#include "core/cycle_stats.h"
 #include "obs/heartbeat.h"
 
 namespace fdip

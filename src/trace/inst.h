@@ -13,6 +13,7 @@
 
 #include <cstdint>
 
+#include "util/hotpath.h"
 #include "util/types.h"
 
 namespace fdip
@@ -40,28 +41,28 @@ enum class InstClass : std::uint8_t
 };
 
 /** True for any control-flow instruction. */
-constexpr bool
+FDIP_HOT_PATH constexpr bool
 isBranch(InstClass c)
 {
     return c >= InstClass::kCondDirect;
 }
 
 /** True for conditional branches. */
-constexpr bool
+FDIP_HOT_PATH constexpr bool
 isConditional(InstClass c)
 {
     return c == InstClass::kCondDirect;
 }
 
 /** True for unconditional control flow. */
-constexpr bool
+FDIP_HOT_PATH constexpr bool
 isUnconditional(InstClass c)
 {
     return isBranch(c) && !isConditional(c);
 }
 
 /** True when the target is recoverable from the encoding (PC-relative). */
-constexpr bool
+FDIP_HOT_PATH constexpr bool
 isDirect(InstClass c)
 {
     return c == InstClass::kCondDirect || c == InstClass::kJumpDirect ||
@@ -69,21 +70,21 @@ isDirect(InstClass c)
 }
 
 /** True for register-indirect control flow. */
-constexpr bool
+FDIP_HOT_PATH constexpr bool
 isIndirect(InstClass c)
 {
     return c == InstClass::kJumpIndirect || c == InstClass::kCallIndirect;
 }
 
 /** True for calls (push a return address onto the RAS). */
-constexpr bool
+FDIP_HOT_PATH constexpr bool
 isCall(InstClass c)
 {
     return c == InstClass::kCallDirect || c == InstClass::kCallIndirect;
 }
 
 /** True for returns (pop the RAS). */
-constexpr bool
+FDIP_HOT_PATH constexpr bool
 isReturn(InstClass c)
 {
     return c == InstClass::kReturn;

@@ -1,5 +1,6 @@
 #include "trace/program.h"
 
+#include "util/hotpath.h"
 #include "util/log.h"
 
 namespace fdip
@@ -30,7 +31,7 @@ ProgramImage::ProgramImage(Addr base)
     filler_.cls = InstClass::kAlu;
 }
 
-const StaticInst &
+FDIP_HOT_PATH const StaticInst &
 ProgramImage::instAt(Addr pc) const
 {
     if (!contains(pc))

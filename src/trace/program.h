@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "trace/inst.h"
+#include "util/hotpath.h"
 #include "util/types.h"
 
 namespace fdip
@@ -46,7 +47,7 @@ class ProgramImage
     std::size_t numInsts() const { return insts_.size(); }
 
     /** Code footprint in bytes. */
-    std::size_t footprintBytes() const { return insts_.size() * kInstBytes; }
+    FDIP_HOT_PATH std::size_t footprintBytes() const { return insts_.size() * kInstBytes; }
 
     /** Address of instruction @p index. */
     Addr
@@ -56,7 +57,7 @@ class ProgramImage
     }
 
     /** True if @p pc falls inside the image. */
-    bool
+    FDIP_HOT_PATH bool
     contains(Addr pc) const
     {
         return pc >= base_ && pc < base_ + footprintBytes() &&
@@ -64,7 +65,7 @@ class ProgramImage
     }
 
     /** Index of the instruction at @p pc; pc must be contained. */
-    std::uint32_t
+    FDIP_HOT_PATH std::uint32_t
     indexOf(Addr pc) const
     {
         return static_cast<std::uint32_t>((pc - base_) / kInstBytes);

@@ -14,6 +14,7 @@
 
 #include "trace/inst.h"
 #include "trace/workload.h"
+#include "util/hotpath.h"
 
 namespace fdip
 {
@@ -30,11 +31,11 @@ struct Trace
     std::vector<DynInst> insts;
 
     /** Convenience accessors. */
-    const ProgramImage &image() const { return workload->image; }
-    std::size_t size() const { return insts.size(); }
+    FDIP_HOT_PATH const ProgramImage &image() const { return workload->image; }
+    FDIP_HOT_PATH std::size_t size() const { return insts.size(); }
 
     /** PC of dynamic instruction @p i. */
-    Addr
+    FDIP_HOT_PATH Addr
     pcOf(std::size_t i) const
     {
         return image().pcOf(insts[i].staticIndex);

@@ -9,11 +9,13 @@
 #include <cassert>
 #include <cstdint>
 
+#include "util/hotpath.h"
+
 namespace fdip
 {
 
 /** Returns a mask with the low @p n bits set (n in [0, 64]). */
-constexpr std::uint64_t
+FDIP_HOT_PATH constexpr std::uint64_t
 mask(unsigned n)
 {
     return n >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1);
@@ -34,7 +36,7 @@ isPowerOf2(std::uint64_t v)
 }
 
 /** log2 of a power of two. */
-constexpr unsigned
+FDIP_HOT_PATH constexpr unsigned
 floorLog2(std::uint64_t v)
 {
     unsigned l = 0;
@@ -73,7 +75,7 @@ alignUp(std::uint64_t v, std::uint64_t align)
  * Mixes the bits of @p v. Used to decorrelate hash inputs in predictors.
  * This is the finalizer of SplitMix64.
  */
-constexpr std::uint64_t
+FDIP_HOT_PATH constexpr std::uint64_t
 mix64(std::uint64_t v)
 {
     v ^= v >> 30;

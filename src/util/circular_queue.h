@@ -10,7 +10,7 @@
 #include <utility>
 #include <vector>
 
-#include "check/invariant.h"
+#include "util/invariant.h"
 #include "util/hotpath.h"
 
 namespace fdip
@@ -33,10 +33,10 @@ class CircularQueue
                      "a zero-capacity queue models no hardware");
     }
 
-    [[nodiscard]] std::size_t capacity() const noexcept { return buf_.size(); }
-    [[nodiscard]] std::size_t size() const noexcept { return size_; }
-    [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
-    [[nodiscard]] bool full() const noexcept { return size_ == buf_.size(); }
+    [[nodiscard]] FDIP_HOT_PATH std::size_t capacity() const noexcept { return buf_.size(); }
+    [[nodiscard]] FDIP_HOT_PATH std::size_t size() const noexcept { return size_; }
+    [[nodiscard]] FDIP_HOT_PATH bool empty() const noexcept { return size_ == 0; }
+    [[nodiscard]] FDIP_HOT_PATH bool full() const noexcept { return size_ == buf_.size(); }
 
     /** Appends an element at the tail. The queue must not be full. */
     FDIP_HOT_PATH void
@@ -68,7 +68,7 @@ class CircularQueue
     }
 
     /** Drops the newest @p n elements from the tail. */
-    void
+    FDIP_HOT_PATH void
     truncate(std::size_t n) FDIP_HOT_NOEXCEPT
     {
         FDIP_CHECK(n <= size_, "truncating %zu of %zu elements", n, size_);
@@ -76,7 +76,7 @@ class CircularQueue
     }
 
     /** Keeps the oldest @p n elements, discarding everything younger. */
-    void
+    FDIP_HOT_PATH void
     resizeTo(std::size_t n) FDIP_HOT_NOEXCEPT
     {
         FDIP_CHECK(n <= size_, "resize to %zu of %zu elements", n, size_);
@@ -84,7 +84,7 @@ class CircularQueue
     }
 
     /** Removes all elements. */
-    void
+    FDIP_HOT_PATH void
     clear() noexcept
     {
         head_ = 0;
@@ -108,19 +108,19 @@ class CircularQueue
         return buf_[physIndex(i)];
     }
 
-    [[nodiscard]] T &front() FDIP_HOT_NOEXCEPT { return at(0); }
-    [[nodiscard]] const T &front() const FDIP_HOT_NOEXCEPT
+    [[nodiscard]] FDIP_HOT_PATH T &front() FDIP_HOT_NOEXCEPT { return at(0); }
+    [[nodiscard]] FDIP_HOT_PATH const T &front() const FDIP_HOT_NOEXCEPT
     {
         return at(0);
     }
-    [[nodiscard]] T &back() FDIP_HOT_NOEXCEPT { return at(size_ - 1); }
-    [[nodiscard]] const T &back() const FDIP_HOT_NOEXCEPT
+    [[nodiscard]] FDIP_HOT_PATH T &back() FDIP_HOT_NOEXCEPT { return at(size_ - 1); }
+    [[nodiscard]] FDIP_HOT_PATH const T &back() const FDIP_HOT_NOEXCEPT
     {
         return at(size_ - 1);
     }
 
   private:
-    [[nodiscard]] std::size_t
+    [[nodiscard]] FDIP_HOT_PATH std::size_t
     physIndex(std::size_t logical) const noexcept
     {
         return (head_ + logical) % buf_.size();

@@ -10,7 +10,8 @@
 #include <memory>
 #include <utility>
 
-#include "check/invariant.h"
+#include "util/hotpath.h"
+#include "util/invariant.h"
 
 namespace fdip
 {
@@ -43,15 +44,15 @@ class FixedVector
     {
         return capacity_;
     }
-    [[nodiscard]] std::size_t size() const noexcept { return size_; }
-    [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
-    [[nodiscard]] bool full() const noexcept
+    [[nodiscard]] FDIP_HOT_PATH std::size_t size() const noexcept { return size_; }
+    [[nodiscard]] FDIP_HOT_PATH bool empty() const noexcept { return size_ == 0; }
+    [[nodiscard]] FDIP_HOT_PATH bool full() const noexcept
     {
         return size_ == capacity_;
     }
 
     /** Appends an element. The vector must not be full. */
-    void
+    FDIP_HOT_PATH void
     pushBack(const T &v)
     {
         FDIP_CHECK(!full(), "push onto a full vector (capacity %zu)",
@@ -60,7 +61,7 @@ class FixedVector
     }
 
     /** Appends an element (move). The vector must not be full. */
-    void
+    FDIP_HOT_PATH void
     pushBack(T &&v)
     {
         FDIP_CHECK(!full(), "push onto a full vector (capacity %zu)",
@@ -69,7 +70,7 @@ class FixedVector
     }
 
     /** Removes the last element. The vector must not be empty. */
-    void
+    FDIP_HOT_PATH void
     popBack()
     {
         FDIP_CHECK(!empty(), "pop from an empty vector");
@@ -77,7 +78,7 @@ class FixedVector
     }
 
     /** Removes element @p i, preserving the order of the rest. */
-    void
+    FDIP_HOT_PATH void
     removeAt(std::size_t i)
     {
         FDIP_CHECK(i < size_, "removeAt(%zu) out of bounds (size %zu)",
@@ -88,7 +89,7 @@ class FixedVector
     }
 
     /** Removes element @p i by swapping the last element into it. */
-    void
+    FDIP_HOT_PATH void
     removeSwap(std::size_t i)
     {
         FDIP_CHECK(i < size_, "removeSwap(%zu) out of bounds (size %zu)",

@@ -10,7 +10,8 @@
 #include <cstdint>
 #include <memory>
 
-#include "check/invariant.h"
+#include "util/hotpath.h"
+#include "util/invariant.h"
 
 namespace fdip
 {
@@ -45,13 +46,13 @@ class FlatMap
     [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
 
     /** Slots before a put() must reallocate (2x the expected count). */
-    [[nodiscard]] std::size_t capacity() const noexcept
+    [[nodiscard]] FDIP_HOT_PATH std::size_t capacity() const noexcept
     {
         return slot_count_ - slot_count_ / 4;
     }
 
     /** Pointer to the value for @p key, or nullptr when absent. */
-    [[nodiscard]] V *
+    [[nodiscard]] FDIP_HOT_PATH V *
     find(K key) noexcept
     {
         for (std::size_t i = indexOf(key);; i = next(i)) {
@@ -63,7 +64,7 @@ class FlatMap
         }
     }
 
-    [[nodiscard]] const V *
+    [[nodiscard]] FDIP_HOT_PATH const V *
     find(K key) const noexcept
     {
         return const_cast<FlatMap *>(this)->find(key);
@@ -80,7 +81,7 @@ class FlatMap
      * the table doubles (correct, but a steady-state perf bug the
      * hot-path allocation test will catch).
      */
-    void
+    FDIP_HOT_PATH void
     put(K key, V value)
     {
         if (size_ + 1 > capacity())
@@ -102,7 +103,7 @@ class FlatMap
     }
 
     /** Removes @p key's entry if present; true when one was removed. */
-    bool
+    FDIP_HOT_PATH bool
     erase(K key) noexcept
     {
         std::size_t i = indexOf(key);
@@ -163,7 +164,7 @@ class FlatMap
         return n;
     }
 
-    [[nodiscard]] std::size_t
+    [[nodiscard]] FDIP_HOT_PATH std::size_t
     indexOf(K key) const noexcept
     {
         // Fibonacci multiplicative hash: deterministic and platform
@@ -173,7 +174,7 @@ class FlatMap
         return static_cast<std::size_t>(mixed & (slot_count_ - 1));
     }
 
-    [[nodiscard]] std::size_t next(std::size_t i) const noexcept
+    [[nodiscard]] FDIP_HOT_PATH std::size_t next(std::size_t i) const noexcept
     {
         return (i + 1) & (slot_count_ - 1);
     }

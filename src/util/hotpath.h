@@ -45,7 +45,7 @@
 #ifndef FDIP_UTIL_HOTPATH_H_
 #define FDIP_UTIL_HOTPATH_H_
 
-#include "check/invariant.h"
+#include "util/invariant.h"
 
 /**
  * Hot-function attribute spelling. Clang honors `hot` aggressively;

@@ -22,8 +22,8 @@
  * without creating a library dependency cycle.
  */
 
-#ifndef FDIP_CHECK_INVARIANT_H_
-#define FDIP_CHECK_INVARIANT_H_
+#ifndef FDIP_UTIL_INVARIANT_H_
+#define FDIP_UTIL_INVARIANT_H_
 
 #include <stdexcept>
 #include <string>
@@ -160,4 +160,4 @@ class InvariantScope
         }                                                                     \
     } while (0)
 
-#endif // FDIP_CHECK_INVARIANT_H_
+#endif // FDIP_UTIL_INVARIANT_H_

@@ -13,6 +13,8 @@
 #include <cassert>
 #include <cstdint>
 
+#include "util/hotpath.h"
+
 namespace fdip
 {
 
@@ -36,7 +38,7 @@ class Rng
     }
 
     /** Returns the next 64 random bits. */
-    std::uint64_t
+    FDIP_HOT_PATH std::uint64_t
     next()
     {
         const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
@@ -51,7 +53,7 @@ class Rng
     }
 
     /** Uniform integer in [0, bound). @p bound must be non-zero. */
-    std::uint64_t
+    FDIP_HOT_PATH std::uint64_t
     below(std::uint64_t bound)
     {
         assert(bound != 0);
@@ -87,7 +89,7 @@ class Rng
     }
 
   private:
-    static std::uint64_t
+    FDIP_HOT_PATH static std::uint64_t
     rotl(std::uint64_t x, int k)
     {
         return (x << k) | (x >> (64 - k));

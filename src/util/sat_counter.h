@@ -9,6 +9,8 @@
 #include <cassert>
 #include <cstdint>
 
+#include "util/hotpath.h"
+
 namespace fdip
 {
 
@@ -32,7 +34,7 @@ class SatCounter
     }
 
     /** Increments, saturating at the maximum. */
-    void
+    FDIP_HOT_PATH void
     increment() noexcept
     {
         if (value_ < max_)
@@ -40,7 +42,7 @@ class SatCounter
     }
 
     /** Decrements, saturating at zero. */
-    void
+    FDIP_HOT_PATH void
     decrement() noexcept
     {
         if (value_ > 0)
@@ -121,7 +123,7 @@ class SignedSatCounter
     }
 
     /** Moves toward taken (positive) or not-taken (negative). */
-    void
+    FDIP_HOT_PATH void
     update(bool taken) noexcept
     {
         if (taken) {
@@ -134,7 +136,7 @@ class SignedSatCounter
     }
 
     /** Predicted direction: value >= 0. */
-    [[nodiscard]] bool taken() const noexcept { return value_ >= 0; }
+    [[nodiscard]] FDIP_HOT_PATH bool taken() const noexcept { return value_ >= 0; }
 
     /** True in the two weakest states (0 and -1). */
     [[nodiscard]] bool

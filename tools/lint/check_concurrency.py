@@ -58,7 +58,7 @@ STATIC_STATE_ALLOWLIST = {"src/util/log.cc"}
 # thread_local with a written justification: the invariant-scope stack
 # is deliberately thread-confined diagnostics context — each worker
 # owns its own scope path and nothing crosses threads.
-THREAD_LOCAL_ALLOWLIST = {"src/check/invariant.h"}
+THREAD_LOCAL_ALLOWLIST = {"src/util/invariant.h"}
 
 RAW_PRIMITIVE_RULES: list[tuple[re.Pattern[str], str]] = [
     (re.compile(r"std::(?:recursive_|timed_|recursive_timed_|"

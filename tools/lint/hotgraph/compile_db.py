@@ -1,0 +1,85 @@
+"""compile_commands.json loader.
+
+The clang frontend parses exactly the translation units the build
+compiles, with the build's own flags — so the analyzed program is the
+shipped program, not a guess. This module finds and normalizes the
+database; the builtin frontend uses it only to cross-check file
+coverage (it indexes the tree directly).
+"""
+
+from __future__ import annotations
+
+import json
+import shlex
+from dataclasses import dataclass
+from pathlib import Path
+
+#: Build directories probed, in order, when --compile-db is not given.
+DEFAULT_BUILD_DIRS = (
+    "build", "build-compile-commands", "build-tsa", "build-ci",
+)
+
+
+@dataclass(frozen=True)
+class CompileCommand:
+    file: Path              #: absolute, resolved source path
+    directory: Path
+    args: list[str]         #: full argv (compiler included)
+
+
+def find_compile_db(root: Path, explicit: str | None = None) -> Path | None:
+    """Path to compile_commands.json, or None when no build exports
+    one. @p explicit may name the file or its directory."""
+    if explicit:
+        p = Path(explicit)
+        if p.is_dir():
+            p = p / "compile_commands.json"
+        return p if p.is_file() else None
+    for sub in DEFAULT_BUILD_DIRS:
+        p = root / sub / "compile_commands.json"
+        if p.is_file():
+            return p
+    return None
+
+
+def load_compile_db(db_path: Path, root: Path) -> list[CompileCommand]:
+    """The database entries whose sources live under @p root/src.
+    Entries for tests/bench/tools are dropped: the closure analysis
+    covers the simulator, and harness TUs would only add noise."""
+    entries = json.loads(db_path.read_text())
+    out: list[CompileCommand] = []
+    src_root = (root / "src").resolve()
+    for e in entries:
+        directory = Path(e["directory"])
+        file = Path(e["file"])
+        if not file.is_absolute():
+            file = directory / file
+        file = file.resolve()
+        if src_root not in file.parents:
+            continue
+        if "arguments" in e:
+            args = list(e["arguments"])
+        else:
+            args = shlex.split(e["command"])
+        out.append(CompileCommand(file=file, directory=directory,
+                                  args=args))
+    return out
+
+
+def clang_args(cmd: CompileCommand) -> list[str]:
+    """The flags libclang needs from a database entry: includes,
+    defines, standard — with the compiler name, -c/-o pairs, and
+    warning noise removed."""
+    keep: list[str] = []
+    it = iter(cmd.args[1:])
+    for a in it:
+        if a in ("-c", "-o", "-MF", "-MT", "-MQ"):
+            next(it, None)
+            continue
+        if a in ("-MD", "-MMD", "-MP") or a.endswith(".cc") \
+                or a.endswith(".cpp") or a.endswith(".o"):
+            continue
+        if a.startswith("-W") and not a.startswith("-Wl,"):
+            continue
+        keep.append(a)
+    return keep

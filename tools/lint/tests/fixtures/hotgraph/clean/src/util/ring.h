@@ -1,0 +1,61 @@
+// Clean hot-path closure: every reachable function carries
+// FDIP_HOT_PATH, the single virtual dispatch is sealed (the concrete
+// sink is final), and no banned operation appears anywhere in the
+// closure. The macro fallbacks below keep the file compilable as
+// plain C++ for the clang frontend; the textual frontend never sees
+// preprocessor lines.
+#ifndef FDIP_UTIL_RING_H_
+#define FDIP_UTIL_RING_H_
+
+#ifndef FDIP_HOT_PATH
+#define FDIP_HOT_PATH __attribute__((hot))
+#define FDIP_HOT_REGION_BEGIN(name) static_assert(true)
+#define FDIP_HOT_REGION_END(name) static_assert(true)
+#endif
+
+namespace fdip
+{
+
+class Sink
+{
+  public:
+    virtual ~Sink() = default;
+    virtual void accept(unsigned v) = 0;
+};
+
+class CountingSink final : public Sink
+{
+  public:
+    FDIP_HOT_PATH void accept(unsigned v) override { total_ += v; }
+
+  private:
+    unsigned total_ = 0;
+};
+
+FDIP_HOT_PATH inline unsigned
+mix(unsigned v)
+{
+    return v * 2654435761u;
+}
+
+FDIP_HOT_PATH inline void
+drain(CountingSink &sink, unsigned v)
+{
+    sink.accept(mix(v));
+}
+
+// A cold function whose marked span joins the closure: the region's
+// calls resolve into annotated code only.
+inline void
+pump(CountingSink &sink)
+{
+    FDIP_HOT_REGION_BEGIN(pump_loop);
+    for (unsigned i = 0; i < 4u; ++i) {
+        drain(sink, i);
+    }
+    FDIP_HOT_REGION_END(pump_loop);
+}
+
+} // namespace fdip
+
+#endif // FDIP_UTIL_RING_H_

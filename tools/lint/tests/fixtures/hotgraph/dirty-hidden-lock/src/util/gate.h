@@ -1,0 +1,37 @@
+// Seeded violation two calls deep: hot enter() -> hot stage() ->
+// cold guard() which takes a std::lock_guard. The analysis must walk
+// the full chain and report both the missing annotation on guard()
+// and the lock acquisition, with the discovery chain attached.
+#ifndef FDIP_UTIL_GATE_H_
+#define FDIP_UTIL_GATE_H_
+
+#include <mutex>
+
+#ifndef FDIP_HOT_PATH
+#define FDIP_HOT_PATH __attribute__((hot))
+#endif
+
+namespace fdip
+{
+
+class Gate
+{
+  public:
+    FDIP_HOT_PATH void enter() { stage(); }
+
+  private:
+    FDIP_HOT_PATH void stage() { guard(); }
+
+    void guard()
+    {
+        std::lock_guard<std::mutex> hold(m_);
+        ++depth_;
+    }
+
+    std::mutex m_;
+    unsigned depth_ = 0;
+};
+
+} // namespace fdip
+
+#endif // FDIP_UTIL_GATE_H_

@@ -1,0 +1,14 @@
+// Target of the seeded upward include from src/obs/probe.h.
+#ifndef FDIP_CORE_ENGINE_H_
+#define FDIP_CORE_ENGINE_H_
+
+namespace fdip
+{
+
+struct Engine {
+    unsigned ticks = 0;
+};
+
+} // namespace fdip
+
+#endif // FDIP_CORE_ENGINE_H_

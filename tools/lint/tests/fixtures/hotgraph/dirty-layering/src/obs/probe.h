@@ -1,0 +1,16 @@
+// Seeded violation: obs (rank 2) includes upward into core (rank 5).
+#ifndef FDIP_OBS_PROBE_H_
+#define FDIP_OBS_PROBE_H_
+
+#include "core/engine.h"
+
+namespace fdip
+{
+
+struct Probe {
+    Engine *engine = nullptr;
+};
+
+} // namespace fdip
+
+#endif // FDIP_OBS_PROBE_H_

@@ -1,0 +1,18 @@
+// Seeded violation: trace and obs are both rank 2 — a same-rank
+// cross-module include is a back-edge too (the DAG keeps sibling
+// modules independent).
+#ifndef FDIP_TRACE_PEEK_H_
+#define FDIP_TRACE_PEEK_H_
+
+#include "obs/probe.h"
+
+namespace fdip
+{
+
+struct Peek {
+    Probe probe;
+};
+
+} // namespace fdip
+
+#endif // FDIP_TRACE_PEEK_H_

@@ -1,0 +1,40 @@
+// Seeded violation: a hot function dispatches through a base
+// reference whose subtree is not sealed — QueuePort overrides push()
+// without `final`, so the compiler cannot devirtualize the site.
+// The override itself is annotated, isolating the expected findings
+// to exactly one virtual-call report.
+#ifndef FDIP_UTIL_PORT_H_
+#define FDIP_UTIL_PORT_H_
+
+#ifndef FDIP_HOT_PATH
+#define FDIP_HOT_PATH __attribute__((hot))
+#endif
+
+namespace fdip
+{
+
+class Port
+{
+  public:
+    virtual ~Port() = default;
+    virtual void push(unsigned v) = 0;
+};
+
+class QueuePort : public Port
+{
+  public:
+    FDIP_HOT_PATH void push(unsigned v) override { last_ = v; }
+
+  private:
+    unsigned last_ = 0;
+};
+
+FDIP_HOT_PATH inline void
+forward(Port &port, unsigned v)
+{
+    port.push(v);
+}
+
+} // namespace fdip
+
+#endif // FDIP_UTIL_PORT_H_

@@ -1,0 +1,22 @@
+// Deliberately clean: the self-test runs this tree with allowlist
+// entries and include exceptions that match nothing, asserting the
+// staleness guard turns each unused escape hatch into a finding.
+#ifndef FDIP_UTIL_CALM_H_
+#define FDIP_UTIL_CALM_H_
+
+#ifndef FDIP_HOT_PATH
+#define FDIP_HOT_PATH __attribute__((hot))
+#endif
+
+namespace fdip
+{
+
+FDIP_HOT_PATH inline unsigned
+twice(unsigned v)
+{
+    return v * 2u;
+}
+
+} // namespace fdip
+
+#endif // FDIP_UTIL_CALM_H_

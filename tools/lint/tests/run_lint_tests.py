@@ -2,10 +2,10 @@
 """Self-tests for the lint suite (stdlib only, run by ctest + CI).
 
 A lint that silently stops firing is worse than no lint: the tree
-drifts while CI stays green. This suite runs all five lint scripts
+drifts while CI stays green. This suite runs all six lint scripts
 (check_sources, check_determinism, check_concurrency, check_hotpath,
-check_trace) against known-good and known-bad fixture trees under
-tools/lint/tests/fixtures/ and asserts both directions:
+check_hotgraph, check_trace) against known-good and known-bad fixture
+trees under tools/lint/tests/fixtures/ and asserts both directions:
 
   - the clean tree produces zero findings (false-positive regression),
   - every deliberately planted violation in the dirty tree is found
@@ -37,8 +37,24 @@ import check_determinism  # noqa: E402
 import check_hotpath  # noqa: E402
 import check_sources  # noqa: E402
 import check_trace  # noqa: E402
+from hotgraph import textual as hg_textual  # noqa: E402
+from hotgraph.analysis import Analysis  # noqa: E402
+from hotgraph.model import (AllowEntry, IncludeException,  # noqa: E402
+                            RULE_STALE_ALLOW, RULE_UNANNOTATED,
+                            RULE_VIRTUAL)
+
+HOTGRAPH = FIXTURES / "hotgraph"
 
 NO_ALLOW: set[str] = set()
+
+
+def hotgraph_findings(tree: str, allowlist=(), include_exceptions=()):
+    """Rendered hotgraph findings for fixtures/hotgraph/<tree>,
+    with the repo allowlists replaced by the given ones."""
+    prog = hg_textual.index_tree(HOTGRAPH / tree)
+    analysis = Analysis(prog, allowlist=list(allowlist),
+                        include_exceptions=list(include_exceptions))
+    return [f.render() for f in analysis.run()]
 
 
 class LintAssertions(unittest.TestCase):
@@ -303,6 +319,98 @@ class AllowlistGuards(LintAssertions):
             [])
 
 
+class HotgraphClosure(LintAssertions):
+    """check_hotgraph's closure walk: each seeded violation class in
+    fixtures/hotgraph/dirty-* is caught, and the clean tree (annotated
+    closure, sealed dispatch, region use) stays silent."""
+
+    def test_clean_tree_is_clean(self):
+        self.assertEqual(hotgraph_findings("clean"), [])
+
+    def test_transitive_alloc_unannotated_helper(self):
+        findings = hotgraph_findings("dirty-transitive-alloc")
+        self.assertFinding(findings, "src/util/table.h",
+                           "fdip::Table::append is reachable", count=1)
+
+    def test_transitive_alloc_banned_ops_in_callee(self):
+        findings = hotgraph_findings("dirty-transitive-alloc")
+        self.assertFinding(findings, "src/util/table.h",
+                           "growing std-container", count=1)
+        self.assertFinding(findings, "src/util/table.h",
+                           "heap allocation (`new`)", count=1)
+
+    def test_transitive_alloc_reports_discovery_chain(self):
+        findings = hotgraph_findings("dirty-transitive-alloc")
+        self.assertFinding(
+            findings, "src/util/table.h",
+            "via fdip::Table::record -> fdip::Table::append")
+
+    def test_hidden_lock_two_calls_deep(self):
+        findings = hotgraph_findings("dirty-hidden-lock")
+        self.assertFinding(findings, "src/util/gate.h",
+                           "fdip::Gate::guard is reachable", count=1)
+        # std::lock_guard and the std::mutex template argument both
+        # match the lock rule on the same line.
+        self.assertFinding(findings, "src/util/gate.h",
+                           "lock acquisition", count=2)
+
+    def test_nonfinal_virtual_dispatch(self):
+        findings = hotgraph_findings("dirty-nonfinal-virtual")
+        self.assertFinding(findings, "src/util/port.h",
+                           "fdip::Port::push may dispatch virtually",
+                           count=1)
+        # The annotated override itself is fine: exactly one finding.
+        self.assertEqual(len(findings), 1, "\n".join(findings))
+
+    def test_layering_upward_include(self):
+        findings = hotgraph_findings("dirty-layering")
+        self.assertFinding(findings, "src/obs/probe.h",
+                           "upward include", count=1)
+
+    def test_layering_same_rank_include(self):
+        findings = hotgraph_findings("dirty-layering")
+        self.assertFinding(findings, "src/trace/peek.h",
+                           "same-rank cross-module include", count=1)
+
+    def test_stale_allow_entry_is_a_finding(self):
+        findings = hotgraph_findings(
+            "dirty-stale-allowlist",
+            allowlist=[AllowEntry(RULE_UNANNOTATED, "src/util/calm.h",
+                                  "fdip::gone", "obsolete")])
+        self.assertFinding(findings, "src/util/calm.h",
+                           "suppressed nothing", count=1)
+
+    def test_stale_include_exception_is_a_finding(self):
+        findings = hotgraph_findings(
+            "dirty-stale-allowlist",
+            include_exceptions=[IncludeException(
+                "src/util/calm.h", "core", "obsolete")])
+        self.assertFinding(findings, "src/util/calm.h",
+                           "matched no include edge", count=1)
+
+    def test_allowlisted_virtual_site_is_silent(self):
+        findings = hotgraph_findings(
+            "dirty-nonfinal-virtual",
+            allowlist=[AllowEntry(RULE_VIRTUAL, "src/util/port.h",
+                                  "fdip::Port::push", "fixture")])
+        self.assertEqual(
+            [f for f in findings if RULE_VIRTUAL in f], [])
+        # ...and a *used* entry must not trip the staleness guard.
+        self.assertEqual(
+            [f for f in findings if RULE_STALE_ALLOW in f], [])
+
+    def test_json_report_schema(self):
+        prog = hg_textual.index_tree(HOTGRAPH / "dirty-transitive-alloc")
+        analysis = Analysis(prog, allowlist=[], include_exceptions=[])
+        analysis.run()
+        doc = analysis.to_json()
+        self.assertEqual(doc["schema"], "hot-callgraph-v1")
+        self.assertEqual(doc["backend"], "builtin")
+        self.assertEqual(doc["findings"], len(doc["findingList"]))
+        self.assertGreater(doc["hotRoots"], 0)
+        self.assertGreaterEqual(doc["reachable"], doc["hotRoots"])
+
+
 class TraceChecker(LintAssertions):
     def test_good_trace(self):
         problems = check_trace.check_trace(
@@ -366,6 +474,37 @@ class CliExitCodes(LintAssertions):
             self.run_script("check_hotpath.py", "--root", str(CLEAN)), 0)
         self.assertEqual(
             self.run_script("check_hotpath.py", "--root", str(DIRTY)), 1)
+
+    def test_check_hotgraph_cli(self):
+        # --bare replaces the repo allowlist (whose entries name repo
+        # files, so they would all be stale on a fixture tree).
+        self.assertEqual(
+            self.run_script("check_hotgraph.py", "--bare",
+                            "--root", str(HOTGRAPH / "clean")), 0)
+        self.assertEqual(
+            self.run_script("check_hotgraph.py", "--bare", "--root",
+                            str(HOTGRAPH / "dirty-transitive-alloc")), 1)
+
+    def test_check_hotgraph_cli_staleness_without_bare(self):
+        # Without --bare the production allowlist applies; on a
+        # fixture tree every entry is unused, so the staleness guard
+        # itself must fail the run.
+        self.assertEqual(
+            self.run_script("check_hotgraph.py",
+                            "--root", str(HOTGRAPH / "clean")), 1)
+
+    def test_check_hotgraph_cli_unavailable_frontend(self):
+        # Exit 2 distinguishes "frontend missing" from findings; only
+        # meaningful where clang.cindex is actually absent.
+        try:
+            import clang.cindex  # noqa: F401
+            self.skipTest("clang.cindex installed; frontend available")
+        except ImportError:
+            pass
+        self.assertEqual(
+            self.run_script("check_hotgraph.py", "--frontend=clang",
+                            "--bare",
+                            "--root", str(HOTGRAPH / "clean")), 2)
 
     def test_check_trace_cli(self):
         self.assertEqual(
