@@ -23,6 +23,7 @@
 #include "bpu/ras.h"
 #include "bpu/tage.h"
 #include "util/hotpath.h"
+#include "util/state.h"
 #include "util/types.h"
 
 namespace fdip
@@ -135,16 +136,16 @@ class Bpu
     void registerStats(StatRegistry &reg, const std::string &prefix) const;
 
   private:
-    BpuConfig cfg_;
-    BranchHistory history_;
-    std::unique_ptr<Tage> tage_;
-    std::unique_ptr<Gshare> gshare_;
-    std::unique_ptr<Perceptron> perceptron_;
-    std::unique_ptr<LoopPredictor> loop_;
-    std::unique_ptr<Btb> btb_;
-    std::unique_ptr<BtbHierarchy> btbHier_;
-    std::unique_ptr<Ittage> ittage_;
-    Ras ras_;
+    FDIP_STATE_MICRO BpuConfig cfg_;
+    FDIP_STATE_ARCH(sub) BranchHistory history_;
+    FDIP_STATE_ARCH(sub) std::unique_ptr<Tage> tage_;
+    FDIP_STATE_ARCH(sub) std::unique_ptr<Gshare> gshare_;
+    FDIP_STATE_ARCH(sub) std::unique_ptr<Perceptron> perceptron_;
+    FDIP_STATE_ARCH(sub) std::unique_ptr<LoopPredictor> loop_;
+    FDIP_STATE_ARCH(sub) std::unique_ptr<Btb> btb_;
+    FDIP_STATE_ARCH(sub) std::unique_ptr<BtbHierarchy> btbHier_;
+    FDIP_STATE_ARCH(sub) std::unique_ptr<Ittage> ittage_;
+    FDIP_STATE_ARCH(sub) Ras ras_;
 };
 
 } // namespace fdip

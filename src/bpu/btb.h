@@ -21,6 +21,7 @@
 #include "trace/inst.h"
 #include "util/bits.h"
 #include "util/hotpath.h"
+#include "util/state.h"
 #include "util/types.h"
 
 namespace fdip
@@ -142,15 +143,16 @@ class Btb
     Entry *find(Addr pc);
     const Entry *find(Addr pc) const;
 
-    BtbConfig cfg_;
-    unsigned numSets_;
+    FDIP_STATE_MICRO BtbConfig cfg_;
+    FDIP_STATE_MICRO unsigned numSets_;
+    FDIP_STATE_ARCH(valid, kind, lru, target, tag)
     std::vector<Entry> entries_; ///< sets x ways, row-major.
-    std::uint64_t lruClock_ = 0;
+    FDIP_STATE_MICRO std::uint64_t lruClock_ = 0;
 
-    std::uint64_t lookups_ = 0;
-    std::uint64_t hits_ = 0;
-    std::uint64_t allocations_ = 0;
-    std::uint64_t evictions_ = 0;
+    FDIP_STATE_MICRO std::uint64_t lookups_ = 0;
+    FDIP_STATE_MICRO std::uint64_t hits_ = 0;
+    FDIP_STATE_MICRO std::uint64_t allocations_ = 0;
+    FDIP_STATE_MICRO std::uint64_t evictions_ = 0;
 };
 
 } // namespace fdip

@@ -17,6 +17,7 @@
 #include <optional>
 
 #include "bpu/btb.h"
+#include "util/state.h"
 
 namespace fdip
 {
@@ -66,11 +67,11 @@ class BtbHierarchy
     /// @}
 
   private:
-    BtbHierarchyConfig cfg_;
-    Btb l1_;
-    Btb &main_;
-    std::uint64_t l1Hits_ = 0;
-    std::uint64_t l2Promotions_ = 0;
+    FDIP_STATE_MICRO BtbHierarchyConfig cfg_;
+    FDIP_STATE_ARCH(sub) Btb l1_;
+    FDIP_STATE_MICRO Btb &main_; ///< Owned by the Bpu, not charged here.
+    FDIP_STATE_MICRO std::uint64_t l1Hits_ = 0;
+    FDIP_STATE_MICRO std::uint64_t l2Promotions_ = 0;
 };
 
 } // namespace fdip

@@ -13,6 +13,7 @@
 
 #include "check/schema.h"
 #include "util/sat_counter.h"
+#include "util/state.h"
 #include "util/types.h"
 
 namespace fdip
@@ -46,10 +47,10 @@ class Gshare
   private:
     std::uint32_t indexOf(Addr pc) const;
 
-    unsigned logEntries_;
-    unsigned historyBits_;
-    std::uint64_t history_ = 0;
-    std::vector<SatCounter> table_;
+    FDIP_STATE_MICRO unsigned logEntries_;
+    FDIP_STATE_MICRO unsigned historyBits_;
+    FDIP_STATE_ARCH(history) std::uint64_t history_ = 0;
+    FDIP_STATE_ARCH(ctr) std::vector<SatCounter> table_;
 };
 
 } // namespace fdip

@@ -34,6 +34,7 @@
 
 #include "check/schema.h"
 #include "util/hotpath.h"
+#include "util/state.h"
 #include "util/types.h"
 
 namespace fdip
@@ -175,13 +176,13 @@ class BranchHistory
     /** Ring capacity in 64-bit words (4096 bits). */
     static constexpr std::size_t kRingWords = 64;
 
-    HistoryPolicy policy_;
-    unsigned bitsPerEvent_;
-    std::uint64_t headPos_ = 0; ///< Next bit position to write.
-    std::uint64_t recentBits_ = 0;
-    std::uint64_t numEvents_ = 0;
-    std::uint64_t ring_[kRingWords] = {};
-    std::vector<FoldedHistory> folds_;
+    FDIP_STATE_MICRO HistoryPolicy policy_;
+    FDIP_STATE_MICRO unsigned bitsPerEvent_;
+    FDIP_STATE_MICRO std::uint64_t headPos_ = 0; ///< Next bit position to write.
+    FDIP_STATE_MICRO std::uint64_t recentBits_ = 0;
+    FDIP_STATE_MICRO std::uint64_t numEvents_ = 0;
+    FDIP_STATE_MICRO std::uint64_t ring_[kRingWords] = {};
+    FDIP_STATE_ARCH(fold...) std::vector<FoldedHistory> folds_;
 };
 
 } // namespace fdip

@@ -15,6 +15,7 @@
 #include "check/schema.h"
 #include "util/rng.h"
 #include "util/sat_counter.h"
+#include "util/state.h"
 #include "util/types.h"
 
 namespace fdip
@@ -111,15 +112,17 @@ class Ittage
     std::uint32_t tableIndex(Addr pc, unsigned t) const;
     std::uint16_t tableTag(Addr pc, unsigned t) const;
 
-    IttageConfig cfg_;
-    BranchHistory &hist_;
-    std::vector<unsigned> histLens_;
-    std::vector<unsigned> idxFold_;
-    std::vector<unsigned> tagFoldA_;
-    std::vector<unsigned> tagFoldB_;
+    FDIP_STATE_MICRO IttageConfig cfg_;
+    FDIP_STATE_MICRO BranchHistory &hist_;
+    FDIP_STATE_MICRO std::vector<unsigned> histLens_;
+    FDIP_STATE_MICRO std::vector<unsigned> idxFold_;
+    FDIP_STATE_MICRO std::vector<unsigned> tagFoldA_;
+    FDIP_STATE_MICRO std::vector<unsigned> tagFoldB_;
+    FDIP_STATE_ARCH(tagged.tag, tagged.valid, tagged.target, tagged.conf,
+                    tagged.useful)
     std::vector<std::vector<Entry>> tables_;
-    std::vector<Addr> base_; ///< Last-target table.
-    Rng rng_;
+    FDIP_STATE_ARCH(base.target) std::vector<Addr> base_; ///< Last-target table.
+    FDIP_STATE_ARCH(alloc_lfsr) Rng rng_;
 };
 
 } // namespace fdip

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "check/schema.h"
+#include "util/state.h"
 #include "util/types.h"
 
 namespace fdip
@@ -74,9 +75,10 @@ class LoopPredictor
     const Entry *find(Addr pc) const;
     Entry *find(Addr pc);
 
-    LoopPredictorConfig cfg_;
+    FDIP_STATE_MICRO LoopPredictorConfig cfg_;
+    FDIP_STATE_ARCH(valid, tag, trip_count, current_count, confidence, lru)
     std::vector<Entry> entries_;
-    std::uint64_t lruClock_ = 0;
+    FDIP_STATE_MICRO std::uint64_t lruClock_ = 0;
 };
 
 } // namespace fdip

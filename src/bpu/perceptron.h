@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "check/schema.h"
+#include "util/state.h"
 #include "util/types.h"
 
 namespace fdip
@@ -50,11 +51,12 @@ class Perceptron
     std::uint32_t rowOf(Addr pc) const;
     int dot(Addr pc) const;
 
-    PerceptronConfig cfg_;
-    int threshold_;
-    int weightMax_;
+    FDIP_STATE_MICRO PerceptronConfig cfg_;
+    FDIP_STATE_MICRO int threshold_;
+    FDIP_STATE_MICRO int weightMax_;
+    FDIP_STATE_ARCH(bias, weight)
     std::vector<std::int16_t> weights_; ///< rows x (historyBits + 1).
-    std::uint64_t history_ = 0;
+    FDIP_STATE_ARCH(history) std::uint64_t history_ = 0;
 };
 
 } // namespace fdip

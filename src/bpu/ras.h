@@ -28,6 +28,7 @@
 #include "check/schema.h"
 #include "obs/stat_registry.h"
 #include "util/bits.h"
+#include "util/state.h"
 #include "util/types.h"
 
 namespace fdip
@@ -115,11 +116,12 @@ class Ras
     void registerStats(StatRegistry &reg, const std::string &prefix) const;
 
   private:
-    std::vector<Addr> stack_;
+    FDIP_STATE_ARCH(entry) std::vector<Addr> stack_;
+    FDIP_STATE_ARCH(top_ptr)
     std::uint32_t topIndex_ = 0; ///< Index of the current top entry.
-    std::uint32_t live_ = 0;     ///< Live entries (sim bookkeeping).
-    std::uint64_t underflows_ = 0;
-    bool strictUnderflow_ = false;
+    FDIP_STATE_MICRO std::uint32_t live_ = 0; ///< Live entries (sim bookkeeping).
+    FDIP_STATE_MICRO std::uint64_t underflows_ = 0;
+    FDIP_STATE_MICRO bool strictUnderflow_ = false;
 };
 
 } // namespace fdip

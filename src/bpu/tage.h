@@ -18,6 +18,7 @@
 #include "util/log.h"
 #include "util/rng.h"
 #include "util/sat_counter.h"
+#include "util/state.h"
 #include "util/types.h"
 
 namespace fdip
@@ -160,17 +161,20 @@ class Tage
     std::uint32_t tableIndex(Addr pc, unsigned t) const;
     std::uint16_t tableTag(Addr pc, unsigned t) const;
 
-    TageConfig cfg_;
-    BranchHistory &hist_;
-    std::vector<unsigned> histLens_;       ///< Per-table event lengths.
-    std::vector<unsigned> idxFold_;        ///< Fold ids: index.
-    std::vector<unsigned> tagFoldA_;       ///< Fold ids: tag part A.
-    std::vector<unsigned> tagFoldB_;       ///< Fold ids: tag part B.
+    FDIP_STATE_MICRO TageConfig cfg_;
+    FDIP_STATE_MICRO BranchHistory &hist_;
+    FDIP_STATE_MICRO std::vector<unsigned> histLens_; ///< Per-table lengths.
+    FDIP_STATE_MICRO std::vector<unsigned> idxFold_;  ///< Fold ids: index.
+    FDIP_STATE_MICRO std::vector<unsigned> tagFoldA_; ///< Fold ids: tag A.
+    FDIP_STATE_MICRO std::vector<unsigned> tagFoldB_; ///< Fold ids: tag B.
+    FDIP_STATE_ARCH(tagged.ctr, tagged.tag, tagged.useful)
     std::vector<std::vector<Entry>> tables_;
+    FDIP_STATE_ARCH(base.ctr)
     std::vector<SatCounter> base_;         ///< Bimodal base predictor.
+    FDIP_STATE_ARCH(use_alt_on_na)
     SignedSatCounter useAltOnNa_;          ///< "Use alt on new alloc".
-    std::uint32_t allocCount_ = 0;
-    Rng rng_;
+    FDIP_STATE_ARCH(useful_reset_tick) std::uint32_t allocCount_ = 0;
+    FDIP_STATE_ARCH(alloc_lfsr) Rng rng_;
 };
 
 } // namespace fdip

@@ -17,6 +17,7 @@
 #include "obs/stat_registry.h"
 #include "util/hotpath.h"
 #include "util/rng.h"
+#include "util/state.h"
 #include "util/types.h"
 
 namespace fdip
@@ -132,17 +133,17 @@ class Cache
     Line *findLine(Addr addr);
     const Line *findLine(Addr addr) const;
 
-    CacheConfig cfg_;
-    unsigned numSets_;
-    unsigned lineShift_;
-    std::vector<Line> lines_;
-    std::uint64_t lruClock_ = 0;
-    Rng rng_;
+    FDIP_STATE_MICRO CacheConfig cfg_;
+    FDIP_STATE_MICRO unsigned numSets_;
+    FDIP_STATE_MICRO unsigned lineShift_;
+    FDIP_STATE_ARCH(data, tag, valid, lru) std::vector<Line> lines_;
+    FDIP_STATE_MICRO std::uint64_t lruClock_ = 0;
+    FDIP_STATE_ARCH(victim_lfsr) Rng rng_;
 
-    std::uint64_t tagAccesses_ = 0;
-    std::uint64_t hits_ = 0;
-    std::uint64_t misses_ = 0;
-    std::uint64_t evictions_ = 0;
+    FDIP_STATE_MICRO std::uint64_t tagAccesses_ = 0;
+    FDIP_STATE_MICRO std::uint64_t hits_ = 0;
+    FDIP_STATE_MICRO std::uint64_t misses_ = 0;
+    FDIP_STATE_MICRO std::uint64_t evictions_ = 0;
 };
 
 } // namespace fdip

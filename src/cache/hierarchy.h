@@ -14,6 +14,7 @@
 #include "cache/cache.h"
 #include "util/flat_map.h"
 #include "util/hotpath.h"
+#include "util/state.h"
 #include "util/types.h"
 
 namespace fdip
@@ -96,24 +97,24 @@ class MemoryHierarchy
     /** Walks L2 -> LLC -> DRAM and fills on the way back. */
     FillResult walkBelowL1(Addr line, Cycle now) FDIP_HOT_NOEXCEPT;
 
-    MemoryConfig cfg_;
-    Cache l1d_;
-    Cache l2_;
-    Cache llc_;
+    FDIP_STATE_MICRO MemoryConfig cfg_;
+    FDIP_STATE_ARCH(sub) Cache l1d_;
+    FDIP_STATE_ARCH(sub) Cache l2_;
+    FDIP_STATE_ARCH(sub) Cache llc_;
 
     /** In-flight instruction-line fills (line -> completion). Expired
      *  entries are reaped lazily on re-touch, so the maps can exceed
      *  the true in-flight count; the preallocation (see the ctor)
      *  covers that slack so steady-state puts never allocate. */
-    FlatMap<Addr, Cycle> inFlightInst_;
+    FDIP_STATE_MICRO FlatMap<Addr, Cycle> inFlightInst_;
     /** In-flight data-line fills. */
-    FlatMap<Addr, Cycle> inFlightData_;
+    FDIP_STATE_MICRO FlatMap<Addr, Cycle> inFlightData_;
 
-    Cycle nextDramFree_ = 0;
+    FDIP_STATE_MICRO Cycle nextDramFree_ = 0;
 
-    std::uint64_t instRequests_ = 0;
-    std::uint64_t instMerged_ = 0;
-    std::uint64_t dramAccesses_ = 0;
+    FDIP_STATE_MICRO std::uint64_t instRequests_ = 0;
+    FDIP_STATE_MICRO std::uint64_t instMerged_ = 0;
+    FDIP_STATE_MICRO std::uint64_t dramAccesses_ = 0;
 };
 
 } // namespace fdip

@@ -21,6 +21,7 @@
 #include "util/circular_queue.h"
 #include "util/fixed_vector.h"
 #include "util/hotpath.h"
+#include "util/state.h"
 #include "util/types.h"
 
 namespace fdip
@@ -118,16 +119,16 @@ class Backend
         std::uint64_t resolveToken = 0;
     };
 
-    const CoreConfig &cfg_;
-    MemoryHierarchy &mem_;
-    SimStats &stats_;
-    ResolveCallback resolveCb_;
+    FDIP_STATE_MICRO const CoreConfig &cfg_;
+    FDIP_STATE_MICRO MemoryHierarchy &mem_;
+    FDIP_STATE_MICRO SimStats &stats_;
+    FDIP_STATE_MICRO ResolveCallback resolveCb_;
 
-    CircularQueue<DeliveredInst> dq_;
-    CircularQueue<RobEntry> rob_;
-    std::uint64_t committed_ = 0;
-    bool dispatchBlocked_ = false; ///< Last tick: ROB-full back-pressure.
-    Cycle lastCommitDone_ = 0; ///< Completion time of last committed inst.
+    FDIP_STATE_ARCH(pc, inst, dir_hint) CircularQueue<DeliveredInst> dq_;
+    FDIP_STATE_MICRO CircularQueue<RobEntry> rob_;
+    FDIP_STATE_MICRO std::uint64_t committed_ = 0;
+    FDIP_STATE_MICRO bool dispatchBlocked_ = false; ///< ROB back-pressure.
+    FDIP_STATE_MICRO Cycle lastCommitDone_ = 0; ///< Last commit done time.
 
     /** In-flight divergence tokens awaiting execution (tiny; every
      *  carrier occupies a ROB entry, so robEntries bounds it). */
@@ -137,7 +138,7 @@ class Backend
         std::uint64_t seq = 0;
         Cycle execDone = 0;
     };
-    FixedVector<PendingResolve> pendingResolves_;
+    FDIP_STATE_MICRO FixedVector<PendingResolve> pendingResolves_;
 };
 
 } // namespace fdip

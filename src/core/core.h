@@ -23,6 +23,7 @@
 #include "obs/trace_events.h"
 #include "prefetch/prefetcher.h"
 #include "trace/trace_gen.h"
+#include "util/state.h"
 
 namespace fdip
 {
@@ -94,16 +95,16 @@ class Core
     void registerStats(StatRegistry &reg) const;
 
   private:
-    CoreConfig cfg_;
-    const Trace &trace_;
-    SimStats stats_;
-    Bpu bpu_;
-    MemoryHierarchy mem_;
-    std::unique_ptr<InstPrefetcher> prefetcher_;
-    Backend backend_;
-    Frontend frontend_;
-    std::vector<HeartbeatSample> heartbeats_;
-    TickProfiler profiler_; ///< Host-side; never touches stats_.
+    FDIP_STATE_MICRO CoreConfig cfg_;
+    FDIP_STATE_MICRO const Trace &trace_;
+    FDIP_STATE_MICRO SimStats stats_;
+    FDIP_STATE_ARCH(sub) Bpu bpu_;
+    FDIP_STATE_ARCH(sub) MemoryHierarchy mem_;
+    FDIP_STATE_ARCH(sub) std::unique_ptr<InstPrefetcher> prefetcher_;
+    FDIP_STATE_ARCH(sub) Backend backend_;
+    FDIP_STATE_ARCH(sub) Frontend frontend_;
+    FDIP_STATE_MICRO std::vector<HeartbeatSample> heartbeats_;
+    FDIP_STATE_HOST TickProfiler profiler_; ///< Never touches stats_.
 };
 
 } // namespace fdip

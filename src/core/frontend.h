@@ -37,6 +37,7 @@
 #include "util/fixed_vector.h"
 #include "util/flat_map.h"
 #include "util/hotpath.h"
+#include "util/state.h"
 #include "util/types.h"
 
 namespace fdip
@@ -177,59 +178,61 @@ class Frontend
     };
 
     /// @{ Wiring.
-    const CoreConfig &cfg_;
-    const Trace &trace_;
-    const ProgramImage &image_;
-    Bpu &bpu_;
-    Backend &backend_;
-    MemoryHierarchy &mem_;
-    InstPrefetcher &prefetcher_;
-    SimStats &stats_;
+    FDIP_STATE_MICRO const CoreConfig &cfg_;
+    FDIP_STATE_MICRO const Trace &trace_;
+    FDIP_STATE_MICRO const ProgramImage &image_;
+    FDIP_STATE_MICRO Bpu &bpu_;
+    FDIP_STATE_MICRO Backend &backend_;
+    FDIP_STATE_MICRO MemoryHierarchy &mem_;
+    FDIP_STATE_MICRO InstPrefetcher &prefetcher_;
+    FDIP_STATE_MICRO SimStats &stats_;
     /// @}
 
     /// @{ Structures.
-    Ftq ftq_;
-    Cache l1i_;
-    Cache itlb_;
+    FDIP_STATE_ARCH(sub) Ftq ftq_;
+    FDIP_STATE_ARCH(sub) Cache l1i_;
+    FDIP_STATE_ARCH(sub) Cache itlb_;
+    FDIP_STATE_ARCH(sub)
     std::unique_ptr<Cache> prefetchBuffer_; ///< Optional (original FDP).
     /** In-flight fills; capacity = the modeled MSHR count. */
-    FixedVector<InflightFill> fills_;
+    FDIP_STATE_MICRO FixedVector<InflightFill> fills_;
     /// @}
 
     /// @{ Observability. Histograms are sampled unconditionally (they
     /// are cheap and read-only); trace events go through tracer_ and
     /// cost one branch when no writer is attached.
-    Tracer tracer_;
-    StatHistogram ftqOccupancy_;  ///< Per-tick FTQ occupancy.
-    StatHistogram fillLatency_;   ///< Demand-touched fill latencies.
-    std::size_t lastTracedOccupancy_ = static_cast<std::size_t>(-1);
-    TickProfiler *profiler_ = nullptr; ///< Host-phase sink (Core's).
+    FDIP_STATE_MICRO Tracer tracer_;
+    FDIP_STATE_MICRO StatHistogram ftqOccupancy_; ///< Per-tick occupancy.
+    FDIP_STATE_MICRO StatHistogram fillLatency_;  ///< Fill latencies.
+    FDIP_STATE_MICRO std::size_t lastTracedOccupancy_ =
+        static_cast<std::size_t>(-1);
+    FDIP_STATE_HOST TickProfiler *profiler_ = nullptr; ///< Core's sink.
     /// @}
 
     /// @{ Prediction stream state.
-    Addr predPc_;
-    InstSeq tracePos_ = 0;
-    InstSeq trainedUpTo_ = 0; ///< Train-once guard across re-predictions.
-    bool onCorrectPath_ = true;
-    std::uint64_t blockSeq_ = 0;
-    std::uint64_t instSeq_ = 0;
-    std::optional<PendingDivergence> pending_;
-    std::uint64_t nextToken_ = 1;
-    Cycle predStallUntil_ = 0; ///< Redirect bubble.
-    unsigned l2BtbBubble_ = 0; ///< Pending two-level-BTB re-steer bubble.
+    FDIP_STATE_MICRO Addr predPc_;
+    FDIP_STATE_MICRO InstSeq tracePos_ = 0;
+    FDIP_STATE_MICRO InstSeq trainedUpTo_ = 0; ///< Train-once guard.
+    FDIP_STATE_MICRO bool onCorrectPath_ = true;
+    FDIP_STATE_MICRO std::uint64_t blockSeq_ = 0;
+    FDIP_STATE_MICRO std::uint64_t instSeq_ = 0;
+    FDIP_STATE_MICRO std::optional<PendingDivergence> pending_;
+    FDIP_STATE_MICRO std::uint64_t nextToken_ = 1;
+    FDIP_STATE_MICRO Cycle predStallUntil_ = 0; ///< Redirect bubble.
+    FDIP_STATE_MICRO unsigned l2BtbBubble_ = 0; ///< L2-BTB re-steer bubble.
     /// @}
 
     /// @{ Cycle-accounting signal state (observation-only: consumed by
     /// cycleSignals(), never read back by the model).
-    Cycle itlbStallUntil_ = 0;  ///< Head FTQ entry's ITLB refill wait.
-    Cycle redirectShadowUntil_ = 0; ///< FTQ-refill window after a redirect.
+    FDIP_STATE_MICRO Cycle itlbStallUntil_ = 0; ///< Head ITLB refill wait.
+    FDIP_STATE_MICRO Cycle redirectShadowUntil_ = 0; ///< Post-redirect window.
     /// @}
 
     /** Whether the last fill of a line was a prefetch (usefulness).
      *  Entries are erased when the line leaves the L1I so the map stays
      *  bounded by the cache's line count; the ctor preallocates for
      *  that bound so steady-state puts never allocate. */
-    FlatMap<Addr, bool> linePrefetched_;
+    FDIP_STATE_MICRO FlatMap<Addr, bool> linePrefetched_;
 
     /** Drops usefulness tracking for an evicted line (kNoAddr ok). */
     void forgetEvicted(Addr evicted_line);
@@ -238,7 +241,7 @@ class Frontend
      *  compiled out when invariant checks are disabled. */
     void checkTickInvariants(Cycle now);
 
-    Cycle lastTickPlus1_ = 0; ///< Monotone-tick watermark (checks only).
+    FDIP_STATE_MICRO Cycle lastTickPlus1_ = 0; ///< Monotone-tick watermark.
 };
 
 } // namespace fdip

@@ -24,6 +24,7 @@
 #include "trace/inst.h"
 #include "util/circular_queue.h"
 #include "util/hotpath.h"
+#include "util/state.h"
 #include "util/types.h"
 
 namespace fdip
@@ -225,6 +226,8 @@ class Ftq
     }
 
   private:
+    FDIP_STATE_ARCH(start_addr, predicted_taken, term_offset, icache_way,
+                    state, dir_hints)
     CircularQueue<FtqEntry> q_;
 };
 

@@ -15,6 +15,7 @@
 #include <utility>
 
 #include "util/hotpath.h"
+#include "util/state.h"
 
 namespace fdip
 {
@@ -32,57 +33,57 @@ struct SimStats
     static constexpr std::size_t kArchitecturalCounters = 38;
 
     /// @{ Progress.
-    std::uint64_t cycles = 0;
-    std::uint64_t committedInsts = 0;
+    FDIP_STATE_MICRO std::uint64_t cycles = 0;
+    FDIP_STATE_MICRO std::uint64_t committedInsts = 0;
     /// @}
 
     /// @{ Branches (committed, correct path).
-    std::uint64_t condBranches = 0;
-    std::uint64_t takenBranches = 0;
-    std::uint64_t indirectBranches = 0;
-    std::uint64_t returns = 0;
+    FDIP_STATE_MICRO std::uint64_t condBranches = 0;
+    FDIP_STATE_MICRO std::uint64_t takenBranches = 0;
+    FDIP_STATE_MICRO std::uint64_t indirectBranches = 0;
+    FDIP_STATE_MICRO std::uint64_t returns = 0;
     /// @}
 
     /// @{ Mispredictions = execute-time pipeline flushes, by cause.
-    std::uint64_t mispredicts = 0;
-    std::uint64_t mispredictsCondDir = 0;   ///< Direction wrong.
-    std::uint64_t mispredictsBtbMissTaken = 0; ///< Undetected taken br.
-    std::uint64_t mispredictsTarget = 0;    ///< Indirect/return target.
-    std::uint64_t mispredictsPfcMisfire = 0; ///< PFC re-steered wrongly.
+    FDIP_STATE_MICRO std::uint64_t mispredicts = 0;
+    FDIP_STATE_MICRO std::uint64_t mispredictsCondDir = 0;   ///< Direction wrong.
+    FDIP_STATE_MICRO std::uint64_t mispredictsBtbMissTaken = 0; ///< Undetected taken br.
+    FDIP_STATE_MICRO std::uint64_t mispredictsTarget = 0;    ///< Indirect/return target.
+    FDIP_STATE_MICRO std::uint64_t mispredictsPfcMisfire = 0; ///< PFC re-steered wrongly.
     /// @}
 
     /// @{ PFC / history fixups.
-    std::uint64_t pfcFires = 0;
-    std::uint64_t pfcCorrect = 0;   ///< Redirect matched the oracle path.
-    std::uint64_t pfcWrong = 0;     ///< Misfire (became a mispredict).
-    std::uint64_t ghrFixups = 0;    ///< GHR2/3 pre-decode history flushes.
+    FDIP_STATE_MICRO std::uint64_t pfcFires = 0;
+    FDIP_STATE_MICRO std::uint64_t pfcCorrect = 0;   ///< Redirect matched the oracle path.
+    FDIP_STATE_MICRO std::uint64_t pfcWrong = 0;     ///< Misfire (became a mispredict).
+    FDIP_STATE_MICRO std::uint64_t ghrFixups = 0;    ///< GHR2/3 pre-decode history flushes.
     /// @}
 
     /// @{ Frontend delivery.
-    std::uint64_t starvationCycles = 0; ///< Decode queue < decode width.
-    std::uint64_t deliveredInsts = 0;
-    std::uint64_t wrongPathDelivered = 0;
+    FDIP_STATE_MICRO std::uint64_t starvationCycles = 0; ///< Decode queue < decode width.
+    FDIP_STATE_MICRO std::uint64_t deliveredInsts = 0;
+    FDIP_STATE_MICRO std::uint64_t wrongPathDelivered = 0;
     /// @}
 
     /// @{ L1I behaviour.
-    std::uint64_t l1iDemandAccesses = 0;
-    std::uint64_t l1iDemandMisses = 0;
-    std::uint64_t l1iTagAccesses = 0; ///< Demand + prefetch probes.
-    std::uint64_t prefetchesIssued = 0;
-    std::uint64_t prefetchesRedundant = 0; ///< Probe hit: dropped.
-    std::uint64_t prefetchesUseful = 0;    ///< Later hit by demand.
-    std::uint64_t itlbMisses = 0;
+    FDIP_STATE_MICRO std::uint64_t l1iDemandAccesses = 0;
+    FDIP_STATE_MICRO std::uint64_t l1iDemandMisses = 0;
+    FDIP_STATE_MICRO std::uint64_t l1iTagAccesses = 0; ///< Demand + prefetch probes.
+    FDIP_STATE_MICRO std::uint64_t prefetchesIssued = 0;
+    FDIP_STATE_MICRO std::uint64_t prefetchesRedundant = 0; ///< Probe hit: dropped.
+    FDIP_STATE_MICRO std::uint64_t prefetchesUseful = 0;    ///< Later hit by demand.
+    FDIP_STATE_MICRO std::uint64_t itlbMisses = 0;
     /// @}
 
     /// @{ Demand-miss exposure classification (paper Fig. 14).
-    std::uint64_t missFullyExposed = 0;   ///< Initiated at FTQ head.
-    std::uint64_t missPartiallyExposed = 0; ///< Starved before fill.
-    std::uint64_t missCovered = 0;        ///< Fill beat any starvation.
+    FDIP_STATE_MICRO std::uint64_t missFullyExposed = 0;   ///< Initiated at FTQ head.
+    FDIP_STATE_MICRO std::uint64_t missPartiallyExposed = 0; ///< Starved before fill.
+    FDIP_STATE_MICRO std::uint64_t missCovered = 0;        ///< Fill beat any starvation.
     /// @}
 
     /// @{ BTB.
-    std::uint64_t btbLookups = 0;
-    std::uint64_t btbHits = 0;
+    FDIP_STATE_MICRO std::uint64_t btbLookups = 0;
+    FDIP_STATE_MICRO std::uint64_t btbHits = 0;
     /// @}
 
     /// @{ Top-down cycle accounting: every post-warmup cycle is
@@ -90,14 +91,14 @@ struct SimStats
     /// precedence; see obs/cycle_account.h and docs/OBSERVABILITY.md).
     /// Invariants, FDIP_CHECKed every tick: the six starved-slot
     /// buckets sum to starvationCycles, and all eight sum to cycles.
-    std::uint64_t cyclesBaseCommitted = 0;      ///< Decode fed; no stall.
-    std::uint64_t cyclesBackendBackpressure = 0; ///< ROB full blocked dispatch.
-    std::uint64_t cyclesRecoveryFlushRestart = 0; ///< Post-flush predict restart.
-    std::uint64_t cyclesFetchL1iMiss = 0;       ///< Head waiting on a fill.
-    std::uint64_t cyclesFetchItlbMiss = 0;      ///< Head waiting on the ITLB.
-    std::uint64_t cyclesFetchFtqEmptyBtbMiss = 0; ///< BTB-miss wrong path.
-    std::uint64_t cyclesFetchFtqEmptyRedirect = 0; ///< Redirect refill shadow.
-    std::uint64_t cyclesFetchPipeline = 0;      ///< Residual fetch stall.
+    FDIP_STATE_MICRO std::uint64_t cyclesBaseCommitted = 0;      ///< Decode fed; no stall.
+    FDIP_STATE_MICRO std::uint64_t cyclesBackendBackpressure = 0; ///< ROB full blocked dispatch.
+    FDIP_STATE_MICRO std::uint64_t cyclesRecoveryFlushRestart = 0; ///< Post-flush predict restart.
+    FDIP_STATE_MICRO std::uint64_t cyclesFetchL1iMiss = 0;       ///< Head waiting on a fill.
+    FDIP_STATE_MICRO std::uint64_t cyclesFetchItlbMiss = 0;      ///< Head waiting on the ITLB.
+    FDIP_STATE_MICRO std::uint64_t cyclesFetchFtqEmptyBtbMiss = 0; ///< BTB-miss wrong path.
+    FDIP_STATE_MICRO std::uint64_t cyclesFetchFtqEmptyRedirect = 0; ///< Redirect refill shadow.
+    FDIP_STATE_MICRO std::uint64_t cyclesFetchPipeline = 0;      ///< Residual fetch stall.
     /// @}
 
     /// @{ Host-side telemetry. Measured on the machine running the
@@ -105,6 +106,7 @@ struct SimStats
     /// runs of the same (config, trace) are the same experiment even
     /// when their wall-clock differs, so these fields are excluded
     /// from architecturallyEqual().
+    FDIP_STATE_HOST
     double hostWallSeconds = 0.0; ///< Wall-clock time of Core::run().
 
     /** Simulated (committed) instructions per host wall-clock second. */

@@ -27,6 +27,8 @@
 #include <string>
 #include <vector>
 
+#include "util/state.h"
+
 namespace fdip
 {
 

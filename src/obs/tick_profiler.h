@@ -35,6 +35,7 @@
 #include <cstdint>
 
 #include "util/hotpath.h"
+#include "util/state.h"
 
 namespace fdip
 {
@@ -182,9 +183,9 @@ class TickProfiler
      *  allowlisted there; nothing it returns feeds simulated state). */
     static std::uint64_t hostNowNs() noexcept;
 
-    TickProfile profile_;
-    std::uint64_t startNs_[kTickPhaseCount] = {};
-    bool sampling_ = false;
+    FDIP_STATE_HOST TickProfile profile_;
+    FDIP_STATE_HOST std::uint64_t startNs_[kTickPhaseCount] = {};
+    FDIP_STATE_HOST bool sampling_ = false;
 };
 
 } // namespace fdip

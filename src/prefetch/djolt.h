@@ -16,6 +16,7 @@
 
 #include "prefetch/prefetcher.h"
 #include "util/hotpath.h"
+#include "util/state.h"
 
 namespace fdip
 {
@@ -64,13 +65,13 @@ class DjoltPrefetcher final : public InstPrefetcher
     void train(Table &table, std::uint64_t sig, Addr line);
     void prefetchFrom(Table &table, std::uint64_t sig);
 
-    DjoltConfig cfg_;
-    std::vector<Addr> retFifo_;    ///< Recent return addresses.
-    std::size_t fifoPos_ = 0;
-    std::vector<std::uint64_t> sigHistory_; ///< Signatures at past calls.
-    std::size_t sigPos_ = 0;
-    Table shortTable_;
-    Table longTable_;
+    FDIP_STATE_MICRO DjoltConfig cfg_;
+    FDIP_STATE_MICRO std::vector<Addr> retFifo_; ///< Recent returns.
+    FDIP_STATE_MICRO std::size_t fifoPos_ = 0;
+    FDIP_STATE_MICRO std::vector<std::uint64_t> sigHistory_; ///< Past calls.
+    FDIP_STATE_MICRO std::size_t sigPos_ = 0;
+    FDIP_STATE_MICRO Table shortTable_;
+    FDIP_STATE_MICRO Table longTable_;
 };
 
 } // namespace fdip

@@ -19,6 +19,7 @@
 
 #include "prefetch/prefetcher.h"
 #include "util/hotpath.h"
+#include "util/state.h"
 
 namespace fdip
 {
@@ -75,13 +76,13 @@ class EipPrefetcher final : public InstPrefetcher
     Entry &allocate(Addr line);
     void entangle(Addr src, Addr dst);
 
-    const char *name_;
-    EipConfig cfg_;
-    std::vector<Entry> table_;
-    std::vector<HistoryRecord> history_;
-    std::size_t histPos_ = 0;
-    std::uint64_t lruClock_ = 0;
-    Addr lastLine_ = kNoAddr;
+    FDIP_STATE_MICRO const char *name_;
+    FDIP_STATE_MICRO EipConfig cfg_;
+    FDIP_STATE_MICRO std::vector<Entry> table_;
+    FDIP_STATE_MICRO std::vector<HistoryRecord> history_;
+    FDIP_STATE_MICRO std::size_t histPos_ = 0;
+    FDIP_STATE_MICRO std::uint64_t lruClock_ = 0;
+    FDIP_STATE_MICRO Addr lastLine_ = kNoAddr;
 };
 
 } // namespace fdip

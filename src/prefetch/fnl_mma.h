@@ -17,6 +17,7 @@
 #include "prefetch/prefetcher.h"
 #include "util/hotpath.h"
 #include "util/sat_counter.h"
+#include "util/state.h"
 
 namespace fdip
 {
@@ -55,13 +56,13 @@ class FnlMmaPrefetcher final : public InstPrefetcher
     std::uint32_t mmaIndex(Addr line) const;
     std::uint32_t mmaTag(Addr line) const;
 
-    FnlMmaConfig cfg_;
-    std::vector<SatCounter> worth_; ///< FNL worth-next-line confidence.
-    std::vector<MmaEntry> mma_;
+    FDIP_STATE_MICRO FnlMmaConfig cfg_;
+    FDIP_STATE_MICRO std::vector<SatCounter> worth_; ///< FNL confidence.
+    FDIP_STATE_MICRO std::vector<MmaEntry> mma_;
 
-    Addr lastLine_ = kNoAddr;
-    std::vector<Addr> missHistory_; ///< Ring of recent miss lines.
-    std::size_t missPos_ = 0;
+    FDIP_STATE_MICRO Addr lastLine_ = kNoAddr;
+    FDIP_STATE_MICRO std::vector<Addr> missHistory_; ///< Recent miss ring.
+    FDIP_STATE_MICRO std::size_t missPos_ = 0;
 };
 
 } // namespace fdip

@@ -9,6 +9,7 @@
 
 #include "prefetch/prefetcher.h"
 #include "util/hotpath.h"
+#include "util/state.h"
 
 namespace fdip
 {
@@ -37,7 +38,7 @@ class NextLinePrefetcher final : public InstPrefetcher
     }
 
   private:
-    unsigned degree_;
+    FDIP_STATE_MICRO unsigned degree_;
 };
 
 } // namespace fdip

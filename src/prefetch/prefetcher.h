@@ -16,6 +16,7 @@
 #include "obs/stat_registry.h"
 #include "trace/inst.h"
 #include "util/hotpath.h"
+#include "util/state.h"
 #include "util/types.h"
 
 namespace fdip
@@ -144,9 +145,9 @@ class InstPrefetcher
 
   private:
     static constexpr std::size_t kMaxQueue = 64;
-    std::array<Addr, kMaxQueue> queue_{};
-    std::size_t head_ = 0;
-    std::size_t count_ = 0;
+    FDIP_STATE_MICRO std::array<Addr, kMaxQueue> queue_{};
+    FDIP_STATE_MICRO std::size_t head_ = 0;
+    FDIP_STATE_MICRO std::size_t count_ = 0;
 };
 
 /**

@@ -17,6 +17,7 @@
 #include "prefetch/prefetcher.h"
 #include "util/fixed_vector.h"
 #include "util/hotpath.h"
+#include "util/state.h"
 
 namespace fdip
 {
@@ -62,11 +63,11 @@ class RdipPrefetcher final : public InstPrefetcher
     /** Shadow-stack depth bound: overflow drops the oldest frame. */
     static constexpr std::size_t kShadowStackDepth = 128;
 
-    RdipConfig cfg_;
-    std::vector<Entry> table_;
-    FixedVector<Addr> shadowStack_;
-    std::uint64_t currentSig_ = 0;
-    std::uint64_t previousSig_ = 0;
+    FDIP_STATE_MICRO RdipConfig cfg_;
+    FDIP_STATE_MICRO std::vector<Entry> table_;
+    FDIP_STATE_MICRO FixedVector<Addr> shadowStack_;
+    FDIP_STATE_MICRO std::uint64_t currentSig_ = 0;
+    FDIP_STATE_MICRO std::uint64_t previousSig_ = 0;
 };
 
 } // namespace fdip

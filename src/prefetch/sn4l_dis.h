@@ -20,6 +20,7 @@
 
 #include "prefetch/prefetcher.h"
 #include "util/hotpath.h"
+#include "util/state.h"
 
 namespace fdip
 {
@@ -80,16 +81,16 @@ class Sn4lDisPrefetcher final : public InstPrefetcher
     std::uint32_t disIndex(Addr line) const;
     std::uint32_t disTag(Addr line) const;
 
-    Sn4lDisConfig cfg_;
-    std::vector<std::uint8_t> useful_; ///< 4 usefulness bits per line.
-    std::vector<DisEntry> dis_;
+    FDIP_STATE_MICRO Sn4lDisConfig cfg_;
+    FDIP_STATE_MICRO std::vector<std::uint8_t> useful_; ///< 4 bits/line.
+    FDIP_STATE_MICRO std::vector<DisEntry> dis_;
 
-    Addr lastMissLine_ = kNoAddr;
-    Addr lastAccessLine_ = kNoAddr;
+    FDIP_STATE_MICRO Addr lastMissLine_ = kNoAddr;
+    FDIP_STATE_MICRO Addr lastAccessLine_ = kNoAddr;
 
-    Bpu *bpu_ = nullptr;
-    const ProgramImage *image_ = nullptr;
-    std::uint64_t btbInstalls_ = 0;
+    FDIP_STATE_MICRO Bpu *bpu_ = nullptr;
+    FDIP_STATE_MICRO const ProgramImage *image_ = nullptr;
+    FDIP_STATE_MICRO std::uint64_t btbInstalls_ = 0;
 };
 
 } // namespace fdip

@@ -70,6 +70,36 @@ historyCampaign()
     return out;
 }
 
+/** bench_stall_accounting's sweep: cycle-accounting breakdowns by
+ *  prefetcher as the BTB shrinks from 8K to 1K entries. Registered
+ *  as a preset so the sharded/resumable campaign runner can produce
+ *  the same grid the bench prints. */
+std::vector<CampaignEntry>
+stallAccountingCampaign()
+{
+    std::vector<CampaignEntry> out;
+    struct Pf
+    {
+        const char *label;
+        const char *name; ///< "none": FDP alone, no L1I prefetcher.
+    };
+    const Pf pfs[] = {
+        {"FDP", "none"},
+        {"FDP+NL1", "nl1"},
+        {"FDP+EIP-27KB", "eip-27"},
+    };
+    for (const Pf &pf : pfs) {
+        for (unsigned entries : {1024u, 2048u, 4096u, 8192u}) {
+            CoreConfig cfg = paperBaselineConfig();
+            cfg.bpu.btb.numEntries = entries;
+            add(out,
+                std::string(pf.label) + "@" + std::to_string(entries),
+                cfg, pf.name);
+        }
+    }
+    return out;
+}
+
 /** A two-config smoke campaign, small enough for CI kill/resume. */
 std::vector<CampaignEntry>
 smokeCampaign()
@@ -91,6 +121,9 @@ campaignPresets()
         {"ftq", "Fig. 14: FTQ size sweep (7 configs)"},
         {"history",
          "Fig. 8: history-management policies, PFC on (7 configs)"},
+        {"stall_accounting",
+         "cycle accounting by prefetcher x BTB size (12 configs; "
+         "bench_stall_accounting's grid)"},
         {"smoke", "baseline vs FDP (2 configs; CI kill/resume smoke)"},
     };
 }
@@ -104,6 +137,8 @@ buildCampaignEntries(const std::string &name)
         return ftqCampaign();
     if (name == "history")
         return historyCampaign();
+    if (name == "stall_accounting")
+        return stallAccountingCampaign();
     if (name == "smoke")
         return smokeCampaign();
 

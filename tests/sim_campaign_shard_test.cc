@@ -140,6 +140,29 @@ TEST(CampaignShard, TwoProcessesDrainOneSpoolDisjointly)
     EXPECT_EQ(slurp(golden_json), slurp(merged_json));
 }
 
+TEST(CampaignPresets, StallAccountingGridMatchesTheBench)
+{
+    // The preset mirrors bench_stall_accounting's sweep: three
+    // prefetcher identities x four BTB sizes, "<pf>@<entries>".
+    const auto entries = buildCampaignEntries("stall_accounting");
+    ASSERT_EQ(entries.size(), 12u);
+    EXPECT_EQ(entries.front().label, "FDP@1024");
+    EXPECT_EQ(entries.back().label, "FDP+EIP-27KB@8192");
+    for (const CampaignEntry &e : entries) {
+        const auto at = e.label.find('@');
+        ASSERT_NE(at, std::string::npos) << e.label;
+        EXPECT_EQ(e.cfg.bpu.btb.numEntries,
+                  std::stoul(e.label.substr(at + 1)))
+            << e.label;
+        EXPECT_FALSE(e.prefetcherId.empty()) << e.label;
+    }
+    // ...and it is advertised.
+    bool listed = false;
+    for (const CampaignPreset &p : campaignPresets())
+        listed = listed || std::string(p.name) == "stall_accounting";
+    EXPECT_TRUE(listed);
+}
+
 TEST(CampaignShard, MergeFlagAssemblesWithoutSimulating)
 {
     const std::string spool = tempDir();

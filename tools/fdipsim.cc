@@ -85,7 +85,8 @@ usage()
         "campaign mode (sharded, resumable, content-addressed; see\n"
         "docs/CAMPAIGN.md — env: FDIP_SPOOL, FDIP_JOBS):\n"
         "  --campaign NAME    drain a named campaign through a spool:\n"
-        "                     prefetchers | ftq | history | smoke\n"
+        "                     prefetchers | ftq | history |\n"
+        "                     stall_accounting | smoke\n"
         "  --spool DIR        spool directory (default: $FDIP_SPOOL)\n"
         "  --resume           reclaim claims left by dead local workers\n"
         "  --merge            assemble + verify the report from spool\n"

@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Whole-program architectural-state auditor.
+
+PR 4's StorageSchemas make the paper's iso-storage budgets exact, and
+PR 2's determinism contract makes runs bit-identical — but both were
+conventions enforced per structure by hand-written tests. This lint
+turns them into whole-program invariants over the hotgraph
+ProgramIndex (tools/lint/hotgraph/): every data member of every
+audited class must carry an FDIP_STATE_{ARCH,MICRO,HOST}
+classification (src/util/state.h), and three rule families run over
+the resulting member census:
+
+  ghost state      FDIP_STATE_ARCH claims must match declared schema
+                   fields exactly, in both directions — deleting a
+                   schema field, adding an unaccounted member, or
+                   keeping arch state in a schema-less class all fire
+  reset coverage   arch/micro scalars must be initialized by NSDMI,
+                   constructor, or the reset() call-graph closure
+  host/arch taint  FDIP_STATE_HOST members must never be touched on
+                   the architectural hot-path closure outside
+                   obs/trace modules
+
+The census is cross-checked against the budget-certificate golden
+(field names and bit totals, which check_certify_test ties to
+storageBits()), emitted as a `state-audit-v1` JSON report, and
+optionally diffed against a golden census so state-space growth is
+always a reviewed diff. Exceptions live in
+hotgraph/statespace.py::STATE_ALLOWLIST, each with a written
+justification; an entry that suppresses nothing is itself a finding.
+docs/ANALYSIS.md section 9 documents the contract.
+
+Exit status: 0 when clean, 1 with findings listed on stderr, 2 when
+the requested frontend is unavailable.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from lintlib import REPO, make_parser, report  # noqa: E402
+from check_hotgraph import build_index  # noqa: E402
+from hotgraph.statespace import StateAudit  # noqa: E402
+
+CERTIFICATE = "tests/data/budget_certificate.golden.json"
+
+
+def load_certificate(root: Path, arg: str | None) -> dict | None:
+    path = Path(arg) if arg else root / CERTIFICATE
+    if not path.is_file():
+        return None
+    return json.loads(path.read_text())
+
+
+def main() -> int:
+    ap = make_parser(__doc__)
+    ap.add_argument("--frontend", choices=("auto", "builtin", "clang"),
+                    default="builtin",
+                    help="source indexer (default: builtin)")
+    ap.add_argument("--compile-db", default=None,
+                    help="compile_commands.json (or its directory) for "
+                         "the clang frontend")
+    ap.add_argument("--libclang", default=None,
+                    help="explicit libclang shared-library path")
+    ap.add_argument("--json", default=None, metavar="PATH",
+                    help="write the state-audit-v1 JSON report here")
+    ap.add_argument("--census-golden", default=None, metavar="PATH",
+                    help="diff the member census against this golden")
+    ap.add_argument("--update-census", default=None, metavar="PATH",
+                    help="write the member census golden and exit")
+    ap.add_argument("--certificate", default=None, metavar="PATH",
+                    help="budget-certificate golden for the bits "
+                         f"cross-check (default: <root>/{CERTIFICATE})")
+    ap.add_argument("--require-cert", default="", metavar="QNAMES",
+                    help="comma-separated class qnames that must "
+                         "cross-check against the certificate")
+    ap.add_argument("--bare", action="store_true",
+                    help="ignore the repo allowlist and certificate "
+                         "(fixture self-tests)")
+    args = ap.parse_args()
+
+    root = args.root.resolve()
+    prog = build_index(root, args.frontend, args.compile_db,
+                       args.libclang)
+    if prog is None:
+        return 2
+
+    cert = None if args.bare else load_certificate(root,
+                                                   args.certificate)
+    audit = (StateAudit(prog, root, allowlist=[], certificate=None)
+             if args.bare else StateAudit(prog, root,
+                                          certificate=cert))
+    findings = audit.run()
+    problems = [f.render() for f in findings]
+
+    if args.update_census:
+        Path(args.update_census).write_text(
+            json.dumps(audit.census(), indent=2, sort_keys=True)
+            + "\n")
+        print(f"check_statespace: census written to "
+              f"{args.update_census} "
+              f"({len(audit.classes)} classes)")
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(audit.to_json(), indent=2, sort_keys=True)
+            + "\n")
+    if args.census_golden:
+        golden_path = Path(args.census_golden)
+        if not golden_path.is_file():
+            problems.append(f"census golden {golden_path} is missing "
+                            "(regenerate with --update-census)")
+        else:
+            golden = json.loads(golden_path.read_text())
+            problems += census_diff(golden, audit.census())
+    for qname in (q for q in args.require_cert.split(",") if q):
+        ac = audit.classes.get(qname)
+        if ac is None or ac.certificate_bits is None:
+            problems.append(
+                f"{qname}: census was not cross-checked against the "
+                "budget certificate (class missing, schema-less, or "
+                "absent from the certificate map)")
+        else:
+            print(f"check_statespace: {qname} census == "
+                  f"{ac.certificate_structure} certificate "
+                  f"({ac.certificate_bits} bits == storageBits())")
+
+    if not problems:
+        print(f"check_statespace: {len(audit.classes)} classes, "
+              f"{sum(len(c.members) for c in audit.classes.values())} "
+              f"members audited clean "
+              f"({audit.prog.backend} frontend)")
+    return report("check_statespace", problems)
+
+
+def census_diff(golden: dict, current: dict) -> list[str]:
+    """Human-readable census drift (state-space growth must be a
+    reviewed diff, not a silent change)."""
+    problems: list[str] = []
+    for qname in sorted(set(golden) | set(current)):
+        if qname not in current:
+            problems.append(f"census: class {qname} vanished "
+                            "(golden lists it)")
+        elif qname not in golden:
+            problems.append(f"census: new audited class {qname} — "
+                            "review and regenerate the golden "
+                            "(--update-census)")
+        elif golden[qname] != current[qname]:
+            before = len(problems)
+            gm = golden[qname].get("members", {})
+            cm = current[qname].get("members", {})
+            for name in sorted(set(gm) | set(cm)):
+                if name not in cm:
+                    problems.append(f"census: {qname}::{name} "
+                                    "vanished")
+                elif name not in gm:
+                    problems.append(f"census: new member "
+                                    f"{qname}::{name} "
+                                    f"({cm[name].get('kind')})")
+                elif gm[name] != cm[name]:
+                    problems.append(
+                        f"census: {qname}::{name} changed "
+                        f"{gm[name]} -> {cm[name]}")
+            if golden[qname].get("schema") != \
+                    current[qname].get("schema"):
+                problems.append(f"census: schema of {qname} changed")
+            if len(problems) == before:
+                problems.append(f"census: {qname} drifted from the "
+                                "golden (regenerate with "
+                                "--update-census after review)")
+    return problems
+
+
+if __name__ == "__main__":
+    sys.exit(main())

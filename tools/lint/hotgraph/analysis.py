@@ -91,6 +91,9 @@ class Analysis:
         self.findings: list[Finding] = []
         self._used_allow: set[int] = set()      # indices into allowlist
         self._used_inc_exc: set[int] = set()
+        #: hot-closure members discovered by run(), for downstream
+        #: consumers (check_statespace's host/arch taint rule)
+        self.reachable_functions: list[FunctionInfo] = []
 
         # ---- lookup tables ------------------------------------------
         self.funcs = prog.all_functions()
@@ -347,6 +350,7 @@ class Analysis:
             if fn.name in self.noreturn_names or fn.is_noreturn:
                 return      # cold failure path
             visited[key] = chain
+            self.reachable_functions.append(fn)
             queue.append((fn, chain))
 
         for f, label in roots:

@@ -789,7 +789,11 @@ def _type_head(toks: list[Token], varname: str) -> tuple[str, bool]:
     k = 0
     while k < len(toks):
         t = toks[k]
-        if t.is_ident and t.value not in _QUAL_FILTER:
+        # Attribute/annotation macros (FDIP_STATE_*, FDIP_GUARDED_BY)
+        # precede the type on a member declaration; they are not the
+        # type head.
+        if t.is_ident and t.value not in _QUAL_FILTER \
+                and not _is_macro(t.value):
             ids.append(t.value)
             # absorb the '::' chain
             while k + 2 < len(toks) and toks[k + 1].value == "::" \

@@ -1,13 +1,14 @@
 #!/usr/bin/env python3
 """Single entry point for the repo's lint suite.
 
-Runs the six tree lints in one invocation with a combined report:
+Runs the seven tree lints in one invocation with a combined report:
 
   sources       check_sources.py      header hygiene + content bans
   determinism   check_determinism.py  wallclock/rand/getenv bans
   concurrency   check_concurrency.py  ambient-state + threading bans
   hotpath       check_hotpath.py      banned ops inside annotated code
   hotgraph      check_hotgraph.py     call-graph closure + layering
+  statespace    check_statespace.py   state census + schema/reset/taint
   trace         check_trace.py        only when --trace names a file
 
 Each lint keeps its own CLI (they all speak the shared --root /
@@ -32,7 +33,7 @@ from lintlib import REPO  # noqa: E402
 #: name -> script + extra-arg builder. Order is cheap-first so a
 #: broken tree fails fast; sources (which compiles every header) last.
 LINTS = ("determinism", "concurrency", "hotpath", "hotgraph",
-         "trace", "sources")
+         "statespace", "trace", "sources")
 
 
 def lint_argv(name: str, args: argparse.Namespace) -> list[str] | None:
@@ -49,6 +50,15 @@ def lint_argv(name: str, args: argparse.Namespace) -> list[str] | None:
                 "--frontend", args.hotgraph_frontend]
         if args.hotgraph_json:
             argv += ["--json", args.hotgraph_json]
+        return argv
+    if name == "statespace":
+        argv = [str(HERE / "check_statespace.py"), *root,
+                "--frontend", args.hotgraph_frontend,
+                "--census-golden",
+                str(args.root / "tests/data/state_census.golden.json"),
+                "--require-cert", "fdip::Btb,fdip::Tage,fdip::Cache"]
+        if args.statespace_json:
+            argv += ["--json", args.statespace_json]
         return argv
     if name == "trace":
         if not args.trace:
@@ -79,6 +89,8 @@ def main() -> int:
                          "(default: builtin)")
     ap.add_argument("--hotgraph-json", default=None, metavar="PATH",
                     help="write check_hotgraph's JSON report here")
+    ap.add_argument("--statespace-json", default=None, metavar="PATH",
+                    help="write check_statespace's JSON report here")
     args = ap.parse_args()
 
     only = {s for s in args.only.split(",") if s}

@@ -1,0 +1,52 @@
+// Ghost-state fixture, all three flavours: a member with no
+// FDIP_STATE_* classification at all, an FDIP_STATE_ARCH claim
+// naming a field the schema never declares, and arch state kept in a
+// class that declares no StorageSchema (invisible to the budget).
+#ifndef FDIP_FIXTURE_STATESPACE_GHOST_H_
+#define FDIP_FIXTURE_STATESPACE_GHOST_H_
+
+#include <string>
+
+#ifndef FDIP_STATE_ARCH
+#define FDIP_STATE_ARCH(...)
+#define FDIP_STATE_MICRO
+#define FDIP_STATE_HOST
+#endif
+
+namespace fdip
+{
+
+struct StorageSchema
+{
+    StorageSchema &add(const std::string &, unsigned, unsigned = 1)
+    {
+        return *this;
+    }
+};
+
+class Ghosty
+{
+  public:
+    StorageSchema storageSchema() const
+    {
+        StorageSchema s;
+        s.add("valid", 1, 8);
+        return s;
+    }
+
+  private:
+    // 'lru' is not in the schema: ghost state.
+    FDIP_STATE_ARCH(valid, lru) unsigned table_[8] = {};
+    unsigned stray_ = 0; ///< No classification at all.
+};
+
+class Naked
+{
+  private:
+    // Arch state in a schema-less class: unaccounted storage.
+    FDIP_STATE_ARCH(bits) unsigned raw_ = 0;
+};
+
+} // namespace fdip
+
+#endif // FDIP_FIXTURE_STATESPACE_GHOST_H_

@@ -1,0 +1,34 @@
+// Host-taint fixture: a FDIP_STATE_HOST member read and written
+// inside a FDIP_HOT_PATH function in a non-obs module — host
+// telemetry leaking into architectural code.
+#ifndef FDIP_FIXTURE_STATESPACE_HOT_H_
+#define FDIP_FIXTURE_STATESPACE_HOT_H_
+
+#ifndef FDIP_HOT_PATH
+#define FDIP_HOT_PATH __attribute__((hot))
+#endif
+#ifndef FDIP_STATE_ARCH
+#define FDIP_STATE_ARCH(...)
+#define FDIP_STATE_MICRO
+#define FDIP_STATE_HOST
+#endif
+
+namespace fdip
+{
+
+class Stamper
+{
+  public:
+    FDIP_HOT_PATH unsigned long tick()
+    {
+        lastNs_ += 1;
+        return lastNs_;
+    }
+
+  private:
+    FDIP_STATE_HOST unsigned long lastNs_ = 0;
+};
+
+} // namespace fdip
+
+#endif // FDIP_FIXTURE_STATESPACE_HOT_H_

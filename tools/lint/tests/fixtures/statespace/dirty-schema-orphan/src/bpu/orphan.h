@@ -1,0 +1,41 @@
+// Schema-orphan fixture: the schema charges a field ('lru') that no
+// FDIP_STATE_ARCH member claims — accounting without state.
+#ifndef FDIP_FIXTURE_STATESPACE_ORPHAN_H_
+#define FDIP_FIXTURE_STATESPACE_ORPHAN_H_
+
+#include <string>
+
+#ifndef FDIP_STATE_ARCH
+#define FDIP_STATE_ARCH(...)
+#define FDIP_STATE_MICRO
+#define FDIP_STATE_HOST
+#endif
+
+namespace fdip
+{
+
+struct StorageSchema
+{
+    StorageSchema &add(const std::string &, unsigned, unsigned = 1)
+    {
+        return *this;
+    }
+};
+
+class Orphan
+{
+  public:
+    StorageSchema storageSchema() const
+    {
+        StorageSchema s;
+        s.add("valid", 1, 8).add("lru", 2, 8);
+        return s;
+    }
+
+  private:
+    FDIP_STATE_ARCH(valid) unsigned table_[8] = {};
+};
+
+} // namespace fdip
+
+#endif // FDIP_FIXTURE_STATESPACE_ORPHAN_H_

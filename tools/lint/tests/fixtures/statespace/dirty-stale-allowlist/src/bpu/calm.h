@@ -1,0 +1,24 @@
+// Staleness fixture: a perfectly clean audited class. Self-tests run
+// the audit over this tree with an allowlist entry that matches
+// nothing and assert the entry itself becomes a finding.
+#ifndef FDIP_FIXTURE_STATESPACE_CALM_H_
+#define FDIP_FIXTURE_STATESPACE_CALM_H_
+
+#ifndef FDIP_STATE_ARCH
+#define FDIP_STATE_ARCH(...)
+#define FDIP_STATE_MICRO
+#define FDIP_STATE_HOST
+#endif
+
+namespace fdip
+{
+
+class Calm
+{
+  private:
+    FDIP_STATE_MICRO unsigned level_ = 0;
+};
+
+} // namespace fdip
+
+#endif // FDIP_FIXTURE_STATESPACE_CALM_H_

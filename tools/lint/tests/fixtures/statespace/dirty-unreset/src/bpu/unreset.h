@@ -1,0 +1,31 @@
+// Reset-coverage fixture: pos_ has no NSDMI, no constructor
+// init-list entry, and no assignment anywhere in the
+// constructor/reset() closure — stale state across runs. ok_ is the
+// control: identical declaration, but reset() covers it.
+#ifndef FDIP_FIXTURE_STATESPACE_UNRESET_H_
+#define FDIP_FIXTURE_STATESPACE_UNRESET_H_
+
+#ifndef FDIP_STATE_ARCH
+#define FDIP_STATE_ARCH(...)
+#define FDIP_STATE_MICRO
+#define FDIP_STATE_HOST
+#endif
+
+namespace fdip
+{
+
+class Unreset
+{
+  public:
+    Unreset() {}
+
+    void reset() { ok_ = 0; }
+
+  private:
+    FDIP_STATE_MICRO unsigned ok_;
+    FDIP_STATE_MICRO unsigned pos_;
+};
+
+} // namespace fdip
+
+#endif // FDIP_FIXTURE_STATESPACE_UNRESET_H_

@@ -2,10 +2,11 @@
 """Self-tests for the lint suite (stdlib only, run by ctest + CI).
 
 A lint that silently stops firing is worse than no lint: the tree
-drifts while CI stays green. This suite runs all six lint scripts
+drifts while CI stays green. This suite runs all seven lint scripts
 (check_sources, check_determinism, check_concurrency, check_hotpath,
-check_hotgraph, check_trace) against known-good and known-bad fixture
-trees under tools/lint/tests/fixtures/ and asserts both directions:
+check_hotgraph, check_statespace, check_trace) against known-good and
+known-bad fixture trees under tools/lint/tests/fixtures/ and asserts
+both directions:
 
   - the clean tree produces zero findings (false-positive regression),
   - every deliberately planted violation in the dirty tree is found
@@ -42,8 +43,11 @@ from hotgraph.analysis import Analysis  # noqa: E402
 from hotgraph.model import (AllowEntry, IncludeException,  # noqa: E402
                             RULE_STALE_ALLOW, RULE_UNANNOTATED,
                             RULE_VIRTUAL)
+from hotgraph.statespace import (StateAudit,  # noqa: E402
+                                 RULE_HOST_TAINT)
 
 HOTGRAPH = FIXTURES / "hotgraph"
+STATESPACE = FIXTURES / "statespace"
 
 NO_ALLOW: set[str] = set()
 
@@ -55,6 +59,22 @@ def hotgraph_findings(tree: str, allowlist=(), include_exceptions=()):
     analysis = Analysis(prog, allowlist=list(allowlist),
                         include_exceptions=list(include_exceptions))
     return [f.render() for f in analysis.run()]
+
+
+def statespace_audit(tree: str, allowlist=()):
+    """A completed StateAudit over fixtures/statespace/<tree>, with
+    the repo allowlist and certificate replaced by the given ones."""
+    root = STATESPACE / tree
+    prog = hg_textual.index_tree(root)
+    audit = StateAudit(prog, root, allowlist=list(allowlist),
+                       certificate=None)
+    audit.run()
+    return audit
+
+
+def statespace_findings(tree: str, allowlist=()):
+    return [f.render()
+            for f in statespace_audit(tree, allowlist).findings]
 
 
 class LintAssertions(unittest.TestCase):
@@ -411,6 +431,100 @@ class HotgraphClosure(LintAssertions):
         self.assertGreaterEqual(doc["reachable"], doc["hotRoots"])
 
 
+class StateSpaceAudit(LintAssertions):
+    """check_statespace's three rule families over the statespace
+    fixture trees, both directions (clean tree silent, every planted
+    violation found), plus allowlist staleness and the JSON report."""
+
+    def test_clean_tree_is_clean(self):
+        self.assertEqual(statespace_findings("clean"), [])
+
+    def test_ghost_claim_of_undeclared_field(self):
+        findings = statespace_findings("dirty-ghost-member")
+        self.assertFinding(findings, "src/bpu/ghost.h",
+                           "claims schema field 'lru'", count=1)
+
+    def test_unclassified_member(self):
+        findings = statespace_findings("dirty-ghost-member")
+        self.assertFinding(findings, "src/bpu/ghost.h",
+                           "fdip::Ghosty::stray_ carries no "
+                           "FDIP_STATE_*", count=1)
+
+    def test_arch_state_in_schemaless_class(self):
+        findings = statespace_findings("dirty-ghost-member")
+        self.assertFinding(findings, "src/bpu/ghost.h",
+                           "fdip::Naked declares no StorageSchema",
+                           count=1)
+        # Exactly the three planted ghost-family violations.
+        self.assertEqual(len(findings), 3, "\n".join(findings))
+
+    def test_schema_orphan(self):
+        findings = statespace_findings("dirty-schema-orphan")
+        self.assertFinding(findings, "src/bpu/orphan.h",
+                           "schema field 'lru' of fdip::Orphan",
+                           count=1)
+        self.assertEqual(len(findings), 1, "\n".join(findings))
+
+    def test_unreset_scalar(self):
+        findings = statespace_findings("dirty-unreset")
+        self.assertFinding(findings, "src/bpu/unreset.h",
+                           "fdip::Unreset::pos_ is FDIP_STATE_MICRO",
+                           count=1)
+        # ok_ (covered by reset()) must stay silent.
+        self.assertEqual(len(findings), 1, "\n".join(findings))
+
+    def test_host_taint_on_hot_closure(self):
+        findings = statespace_findings("dirty-host-taint")
+        self.assertFinding(findings, "src/core/hot.h",
+                           "touches FDIP_STATE_HOST member "
+                           "fdip::Stamper::lastNs_", count=1)
+        self.assertEqual(len(findings), 1, "\n".join(findings))
+
+    def test_host_taint_allowlisted_is_silent(self):
+        findings = statespace_findings(
+            "dirty-host-taint",
+            allowlist=[AllowEntry(RULE_HOST_TAINT, "src/core/hot.h",
+                                  "fdip::Stamper::lastNs_",
+                                  "fixture")])
+        # The taint is suppressed, and the *used* entry must not trip
+        # the staleness guard.
+        self.assertEqual(findings, [])
+
+    def test_stale_allow_entry_is_a_finding(self):
+        findings = statespace_findings(
+            "dirty-stale-allowlist",
+            allowlist=[AllowEntry(RULE_HOST_TAINT, "src/bpu/calm.h",
+                                  "fdip::Calm::gone_", "obsolete")])
+        self.assertFinding(findings, "src/bpu/calm.h",
+                           "suppressed nothing", count=1)
+
+    def test_json_report_schema(self):
+        audit = statespace_audit("clean")
+        doc = audit.to_json()
+        self.assertEqual(doc["schema"], "state-audit-v1")
+        self.assertEqual(doc["backend"], "builtin")
+        self.assertEqual(doc["findings"], len(doc["findingList"]))
+        self.assertEqual(doc["auditedClasses"], 2)
+        kinds = doc["membersByKind"]
+        self.assertEqual(doc["members"],
+                         sum(kinds[k] for k in kinds))
+        self.assertEqual(kinds["unclassified"], 0)
+
+    def test_census_shape(self):
+        census = statespace_audit("clean").census()
+        tiny = census["fdip::Tiny"]
+        self.assertEqual(
+            [f["field"] for f in tiny["schema"]],
+            ["valid", "tag", "fold"])
+        self.assertTrue(
+            [f for f in tiny["schema"] if f["dynamic"]])
+        self.assertEqual(tiny["members"]["wallSeconds_"]["kind"],
+                         "host")
+        self.assertEqual(
+            census["fdip::Outer"]["members"]["inner_"]["fields"],
+            ["sub"])
+
+
 class TraceChecker(LintAssertions):
     def test_good_trace(self):
         problems = check_trace.check_trace(
@@ -505,6 +619,58 @@ class CliExitCodes(LintAssertions):
             self.run_script("check_hotgraph.py", "--frontend=clang",
                             "--bare",
                             "--root", str(HOTGRAPH / "clean")), 2)
+
+    def test_check_statespace_cli(self):
+        # --bare replaces the repo allowlist and certificate (whose
+        # entries/classes name repo files, stale on a fixture tree).
+        self.assertEqual(
+            self.run_script("check_statespace.py", "--bare",
+                            "--root", str(STATESPACE / "clean")), 0)
+        self.assertEqual(
+            self.run_script("check_statespace.py", "--bare", "--root",
+                            str(STATESPACE / "dirty-ghost-member")), 1)
+
+    def test_check_statespace_cli_staleness_without_bare(self):
+        # Without --bare the production allowlist applies; on a
+        # fixture tree every entry is unused, so the staleness guard
+        # itself must fail the run.
+        self.assertEqual(
+            self.run_script("check_statespace.py",
+                            "--root", str(STATESPACE / "clean")), 1)
+
+    def test_check_statespace_cli_census_roundtrip(self):
+        import tempfile
+        with tempfile.TemporaryDirectory() as td:
+            golden = str(Path(td) / "census.json")
+            self.assertEqual(
+                self.run_script("check_statespace.py", "--bare",
+                                "--root", str(STATESPACE / "clean"),
+                                "--update-census", golden), 0)
+            # Same tree vs. its own census: clean.
+            self.assertEqual(
+                self.run_script("check_statespace.py", "--bare",
+                                "--root", str(STATESPACE / "clean"),
+                                "--census-golden", golden), 0)
+            # Drifted census (a member vanishes): the diff must fail.
+            import json
+            doc = json.loads(Path(golden).read_text())
+            del doc["fdip::Tiny"]["members"]["hits_"]
+            Path(golden).write_text(json.dumps(doc))
+            self.assertEqual(
+                self.run_script("check_statespace.py", "--bare",
+                                "--root", str(STATESPACE / "clean"),
+                                "--census-golden", golden), 1)
+
+    def test_check_statespace_cli_unavailable_frontend(self):
+        try:
+            import clang.cindex  # noqa: F401
+            self.skipTest("clang.cindex installed; frontend available")
+        except ImportError:
+            pass
+        self.assertEqual(
+            self.run_script("check_statespace.py", "--frontend=clang",
+                            "--bare",
+                            "--root", str(STATESPACE / "clean")), 2)
 
     def test_check_trace_cli(self):
         self.assertEqual(
